@@ -1,0 +1,235 @@
+// Command hpcsched runs the paper's experiments and prints the reproduced
+// tables, traces and hardware-model reference tables.
+//
+// Usage:
+//
+//	hpcsched table1                 # decode-slot allocation (Table I)
+//	hpcsched table2                 # priority privilege levels (Table II)
+//	hpcsched classes                # scheduling class order (Figure 1)
+//	hpcsched table3|table4|table5|table6 [-seed N]
+//	hpcsched fig3|fig4|fig5|fig6 [-seed N] [-width N]
+//	hpcsched run -workload metbench -mode uniform [-seed N] [-trace]
+//	hpcsched list                   # available workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpcsched/internal/calibrate"
+	"hpcsched/internal/experiments"
+	"hpcsched/internal/metrics"
+	"hpcsched/internal/power5"
+	"hpcsched/internal/trace"
+	"hpcsched/internal/workloads"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hpcsched <command> [flags]
+
+commands:
+  table1            POWER5 decode cycles per priority difference (paper Table I)
+  table2            priority privilege levels and or-nops (paper Table II)
+  classes           scheduling class order, standard vs HPCSched (paper Figure 1)
+  table3..table6    reproduce the paper's evaluation tables
+  fig3..fig6        render the corresponding execution traces
+  run               run one workload/scheduler combination
+  validate          compare every table against the published values
+  calibrate         show the chip-model derivation from the paper's anchors
+  list              list workloads`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "table1":
+		printTable1()
+	case "table2":
+		printTable2()
+	case "classes":
+		printClasses()
+	case "table3", "table4", "table5", "table6":
+		runTable(cmd, args)
+	case "fig3", "fig4", "fig5", "fig6":
+		runFigure(cmd, args)
+	case "run":
+		runOne(args)
+	case "validate":
+		runValidate(args)
+	case "calibrate":
+		runCalibrate()
+	case "list":
+		for _, n := range workloads.Names() {
+			fmt.Printf("%-12s %s\n", n, workloads.Describe(n))
+		}
+	default:
+		usage()
+	}
+}
+
+func runValidate(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	fs.Parse(args)
+	checks := experiments.Validate(*seed)
+	fmt.Print(experiments.FormatValidation(checks))
+	if experiments.ValidationPassRate(checks) < 0.85 {
+		os.Exit(1)
+	}
+}
+
+func runCalibrate() {
+	a := calibrate.PaperAnchors()
+	s, err := calibrate.Solve(a)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(s.Describe(a))
+	m := s.BuildModel()
+	fmt.Printf("\nexpanded speed table (vs ST):\n")
+	fmt.Printf("  diff  favoured  unfavoured\n")
+	for d := 1; d <= 4; d++ {
+		fmt.Printf("  ±%d    %.3f     %.3f\n", d, m.Favoured[d], m.Unfavoured[d])
+	}
+	fmt.Printf("  equal priorities: %.3f   idle sibling: %.3f\n", m.SMTBase, m.IdleSibling)
+}
+
+func tableWorkload(cmd string) string {
+	switch cmd {
+	case "table3", "fig3":
+		return "metbench"
+	case "table4", "fig4":
+		return "metbenchvar"
+	case "table5", "fig5":
+		return "btmz"
+	default:
+		return "siesta"
+	}
+}
+
+func printTable1() {
+	fmt.Println("Table I — decode cycles assigned per priority difference")
+	rows := [][]string{}
+	for d := 0; d <= 4; d++ {
+		a := power5.PrioLow + power5.Priority(d)
+		r, ca, cb := power5.DecodeWindow(a, power5.PrioLow)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", d), fmt.Sprintf("%d", r),
+			fmt.Sprintf("%d", ca), fmt.Sprintf("%d", cb),
+		})
+	}
+	fmt.Print(metrics.Table([]string{"Priority difference", "R", "Decode cycles (A)", "Decode cycles (B)"}, rows))
+}
+
+func printTable2() {
+	fmt.Println("Table II — privilege level and or-nop per priority")
+	rows := [][]string{}
+	for p := power5.PrioThreadOff; p <= power5.PrioVeryHigh; p++ {
+		nop := "-"
+		if reg, ok := power5.OrNopRegister(p); ok {
+			nop = fmt.Sprintf("or %d,%d,%d", reg, reg, reg)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", int(p)), p.String(),
+			power5.RequiredPrivilege(p).String(), nop,
+		})
+	}
+	fmt.Print(metrics.Table([]string{"Priority", "Level", "Privilege", "or-nop"}, rows))
+}
+
+func printClasses() {
+	fmt.Println("Figure 1 — scheduling classes")
+	fmt.Println("  standard 2.6.24 kernel:  rt -> fair (CFS) -> idle")
+	fmt.Println("  HPCSched kernel:         rt -> hpc -> fair (CFS) -> idle")
+	fmt.Println()
+	fmt.Println("  The HPC class sits between real time and CFS: SCHED_FIFO/RR")
+	fmt.Println("  semantics are preserved, SCHED_HPC outranks SCHED_NORMAL.")
+}
+
+func runTable(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	seeds := fs.Int("seeds", 1, "replication count (>1 prints mean ± stddev)")
+	fs.Parse(args)
+	wl := tableWorkload(cmd)
+	if *seeds > 1 {
+		fmt.Print(experiments.RunTableStats(wl, experiments.DefaultSeeds(*seeds)).Format())
+		return
+	}
+	tr := experiments.RunTable(wl, *seed)
+	fmt.Print(tr.Format())
+}
+
+func runFigure(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	width := fs.Int("width", 100, "timeline columns")
+	prv := fs.Bool("prv", false, "emit Paraver-style .prv instead of ASCII")
+	fs.Parse(args)
+	wl := tableWorkload(cmd)
+	for _, mode := range experiments.TableModes(wl) {
+		r := experiments.Run(experiments.Config{
+			Workload: wl, Mode: mode, Seed: *seed, Trace: true,
+		})
+		if *prv {
+			fmt.Printf("# %s / %s\n%s", wl, mode, r.Recorder.ExportPRV())
+			continue
+		}
+		fmt.Printf("--- %s — %s (exec %.2fs) ---\n", wl, mode, r.ExecTime.Seconds())
+		fmt.Print(r.Recorder.Render(trace.RenderOptions{Width: *width, Prios: mode.UsesHPCClass()}))
+		fmt.Println()
+	}
+}
+
+func modeFromName(s string) (experiments.Mode, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "cfs":
+		return experiments.ModeBaseline, nil
+	case "static":
+		return experiments.ModeStatic, nil
+	case "uniform":
+		return experiments.ModeUniform, nil
+	case "adaptive":
+		return experiments.ModeAdaptive, nil
+	case "hybrid":
+		return experiments.ModeHybrid, nil
+	case "policy-only", "hpconly":
+		return experiments.ModeHPCOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func runOne(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	wl := fs.String("workload", "metbench", "workload name")
+	modeName := fs.String("mode", "uniform", "baseline|static|uniform|adaptive|hybrid|policy-only")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	doTrace := fs.Bool("trace", false, "render the execution trace")
+	width := fs.Int("width", 100, "timeline columns")
+	fs.Parse(args)
+	mode, err := modeFromName(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := experiments.Run(experiments.Config{
+		Workload: *wl, Mode: mode, Seed: *seed, Trace: *doTrace,
+	})
+	fmt.Printf("%s under %s: exec time %.2fs, imbalance %.3f\n",
+		*wl, mode, r.ExecTime.Seconds(), r.Imbalance)
+	fmt.Print(metrics.FormatSummaries(r.Summaries))
+	if r.HPC != nil {
+		fmt.Printf("heuristic decisions: %d changes, %d holds\n", r.HPC.Changes, r.HPC.Holds)
+	}
+	if *doTrace {
+		fmt.Print(r.Recorder.Render(trace.RenderOptions{Width: *width, Prios: mode.UsesHPCClass()}))
+	}
+}

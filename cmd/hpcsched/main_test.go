@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestModeFromName(t *testing.T) {
+	for name, ok := range map[string]bool{
+		"baseline": true, "cfs": true, "static": true, "uniform": true,
+		"adaptive": true, "hybrid": true, "policy-only": true, "hpconly": true,
+		"UNIFORM": true, "bogus": false,
+	} {
+		_, err := modeFromName(name)
+		if (err == nil) != ok {
+			t.Errorf("modeFromName(%q) err=%v, want ok=%v", name, err, ok)
+		}
+	}
+}
+
+func TestTableWorkloadMapping(t *testing.T) {
+	for cmd, want := range map[string]string{
+		"table3": "metbench",
+		"fig3":   "metbench",
+		"table4": "metbenchvar",
+		"table5": "btmz",
+		"fig5":   "btmz",
+		"table6": "siesta",
+		"fig6":   "siesta",
+	} {
+		if got := tableWorkload(cmd); got != want {
+			t.Errorf("tableWorkload(%q) = %q, want %q", cmd, got, want)
+		}
+	}
+}

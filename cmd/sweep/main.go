@@ -1,0 +1,100 @@
+// Command sweep explores the HPC scheduler's tunables: the Adaptive G/L
+// weights, the utilization thresholds, the explored priority range and the
+// OS noise level — the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	sweep -what gl        -workload metbenchvar
+//	sweep -what thresholds -workload metbench
+//	sweep -what priorange -workload metbench
+//	sweep -what noise     -workload siesta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcsched/internal/core"
+	"hpcsched/internal/experiments"
+	"hpcsched/internal/metrics"
+	"hpcsched/internal/noise"
+	"hpcsched/internal/power5"
+)
+
+func main() {
+	what := flag.String("what", "gl", "gl | thresholds | priorange | noise | policy")
+	wl := flag.String("workload", "metbench", "workload name")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	base := experiments.Run(experiments.Config{Workload: *wl, Mode: experiments.ModeBaseline, Seed: *seed})
+	fmt.Printf("%s baseline: %.2fs\n\n", *wl, base.ExecTime.Seconds())
+
+	header := []string{"Config", "Exec", "vs base", "Imbalance"}
+	var rows [][]string
+	add := func(name string, r experiments.Result) {
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.2fs", r.ExecTime.Seconds()),
+			fmt.Sprintf("%+.1f%%", 100*metrics.Improvement(base.ExecTime, r.ExecTime)),
+			fmt.Sprintf("%.3f", r.Imbalance),
+		})
+	}
+
+	switch *what {
+	case "gl":
+		for _, l := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+			p := core.DefaultParams()
+			p.L, p.G = l, 1-l
+			r := experiments.Run(experiments.Config{Workload: *wl,
+				Mode: experiments.ModeAdaptive, Seed: *seed, Params: p})
+			add(fmt.Sprintf("adaptive L=%.2f G=%.2f", l, 1-l), r)
+		}
+	case "thresholds":
+		for _, th := range [][2]float64{{50, 70}, {60, 80}, {65, 85}, {70, 90}, {75, 95}} {
+			p := core.DefaultParams()
+			p.LowUtil, p.HighUtil = th[0], th[1]
+			r := experiments.Run(experiments.Config{Workload: *wl,
+				Mode: experiments.ModeUniform, Seed: *seed, Params: p})
+			add(fmt.Sprintf("uniform low=%g high=%g", th[0], th[1]), r)
+		}
+	case "priorange":
+		for _, pr := range [][2]power5.Priority{{4, 4}, {4, 5}, {4, 6}, {3, 6}, {2, 6}, {1, 6}} {
+			p := core.DefaultParams()
+			p.MinPrio, p.MaxPrio = pr[0], pr[1]
+			r := experiments.Run(experiments.Config{Workload: *wl,
+				Mode: experiments.ModeUniform, Seed: *seed, Params: p})
+			add(fmt.Sprintf("uniform prio [%d,%d]", pr[0], pr[1]), r)
+		}
+	case "noise":
+		for _, duty := range []float64{0, 0.0025, 0.005, 0.01, 0.02, 0.04} {
+			nz := noise.DefaultConfig()
+			if duty == 0 {
+				nz = noise.Silent()
+			} else {
+				nz.Duty = duty
+			}
+			b := experiments.Run(experiments.Config{Workload: *wl,
+				Mode: experiments.ModeBaseline, Seed: *seed, Noise: &nz})
+			u := experiments.Run(experiments.Config{Workload: *wl,
+				Mode: experiments.ModeUniform, Seed: *seed, Noise: &nz})
+			rows = append(rows, []string{
+				fmt.Sprintf("duty=%.2f%%/daemon", 100*duty),
+				fmt.Sprintf("base %.2fs / hpc %.2fs", b.ExecTime.Seconds(), u.ExecTime.Seconds()),
+				fmt.Sprintf("%+.1f%%", 100*metrics.Improvement(b.ExecTime, u.ExecTime)),
+				fmt.Sprintf("%.3f", u.Imbalance),
+			})
+		}
+	case "policy":
+		for _, d := range []core.Discipline{core.DisciplineRR, core.DisciplineFIFO} {
+			r := experiments.Run(experiments.Config{Workload: *wl,
+				Mode: experiments.ModeUniform, Seed: *seed, Discipline: d})
+			add(fmt.Sprintf("uniform %v", d), r)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *what)
+		os.Exit(2)
+	}
+	fmt.Print(metrics.Table(header, rows))
+}

@@ -1,0 +1,62 @@
+package hpcsched_test
+
+import (
+	"fmt"
+
+	"hpcsched"
+	"hpcsched/internal/power5"
+)
+
+// ExampleReproduceTable regenerates the paper's Table III and reads the
+// Uniform heuristic's improvement out of it.
+func ExampleReproduceTable() {
+	tr := hpcsched.ReproduceTable("metbench", 42)
+	imp := tr.ImprovementOf(hpcsched.ModeUniform)
+	fmt.Printf("Uniform improves MetBench by more than 10%%: %v\n", imp > 0.10)
+	// Output:
+	// Uniform improves MetBench by more than 10%: true
+}
+
+// ExampleNewMachine builds a machine with the HPC class, runs a trivially
+// imbalanced 2-rank job and reports the final hardware priorities.
+func ExampleNewMachine() {
+	m := hpcsched.NewMachine(hpcsched.MachineConfig{
+		Seed:  7,
+		HPC:   &hpcsched.HPCConfig{Heuristic: hpcsched.Uniform},
+		Noise: &hpcsched.SilentNoise,
+	})
+	w := m.NewWorld(2)
+	for i := 0; i < 2; i++ {
+		i := i
+		w.Spawn(i, hpcsched.TaskSpec{Policy: hpcsched.PolicyHPC, Affinity: 1 << uint(i)},
+			func(r *hpcsched.Rank) {
+				for it := 0; it < 8; it++ {
+					if i == 0 {
+						r.Compute(10 * hpcsched.Millisecond)
+						r.Recv(1, it)
+						r.Send(1, it, 64)
+					} else {
+						r.Compute(60 * hpcsched.Millisecond)
+						r.Send(0, it, 64)
+						r.Recv(0, it)
+					}
+				}
+			})
+	}
+	end := m.Run(10 * hpcsched.Second)
+	for _, s := range hpcsched.Summaries(w.Tasks(), end) {
+		fmt.Printf("%s: hw priority %d\n", s.Name, s.HWPrio)
+	}
+	// Output:
+	// P1: hw priority 4
+	// P2: hw priority 6
+}
+
+// ExampleDecodeWindow shows the paper's Table I arbitration for the worked
+// 6-vs-2 example of §II-B.
+func ExampleDecodeWindow() {
+	r, a, b := power5.DecodeWindow(power5.PrioHigh, power5.PrioLow)
+	fmt.Printf("window R=%d: %d decode cycles vs %d\n", r, a, b)
+	// Output:
+	// window R=32: 31 decode cycles vs 1
+}

@@ -1,0 +1,40 @@
+// BT-MZ example: the NAS multi-zone benchmark analogue with zone-skewed
+// per-rank work and neighbour boundary exchange, balanced dynamically by
+// HPCSched (paper Table V / Figure 5).
+package main
+
+import (
+	"fmt"
+
+	"hpcsched"
+)
+
+func main() {
+	fmt.Println("BT-MZ analogue: uneven zones, isend/irecv/waitall neighbour")
+	fmt.Println("exchange, per-iteration residual reduction (paper Table V)")
+	fmt.Println()
+
+	tr := hpcsched.ReproduceTable("btmz", 42)
+	fmt.Print(tr.Format())
+	fmt.Println()
+
+	// Zoom into a few iterations of the adaptive run, like Figure 5's
+	// excerpt traces.
+	r := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
+		Workload: "btmz",
+		Mode:     hpcsched.ModeAdaptive,
+		Seed:     42,
+		Trace:    true,
+	})
+	fmt.Printf("--- Adaptive, iterations ~10-16 (exec %.2fs) ---\n", r.ExecTime.Seconds())
+	fmt.Print(r.Recorder.Render(hpcsched.RenderOptions{
+		Width: 96,
+		From:  5 * hpcsched.Second,
+		To:    8 * hpcsched.Second,
+		Prios: false,
+	}))
+	fmt.Println()
+	fmt.Println("P4 (the heaviest zone) is raised to priority 6; P1, sharing its")
+	fmt.Println("core, is slowed hard — the asymmetric trade the paper describes —")
+	fmt.Println("but the application as a whole finishes ~10% sooner.")
+}

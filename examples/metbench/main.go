@@ -1,0 +1,37 @@
+// MetBench example: reproduce the paper's Table III comparison — the
+// imbalanced BSC microbenchmark under the baseline CFS scheduler, the
+// hand-tuned static priorities, and the two HPCSched heuristics — and
+// render the Figure 3 execution traces.
+package main
+
+import (
+	"fmt"
+
+	"hpcsched"
+)
+
+func main() {
+	fmt.Println("MetBench: 2 small + 2 large loads on a 4-context POWER5")
+	fmt.Println("(paper Table III / Figure 3)")
+	fmt.Println()
+
+	tr := hpcsched.ReproduceTable("metbench", 42)
+	fmt.Print(tr.Format())
+	fmt.Println()
+
+	for _, mode := range []hpcsched.Mode{hpcsched.ModeBaseline, hpcsched.ModeUniform} {
+		r := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
+			Workload: "metbench",
+			Mode:     mode,
+			Seed:     42,
+			Trace:    true,
+		})
+		fmt.Printf("--- %v (exec %.2fs) ---\n", mode, r.ExecTime.Seconds())
+		fmt.Print(r.Recorder.Render(hpcsched.RenderOptions{Width: 96}))
+		fmt.Println()
+	}
+	fmt.Println("In the baseline the small workers (P1, P3) spend ~75% of each")
+	fmt.Println("iteration waiting ('.'); under HPCSched the scheduler raises the")
+	fmt.Println("large workers to priority 6 after the first iteration and the")
+	fmt.Println("whole machine computes ('#') nearly all the time.")
+}

@@ -1,0 +1,53 @@
+// SIESTA example: the irregular ab-initio materials-simulation analogue.
+// The balancing heuristics barely move its utilizations, yet HPCSched
+// still improves the run — the gain comes from the scheduling policy
+// (class position → near-zero scheduler latency, no daemon competition),
+// exactly the paper's §V-D analysis. The policy-only ablation proves it.
+package main
+
+import (
+	"fmt"
+
+	"hpcsched"
+)
+
+func main() {
+	fmt.Println("SIESTA analogue: irregular master/worker phases, heavy messaging")
+	fmt.Println("(paper Table VI / Figure 6)")
+	fmt.Println()
+
+	tr := hpcsched.ReproduceTable("siesta", 42)
+	fmt.Print(tr.Format())
+	fmt.Println()
+
+	base := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
+		Workload: "siesta", Mode: hpcsched.ModeBaseline, Seed: 42,
+	})
+	policyOnly := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
+		Workload: "siesta", Mode: hpcsched.ModeHPCOnly, Seed: 42,
+	})
+	uniform := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
+		Workload: "siesta", Mode: hpcsched.ModeUniform, Seed: 42,
+	})
+
+	imp := func(r hpcsched.ExperimentResult) float64 {
+		return 100 * (1 - r.ExecTime.Seconds()/base.ExecTime.Seconds())
+	}
+	fmt.Printf("baseline:                    %.2fs\n", base.ExecTime.Seconds())
+	fmt.Printf("HPC class, mechanism off:    %.2fs (%+.1f%%)\n",
+		policyOnly.ExecTime.Seconds(), imp(policyOnly))
+	fmt.Printf("HPC class, Uniform heuristic: %.2fs (%+.1f%%)\n",
+		uniform.ExecTime.Seconds(), imp(uniform))
+	fmt.Println()
+	fmt.Println("Most of the improvement survives with the priority mechanism")
+	fmt.Println("disabled: as the paper concludes, SIESTA's gain comes from the")
+	fmt.Println("scheduling policy, not from load-imbalance reduction.")
+
+	// Mean wakeup latency per rank: the scheduler-latency effect itself.
+	fmt.Println("\nmean wakeup latency (baseline vs HPC class):")
+	for i := range base.Summaries {
+		fmt.Printf("  %-4s %8.1fµs -> %6.1fµs\n", base.Summaries[i].Name,
+			float64(base.Summaries[i].AvgWakeup)/1e3,
+			float64(uniform.Summaries[i].AvgWakeup)/1e3)
+	}
+}

@@ -1,0 +1,247 @@
+// Package hpcsched is a faithful, simulation-backed reproduction of
+// "A Dynamic Scheduler for Balancing HPC Applications" (Boneti, Gioiosa,
+// Cazorla, Valero — SC 2008).
+//
+// The package re-exports a stable facade over the internal packages:
+//
+//   - a deterministic discrete-event simulation of an IBM POWER5 chip
+//     (2 cores × 2 SMT contexts) with software-controlled hardware thread
+//     priorities;
+//   - a Linux-2.6.24-style scheduler framework (scheduling classes, CFS,
+//     real-time, idle) running on that chip;
+//   - HPCSched, the paper's contribution: the SCHED_HPC class, the Load
+//     Imbalance Detector, the Uniform and Adaptive heuristics and the
+//     POWER5 priority mechanism;
+//   - a simulated MPI runtime and the paper's four workloads (MetBench,
+//     MetBenchVar, BT-MZ, SIESTA);
+//   - the experiment harness that regenerates every table and figure of
+//     the paper's evaluation.
+//
+// Quick start:
+//
+//	m := hpcsched.NewMachine(hpcsched.MachineConfig{Seed: 1})
+//	table := hpcsched.ReproduceTable("metbench", 42)
+//	fmt.Println(table.Format())
+//
+// See examples/ for complete programs.
+package hpcsched
+
+import (
+	"hpcsched/internal/core"
+	"hpcsched/internal/experiments"
+	"hpcsched/internal/metrics"
+	"hpcsched/internal/mpi"
+	"hpcsched/internal/noise"
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+	"hpcsched/internal/trace"
+	"hpcsched/internal/workloads"
+)
+
+// Re-exported core types. The facade keeps the public API surface in one
+// place; the internal packages remain free to evolve.
+type (
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Engine is the discrete-event core.
+	Engine = sim.Engine
+	// Chip is the POWER5 model.
+	Chip = power5.Chip
+	// Priority is a hardware thread priority (0..7).
+	Priority = power5.Priority
+	// PerfModel maps priority pairs to execution speed.
+	PerfModel = power5.PerfModel
+	// Kernel is the scheduler core.
+	Kernel = sched.Kernel
+	// Task is the kernel task descriptor.
+	Task = sched.Task
+	// TaskSpec configures a new simulated process.
+	TaskSpec = sched.TaskSpec
+	// Env is the process-side system-call surface.
+	Env = sched.Env
+	// Policy is a scheduling policy (SCHED_NORMAL, SCHED_HPC, ...).
+	Policy = sched.Policy
+	// HPCClass is the paper's scheduling class.
+	HPCClass = core.HPCClass
+	// HPCConfig assembles an HPC class.
+	HPCConfig = core.Config
+	// HPCParams are the sysfs-tunable heuristic parameters.
+	HPCParams = core.Params
+	// Heuristic chooses hardware priorities from iteration statistics.
+	Heuristic = core.Heuristic
+	// Mechanism applies hardware priorities (architecture-dependent).
+	Mechanism = core.Mechanism
+	// World is a simulated MPI job.
+	World = mpi.World
+	// Rank is one MPI process.
+	Rank = mpi.Rank
+	// Recorder captures scheduling traces.
+	Recorder = trace.Recorder
+	// RenderOptions controls ASCII trace rendering.
+	RenderOptions = trace.RenderOptions
+	// TaskSummary is one row of the per-process report.
+	TaskSummary = metrics.TaskSummary
+	// NoiseConfig describes injected OS background activity.
+	NoiseConfig = noise.Config
+	// ExperimentConfig is one experiment run of the harness.
+	ExperimentConfig = experiments.Config
+	// ExperimentResult carries an experiment's measurements.
+	ExperimentResult = experiments.Result
+	// TableResult is a reproduced paper table.
+	TableResult = experiments.TableResult
+	// Mode selects the scheduler configuration of an experiment.
+	Mode = experiments.Mode
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Scheduling policies.
+const (
+	PolicyNormal = sched.PolicyNormal
+	PolicyBatch  = sched.PolicyBatch
+	PolicyFIFO   = sched.PolicyFIFO
+	PolicyRR     = sched.PolicyRR
+	PolicyHPC    = sched.PolicyHPC
+	PolicyIdle   = sched.PolicyIdle
+)
+
+// Hardware thread priorities (Table II of the paper).
+const (
+	PrioThreadOff  = power5.PrioThreadOff
+	PrioVeryLow    = power5.PrioVeryLow
+	PrioLow        = power5.PrioLow
+	PrioMediumLow  = power5.PrioMediumLow
+	PrioMedium     = power5.PrioMedium
+	PrioMediumHigh = power5.PrioMediumHigh
+	PrioHigh       = power5.PrioHigh
+	PrioVeryHigh   = power5.PrioVeryHigh
+)
+
+// Experiment modes (the rows of the paper's tables).
+const (
+	ModeBaseline = experiments.ModeBaseline
+	ModeStatic   = experiments.ModeStatic
+	ModeUniform  = experiments.ModeUniform
+	ModeAdaptive = experiments.ModeAdaptive
+	ModeHybrid   = experiments.ModeHybrid
+	ModeHPCOnly  = experiments.ModeHPCOnly
+)
+
+// MachineConfig configures a simulated machine.
+type MachineConfig struct {
+	// Seed drives every random decision; equal seeds → identical runs.
+	Seed uint64
+	// Cores is the number of dual-context cores (default 2: the paper's
+	// machine).
+	Cores int
+	// Perf overrides the chip performance model (nil → calibrated).
+	Perf PerfModel
+	// Kernel overrides the scheduler options (zero value → 2.6.24-like
+	// defaults).
+	Kernel sched.Options
+	// Noise configures OS background activity (nil → light default;
+	// use &hpcsched.SilentNoise for none).
+	Noise *NoiseConfig
+	// HPC, when non-nil, installs the HPC scheduling class.
+	HPC *HPCConfig
+	// Tracer records scheduling events when non-nil.
+	Tracer *Recorder
+}
+
+// SilentNoise disables background daemons.
+var SilentNoise = noise.Silent()
+
+// Machine is an assembled simulation: chip + kernel (+ optional HPC class
+// and noise), ready for workloads.
+type Machine struct {
+	Engine *Engine
+	Chip   *Chip
+	Kernel *Kernel
+	HPC    *HPCClass
+}
+
+// NewMachine builds a simulated machine.
+func NewMachine(cfg MachineConfig) *Machine {
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = 2
+	}
+	pm := cfg.Perf
+	if pm == nil {
+		pm = power5.NewCalibratedPerfModel()
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	chip := power5.NewChip(cores, pm)
+	kernel := sched.NewKernel(engine, chip, cfg.Kernel)
+	m := &Machine{Engine: engine, Chip: chip, Kernel: kernel}
+	if cfg.HPC != nil {
+		m.HPC = core.MustInstall(kernel, *cfg.HPC)
+	}
+	if cfg.Tracer != nil {
+		kernel.SetTracer(cfg.Tracer)
+	}
+	nz := noise.DefaultConfig()
+	if cfg.Noise != nil {
+		nz = *cfg.Noise
+	}
+	noise.Install(kernel, nz)
+	return m
+}
+
+// NewWorld creates an MPI world of the given size on the machine.
+func (m *Machine) NewWorld(size int) *World {
+	return mpi.NewWorld(m.Kernel, size, mpi.DefaultOptions())
+}
+
+// Run drives the simulation until every spawned (watched) task exits or
+// the horizon passes, then reaps background processes. It returns the
+// finish time.
+func (m *Machine) Run(horizon Time) Time {
+	end := m.Kernel.RunUntilWatchedExit(horizon)
+	m.Kernel.Shutdown()
+	return end
+}
+
+// Summaries reports per-task statistics for the given tasks at time end.
+func Summaries(tasks []*Task, end Time) []TaskSummary {
+	return metrics.Summarize(tasks, end)
+}
+
+// NewRecorder returns a trace recorder to pass in MachineConfig.Tracer.
+func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// DefaultHPCParams returns the paper's tunables (HIGH_UTIL=85, LOW_UTIL=65,
+// priorities [4,6], G=0.10/L=0.90).
+func DefaultHPCParams() HPCParams { return core.DefaultParams() }
+
+// Heuristics.
+var (
+	// Uniform is the paper's global-utilization heuristic.
+	Uniform Heuristic = core.UniformHeuristic{}
+	// Adaptive is the paper's last-iteration-weighted heuristic.
+	Adaptive Heuristic = core.AdaptiveHeuristic{}
+	// Hybrid is the future-work heuristic (§VI): Uniform while the
+	// application looks constant, Adaptive through phase changes.
+	Hybrid Heuristic = core.HybridHeuristic{}
+	// Fixed never changes priorities (policy-only ablation).
+	Fixed Heuristic = core.FixedHeuristic{}
+)
+
+// RunExperiment executes one configured experiment run.
+func RunExperiment(cfg ExperimentConfig) ExperimentResult { return experiments.Run(cfg) }
+
+// ReproduceTable regenerates one of the paper's tables
+// ("metbench" → Table III, "metbenchvar" → IV, "btmz" → V, "siesta" → VI).
+func ReproduceTable(workload string, seed uint64) TableResult {
+	return experiments.RunTable(workload, seed)
+}
+
+// Workloads lists the available workload names.
+func Workloads() []string { return workloads.Names() }

@@ -1,0 +1,138 @@
+package calibrate
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hpcsched/internal/power5"
+)
+
+func TestPaperAnchorsValues(t *testing.T) {
+	a := PaperAnchors()
+	if a.SmallUtil != 0.2534 {
+		t.Errorf("SmallUtil = %v", a.SmallUtil)
+	}
+	if math.Abs(a.StaticImprovement-0.133) > 0.001 {
+		t.Errorf("StaticImprovement = %v, want ≈0.133", a.StaticImprovement)
+	}
+	// Table IV: t = 8.18 s, t' = 7.09 s, t_rev ≈ 8.38 s → penalty ≈ +2.5%.
+	if a.ReversedPenalty < 0.01 || a.ReversedPenalty > 0.05 {
+		t.Errorf("ReversedPenalty = %v, want ≈0.025", a.ReversedPenalty)
+	}
+}
+
+func TestSolveMatchesShippedModel(t *testing.T) {
+	s, err := Solve(PaperAnchors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power5.NewCalibratedPerfModel()
+	close := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: solver %v vs shipped %v (tol %v)", name, got, want, tol)
+		}
+	}
+	close("SMTBase", s.SMTBase, m.SMTBase, 0.01)
+	close("Favoured2", s.Favoured2, m.Favoured[2], 0.005)
+	close("Unfavoured2", s.Unfavoured2, m.Unfavoured[2], 0.01)
+	close("IdleSibling", s.IdleSibling, m.IdleSibling, 0.012)
+	// The MetBench workload calibration follows too (hand-rounded in
+	// workloads.DefaultMetBench, hence the looser tolerance).
+	close("WorkRatio", s.WorkRatio, 2294.0/400.0, 0.15)
+	// Baseline exec: 30 iterations × t × S ≈ 81.78 s with S ≈ 0.40 s.
+	iter := s.IterFactor * 0.40
+	close("iteration seconds", iter, 81.78/30, 0.08)
+}
+
+func TestSolvedModelValidates(t *testing.T) {
+	s, err := Solve(PaperAnchors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.BuildModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("built model invalid: %v", err)
+	}
+	// The anchor property survives the build: +2 reaches ≈P of max.
+	frac := (m.Favoured[2] - m.SMTBase) / (1 - m.SMTBase)
+	if math.Abs(frac-0.95) > 0.02 {
+		t.Errorf("+2 fraction = %v, want ≈0.95", frac)
+	}
+}
+
+// TestRoundTrip: plugging the solution back into the anchor equations
+// recovers the anchors.
+func TestRoundTrip(t *testing.T) {
+	a := PaperAnchors()
+	s, err := Solve(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, f, u, v, b, tt := s.SMTBase, s.Favoured2, s.Unfavoured2, s.IdleSibling, s.WorkRatio, s.IterFactor
+	// Anchor 1: q = (1/e)/t.
+	if q := (1 / e) / tt; math.Abs(q-a.SmallUtil) > 1e-9 {
+		t.Errorf("anchor 1 round trip: %v vs %v", q, a.SmallUtil)
+	}
+	// Anchor 1b: t = 1/e + (B-1)/v.
+	if got := 1/e + (b-1)/v; math.Abs(got-tt) > 1e-9 {
+		t.Errorf("iteration identity: %v vs %v", got, tt)
+	}
+	// Anchor 2: B/f = (1 - improvement)·t.
+	if got := b / f / tt; math.Abs(got-(1-a.StaticImprovement)) > 1e-9 {
+		t.Errorf("anchor 2 round trip: %v", got)
+	}
+	// Anchor 3: t_rev.
+	tRev := 1/f + (b-u/f)/v
+	if got := tRev/tt - 1; math.Abs(got-a.ReversedPenalty) > 1e-9 {
+		t.Errorf("anchor 3 round trip: %v vs %v", got, a.ReversedPenalty)
+	}
+	// Anchor 4.
+	if got := e + a.PlusTwoFraction*(1-e); math.Abs(got-f) > 1e-9 {
+		t.Errorf("anchor 4 round trip: %v vs %v", got, f)
+	}
+}
+
+// TestPropertySolverStable: perturbing the anchors inside a plausible
+// window keeps the solution physical (ordering and ranges hold).
+func TestPropertySolverStable(t *testing.T) {
+	f := func(dq, di, dr uint8) bool {
+		a := PaperAnchors()
+		a.SmallUtil += (float64(dq%21) - 10) / 400         // ±0.025
+		a.StaticImprovement += (float64(di%21) - 10) / 500 // ±0.02
+		a.ReversedPenalty += (float64(dr%21) - 10) / 1000  // ±0.01
+		s, err := Solve(a)
+		if err != nil {
+			return true // rejected as unphysical: acceptable
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRejectsGarbage(t *testing.T) {
+	for _, a := range []Anchors{
+		{SmallUtil: 0, StaticImprovement: 0.1, ReversedPenalty: 0.03, PlusTwoFraction: 0.95},
+		{SmallUtil: 0.25, StaticImprovement: 1.2, ReversedPenalty: 0.03, PlusTwoFraction: 0.95},
+		{SmallUtil: 0.25, StaticImprovement: 0.13, ReversedPenalty: 0.03, PlusTwoFraction: 0},
+	} {
+		if _, err := Solve(a); err == nil {
+			t.Errorf("anchors %+v accepted", a)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	a := PaperAnchors()
+	s, _ := Solve(a)
+	out := s.Describe(a)
+	for _, want := range []string{"0.2534", "SMT speed", "idle-sibling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe misses %q", want)
+		}
+	}
+}

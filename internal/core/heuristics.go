@@ -1,0 +1,115 @@
+package core
+
+import "hpcsched/internal/power5"
+
+// Heuristic chooses the hardware priority a task should use for its next
+// iteration, given the detector's statistics. Implementations must be pure
+// (all state lives in LIDState) so that a single heuristic value can serve
+// every task of the class.
+type Heuristic interface {
+	// Name identifies the heuristic in reports ("uniform", "adaptive").
+	Name() string
+	// Next returns the priority for the next iteration. It may update
+	// s.Score. cur is the task's current hardware priority.
+	Next(s *LIDState, cur power5.Priority, p Params) power5.Priority
+}
+
+// step moves the priority one level towards the utilization verdict:
+// compute-bound tasks rise, waiting tasks fall, the medium band holds. The
+// single-level step plus the [LOW_UTIL, HIGH_UTIL] hysteresis band is what
+// keeps the scheduler from oscillating between two solutions (§IV-B).
+func step(score float64, cur power5.Priority, p Params) power5.Priority {
+	switch {
+	case score >= p.HighUtil:
+		return p.clampPrio(cur + 1)
+	case score <= p.LowUtil:
+		return p.clampPrio(cur - 1)
+	default:
+		return p.clampPrio(cur)
+	}
+}
+
+// UniformHeuristic is the paper's Uniform prioritization: it acts on the
+// global utilization ratio U = ΣtR/Σti. Cheap and stable for applications
+// with constant behaviour; slow to react when behaviour changes late in a
+// long run, because one iteration barely moves the global ratio.
+type UniformHeuristic struct{}
+
+// Name implements Heuristic.
+func (UniformHeuristic) Name() string { return "uniform" }
+
+// Next implements Heuristic.
+func (UniformHeuristic) Next(s *LIDState, cur power5.Priority, p Params) power5.Priority {
+	s.Score = s.GlobalUtil
+	return step(s.Score, cur, p)
+}
+
+// AdaptiveHeuristic is the paper's Adaptive prioritization: the decision
+// utilization is U(i) = G*Ug(i-1) + L*Ul(i), weighting the last iteration
+// heavily (defaults G=0.10, L=0.90). It follows phase changes within two
+// iterations but can over-react to one noisy iteration — and then corrects
+// itself the next one, as in Figures 3(d)/4(d).
+type AdaptiveHeuristic struct{}
+
+// Name implements Heuristic.
+func (AdaptiveHeuristic) Name() string { return "adaptive" }
+
+// Next implements Heuristic.
+func (AdaptiveHeuristic) Next(s *LIDState, cur power5.Priority, p Params) power5.Priority {
+	// Ug(i-1): the global ratio *before* the just-closed iteration. The
+	// detector has already folded iteration i into the sums, so recover
+	// the previous ratio from the stored aggregates.
+	prevRun := s.SumRun - s.LastRun
+	prevIter := s.SumIter - s.LastIter
+	prevGlobal := s.LastUtil // first iteration: fall back to Ul
+	if prevIter > 0 {
+		prevGlobal = 100 * float64(prevRun) / float64(prevIter)
+	}
+	s.Score = p.G*prevGlobal + p.L*s.LastUtil
+	return step(s.Score, cur, p)
+}
+
+// HybridHeuristic is the future-work heuristic the paper's §VI asks for:
+// one that behaves for both constant and dynamic applications. It watches
+// the dispersion of recent per-iteration utilizations: while the
+// application looks constant it scores like Uniform (global ratio);
+// when recent iterations diverge from the global trend it switches to the
+// Adaptive blend until the phases settle again.
+type HybridHeuristic struct {
+	// Divergence (percentage points) of |Ul - Ug| that flips the
+	// heuristic into adaptive mode. Default 15.
+	Divergence float64
+}
+
+// Name implements Heuristic.
+func (h HybridHeuristic) Name() string { return "hybrid" }
+
+// Next implements Heuristic.
+func (h HybridHeuristic) Next(s *LIDState, cur power5.Priority, p Params) power5.Priority {
+	div := h.Divergence
+	if div <= 0 {
+		div = 15
+	}
+	delta := s.LastUtil - s.GlobalUtil
+	if delta < 0 {
+		delta = -delta
+	}
+	if delta > div {
+		return AdaptiveHeuristic{}.Next(s, cur, p)
+	}
+	return UniformHeuristic{}.Next(s, cur, p)
+}
+
+// FixedHeuristic never changes priorities. Used for the latency-only
+// ablation: the application still enjoys the HPC class's placement and
+// responsiveness, but the balancing mechanism is inert.
+type FixedHeuristic struct{}
+
+// Name implements Heuristic.
+func (FixedHeuristic) Name() string { return "fixed" }
+
+// Next implements Heuristic.
+func (FixedHeuristic) Next(s *LIDState, cur power5.Priority, p Params) power5.Priority {
+	s.Score = s.GlobalUtil
+	return cur
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// LIDState is the per-task state of the Load Imbalance Detector: the
+// iteration model of the paper's Figure 2. A task alternates computing
+// phases (runnable) and waiting phases (sleeping); one iteration is
+// tR + tW, the detector closes it at wakeup time and hands the utilization
+// figures to the heuristic, which chooses the hardware priority applied
+// from the next dispatch on — "before the iteration i+1 starts".
+type LIDState struct {
+	// Iteration currently being accumulated.
+	iterStart    sim.Time // when the current iteration (compute phase) began
+	execAtStart  sim.Time // task SumExec at iteration start
+	sleepStart   sim.Time // when the wait phase began (compute phase end)
+	inWait       bool
+	pendingStart bool // true until the first compute phase begins
+
+	// Closed-iteration statistics.
+	Iterations int
+	SumRun     sim.Time // Σ tR
+	SumIter    sim.Time // Σ ti
+	LastRun    sim.Time // tR of the last closed iteration
+	LastIter   sim.Time // ti of the last closed iteration
+	LastUtil   float64  // Ul(i) in percent
+	GlobalUtil float64  // Ug(i) = ΣtR/Σti in percent
+
+	// Score is the utilization figure the heuristic last acted on.
+	Score float64
+
+	// Stable-state tracking (§IV-B): once the heuristic holds the
+	// priority on steady utilization, the task freezes; the detector then
+	// only watches for behaviour drift against the frozen reference.
+	Frozen   bool
+	refUtil  float64
+	refIter  sim.Time
+	prevUtil float64
+	prevHold bool
+	havePrev bool
+
+	// Freezes / Unfreezes count stable-state transitions.
+	Freezes   int
+	Unfreezes int
+
+	// Decisions is a bounded log of heuristic decisions (for tests,
+	// traces and the CLI's per-task report).
+	Decisions []Decision
+}
+
+// Decision records one heuristic invocation.
+type Decision struct {
+	At        sim.Time
+	Iteration int
+	LastUtil  float64
+	Global    float64
+	Score     float64
+	OldPrio   int
+	NewPrio   int
+}
+
+const maxDecisionLog = 4096
+
+// lidStateOf returns (allocating if needed) the detector state of t.
+func lidStateOf(t *sched.Task) *LIDState {
+	if s, ok := t.ClassData.(*LIDState); ok {
+		return s
+	}
+	s := &LIDState{pendingStart: true}
+	t.ClassData = s
+	return s
+}
+
+// StateOf exposes the detector state of a task (nil if the task never ran
+// under the HPC class).
+func StateOf(t *sched.Task) *LIDState {
+	s, _ := t.ClassData.(*LIDState)
+	return s
+}
+
+// beginTracking opens the first iteration window.
+func (s *LIDState) beginTracking(now sim.Time, sumExec sim.Time) {
+	if !s.pendingStart {
+		return
+	}
+	s.pendingStart = false
+	s.iterStart = now
+	s.execAtStart = sumExec
+}
+
+// onSleep marks the end of the compute phase.
+func (s *LIDState) onSleep(now sim.Time) {
+	if s.pendingStart || s.inWait {
+		return
+	}
+	s.inWait = true
+	s.sleepStart = now
+}
+
+// onWake closes the iteration if it qualifies and returns true when the
+// heuristic should run. minIter filters micro-iterations.
+func (s *LIDState) onWake(now sim.Time, sumExec sim.Time, minIter sim.Time) bool {
+	if s.pendingStart || !s.inWait {
+		return false
+	}
+	s.inWait = false
+	ti := now - s.iterStart
+	if ti < minIter {
+		// Too short to be a real iteration: keep accumulating into the
+		// current window (the wait is treated as part of the compute
+		// phase, as a kernel using a coarser tick would see it).
+		return false
+	}
+	tR := sumExec - s.execAtStart
+	if tR < 0 {
+		tR = 0
+	}
+	if tR > ti {
+		tR = ti
+	}
+	s.Iterations++
+	s.LastRun = tR
+	s.LastIter = ti
+	s.SumRun += tR
+	s.SumIter += ti
+	if ti > 0 {
+		s.LastUtil = 100 * float64(tR) / float64(ti)
+	}
+	if s.SumIter > 0 {
+		s.GlobalUtil = 100 * float64(s.SumRun) / float64(s.SumIter)
+	}
+	// Open the next iteration window.
+	s.iterStart = now
+	s.execAtStart = sumExec
+	return true
+}
+
+// logDecision appends to the bounded decision log.
+func (s *LIDState) logDecision(d Decision) {
+	if len(s.Decisions) < maxDecisionLog {
+		s.Decisions = append(s.Decisions, d)
+	}
+}
+
+// resetHistory discards the accumulated global statistics, seeding them
+// with the last iteration only. The detector calls it when the task's
+// priority changes or its behaviour shifts: the history gathered under the
+// old conditions no longer predicts the new ones, and keeping it is what
+// would make the Uniform heuristic unboundedly slow on phase changes.
+func (s *LIDState) resetHistory() {
+	s.SumRun = s.LastRun
+	s.SumIter = s.LastIter
+	if s.SumIter > 0 {
+		s.GlobalUtil = 100 * float64(s.SumRun) / float64(s.SumIter)
+	}
+}
+
+// stillStable reports whether the just-closed iteration matches the frozen
+// reference behaviour.
+func (s *LIDState) stillStable(utilBand, iterBand float64) bool {
+	du := s.LastUtil - s.refUtil
+	if du < 0 {
+		du = -du
+	}
+	if du > utilBand {
+		return false
+	}
+	if s.refIter > 0 && iterBand > 0 {
+		ratio := float64(s.LastIter)/float64(s.refIter) - 1
+		if ratio < 0 {
+			ratio = -ratio
+		}
+		if ratio > iterBand {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeFreeze enters the stable state after two consecutive holds with
+// steady utilization.
+func (s *LIDState) maybeFreeze(held bool, utilBand float64) {
+	if held && s.havePrev && s.prevHold {
+		du := s.LastUtil - s.prevUtil
+		if du < 0 {
+			du = -du
+		}
+		if du <= utilBand {
+			s.Frozen = true
+			s.refUtil = s.LastUtil
+			s.refIter = s.LastIter
+			s.Freezes++
+		}
+	}
+	s.prevUtil = s.LastUtil
+	s.prevHold = held
+	s.havePrev = true
+}

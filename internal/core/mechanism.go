@@ -1,0 +1,50 @@
+package core
+
+import (
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+)
+
+// Mechanism is the architecture-dependent component of HPCSched (§IV-C):
+// the code that actually applies a hardware priority to a task. The HPC
+// class itself is architecture-independent and "may eventually provide some
+// performance improvement" on machines without priority support (the class
+// position alone shortens scheduling latency); balancing requires a real
+// mechanism.
+type Mechanism interface {
+	// Name identifies the mechanism.
+	Name() string
+	// Apply records prio as the task's hardware priority and programs the
+	// context if the task is running.
+	Apply(k *sched.Kernel, t *sched.Task, prio power5.Priority)
+}
+
+// POWER5Mechanism drives the POWER5 hardware thread priority via the
+// kernel, which issues the supervisor-level or-nop (levels 1..6 reachable,
+// per Table II).
+type POWER5Mechanism struct{}
+
+// Name implements Mechanism.
+func (POWER5Mechanism) Name() string { return "power5" }
+
+// Apply implements Mechanism.
+func (POWER5Mechanism) Apply(k *sched.Kernel, t *sched.Task, prio power5.Priority) {
+	if !prio.Valid() {
+		panic("core: mechanism asked to apply invalid priority")
+	}
+	t.HWPrio = prio
+	k.ApplyHWPrio(t)
+}
+
+// NullMechanism ignores priority requests: the ablation configuration that
+// isolates the scheduling-policy contribution (class position, placement,
+// responsiveness) from the balancing contribution. This is how the paper
+// explains the SIESTA result: ~6% improvement "does not come from load
+// imbalance reduction but from the other components of our solution".
+type NullMechanism struct{}
+
+// Name implements Mechanism.
+func (NullMechanism) Name() string { return "null" }
+
+// Apply implements Mechanism.
+func (NullMechanism) Apply(k *sched.Kernel, t *sched.Task, prio power5.Priority) {}

@@ -1,0 +1,119 @@
+// Package core implements HPCSched, the paper's contribution: a scheduling
+// class for HPC (MPI) applications registered between the real-time and
+// fair classes of the Linux scheduler framework, composed of three mostly
+// independent parts —
+//
+//  1. the scheduling policy (SCHED_HPC, with FIFO and round-robin queue
+//     disciplines and per-domain workload balancing),
+//  2. the Load Imbalance Detector and heuristics (Uniform and Adaptive)
+//     that pick a hardware thread priority per task from its observed
+//     CPU utilization, and
+//  3. the architecture-dependent mechanism that applies the priority to
+//     the POWER5 context.
+package core
+
+import (
+	"fmt"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sim"
+)
+
+// Params are the run-time tunables of the Load Imbalance Detector, exposed
+// through the sysfs-like interface exactly as the paper describes
+// (HIGH_UTIL, LOW_UTIL, MIN_PRIO, MAX_PRIO, and the Adaptive weights).
+type Params struct {
+	// HighUtil and LowUtil (percent) bound the "medium utilization" band:
+	// above HighUtil a task is considered compute-bound (raise priority),
+	// below LowUtil it mostly waits (lower priority). Paper defaults: 85
+	// and 65. The band prevents oscillation between two solutions.
+	HighUtil float64
+	LowUtil  float64
+
+	// MinPrio/MaxPrio bound the explored hardware priorities. The paper
+	// uses [4,6]: differences beyond ±2 hurt the low-priority task
+	// disproportionately (§IV-B).
+	MinPrio power5.Priority
+	MaxPrio power5.Priority
+
+	// G and L weight the global and last-iteration utilization in the
+	// Adaptive heuristic: U(i) = G*Ug(i-1) + L*Ul(i), G+L=1. An aggressive
+	// setting (G=0.10, L=0.90 — the paper's choice) adapts within two
+	// iterations but may over-react to OS noise.
+	G float64
+	L float64
+
+	// MinIterTime filters out micro-iterations (very short sleep/wake
+	// cycles from fine-grained messaging) from the detector. 0 — the
+	// paper's behaviour — counts every wait as an iteration boundary.
+	MinIterTime sim.Time
+
+	// StableUtilBand and StableIterBand implement the paper's stable
+	// state (§IV-B): once the heuristic holds a task's priority with a
+	// steady per-iteration utilization, the detector freezes the task and
+	// only watches for behaviour changes — a drift of the iteration
+	// utilization beyond StableUtilBand percentage points, or of the
+	// iteration length beyond a StableIterBand fraction, unfreezes it.
+	// StableUtilBand = 0 disables freezing.
+	StableUtilBand float64
+	StableIterBand float64
+
+	// Timeslice is the round-robin quantum of the HPC run queue. With the
+	// expected one-task-per-CPU population it never expires.
+	Timeslice sim.Time
+}
+
+// DefaultParams returns the paper's experimental configuration.
+func DefaultParams() Params {
+	return Params{
+		HighUtil:       85,
+		LowUtil:        65,
+		MinPrio:        power5.PrioMedium, // 4
+		MaxPrio:        power5.PrioHigh,   // 6
+		G:              0.10,
+		L:              0.90,
+		Timeslice:      100 * sim.Millisecond,
+		StableUtilBand: 10,
+		StableIterBand: 0.25,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.HighUtil < p.LowUtil {
+		return fmt.Errorf("core: HIGH_UTIL %v < LOW_UTIL %v", p.HighUtil, p.LowUtil)
+	}
+	if p.HighUtil > 100 || p.LowUtil < 0 {
+		return fmt.Errorf("core: utilization bounds [%v,%v] outside [0,100]", p.LowUtil, p.HighUtil)
+	}
+	if !p.MinPrio.Valid() || !p.MaxPrio.Valid() || p.MinPrio > p.MaxPrio {
+		return fmt.Errorf("core: priority range [%v,%v] invalid", p.MinPrio, p.MaxPrio)
+	}
+	if p.MinPrio < power5.PrioVeryLow || p.MaxPrio > power5.PrioHigh {
+		return fmt.Errorf("core: priority range [%v,%v] outside the kernel-settable 1..6", p.MinPrio, p.MaxPrio)
+	}
+	if p.G < 0 || p.L < 0 || p.G+p.L < 0.999 || p.G+p.L > 1.001 {
+		return fmt.Errorf("core: adaptive weights G=%v L=%v must be non-negative with G+L=1", p.G, p.L)
+	}
+	if p.Timeslice <= 0 {
+		return fmt.Errorf("core: timeslice %v must be positive", p.Timeslice)
+	}
+	if p.MinIterTime < 0 {
+		return fmt.Errorf("core: MinIterTime %v must be non-negative", p.MinIterTime)
+	}
+	if p.StableUtilBand < 0 || p.StableIterBand < 0 {
+		return fmt.Errorf("core: stability bands must be non-negative")
+	}
+	return nil
+}
+
+// clampPrio bounds a priority to the explored range.
+func (p Params) clampPrio(x power5.Priority) power5.Priority {
+	if x < p.MinPrio {
+		return p.MinPrio
+	}
+	if x > p.MaxPrio {
+		return p.MaxPrio
+	}
+	return x
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// TestPropertyPrioritiesStayInRange: whatever the workload does, every
+// heuristic keeps hardware priorities inside [MinPrio, MaxPrio] and the
+// detector's utilizations inside [0, 100].
+func TestPropertyPrioritiesStayInRange(t *testing.T) {
+	f := func(seed uint64, hsel uint8, lo, hi uint8) bool {
+		p := DefaultParams()
+		// Ranges always bracket the default priority 4 (tasks start
+		// there; a range excluding it is a misconfiguration the Fixed
+		// heuristic deliberately never corrects).
+		p.MinPrio = power5.Priority(int(lo)%3 + 2) // 2..4
+		p.MaxPrio = power5.Priority(int(hi)%3 + 4) // 4..6
+		var h Heuristic
+		switch hsel % 4 {
+		case 0:
+			h = UniformHeuristic{}
+		case 1:
+			h = AdaptiveHeuristic{}
+		case 2:
+			h = HybridHeuristic{}
+		default:
+			h = FixedHeuristic{}
+		}
+		e := sim.NewEngine(seed)
+		chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+		k := sched.NewKernel(e, chip, sched.DefaultOptions())
+		if _, err := Install(k, Config{Heuristic: h, Params: p}); err != nil {
+			return true // invalid random range combination; skip
+		}
+		rng := sim.NewRNG(seed ^ 0x55)
+		var tasks []*sched.Task
+		for i := 0; i < 4; i++ {
+			task := k.AddProcess(sched.TaskSpec{Name: "r", Policy: sched.PolicyHPC},
+				func(env *sched.Env) {
+					for it := 0; it < 8; it++ {
+						env.Compute(sim.Time(rng.Int63n(int64(10*sim.Millisecond)) + 1))
+						env.Sleep(sim.Time(rng.Int63n(int64(10*sim.Millisecond)) + 1))
+					}
+				})
+			k.Watch(task)
+			tasks = append(tasks, task)
+		}
+		k.RunUntilWatchedExit(30 * sim.Second)
+		ok := true
+		for _, task := range tasks {
+			if task.HWPrio < p.MinPrio || task.HWPrio > p.MaxPrio {
+				ok = false
+			}
+			if s := StateOf(task); s != nil {
+				if s.GlobalUtil < 0 || s.GlobalUtil > 100.0001 ||
+					s.LastUtil < 0 || s.LastUtil > 100.0001 {
+					ok = false
+				}
+				for _, d := range s.Decisions {
+					if d.NewPrio < int(p.MinPrio) || d.NewPrio > int(p.MaxPrio) {
+						ok = false
+					}
+				}
+			}
+		}
+		k.Shutdown()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathologicalThresholds: an inverted-looking band (low == high) and
+// extreme aggressive weights must not wedge or crash the scheduler.
+func TestPathologicalThresholds(t *testing.T) {
+	p := DefaultParams()
+	p.LowUtil, p.HighUtil = 50, 50 // zero-width medium band: always moving
+	p.G, p.L = 0, 1
+	k, c := newHPCKernel(t, Config{Heuristic: AdaptiveHeuristic{}, Params: p})
+	task := iterTask(k, "osc", 0, 20, 5*sim.Millisecond, 5*sim.Millisecond)
+	end := k.RunUntilWatchedExit(10 * sim.Second)
+	if end >= 10*sim.Second || !task.Exited() {
+		t.Fatal("zero-width band wedged the scheduler")
+	}
+	if c.Changes == 0 {
+		t.Fatal("expected constant priority churn with a zero-width band")
+	}
+}
+
+// TestFrozenTaskUnfreezesOnIterationLengthDrift: behaviour change can show
+// up as iteration-time drift alone (same utilization ratio), and the
+// stable state must still break.
+func TestFrozenTaskUnfreezesOnIterationLengthDrift(t *testing.T) {
+	k, _ := newHPCKernel(t, Config{Heuristic: UniformHeuristic{}})
+	task := k.AddProcess(sched.TaskSpec{Name: "d", Policy: sched.PolicyHPC, Affinity: 1},
+		func(env *sched.Env) {
+			for i := 0; i < 6; i++ { // steady: 9ms/1ms → util 90, freeze
+				env.Compute(9 * sim.Millisecond)
+				env.Sleep(sim.Millisecond)
+			}
+			for i := 0; i < 4; i++ { // same ratio, 10x the scale
+				env.Compute(90 * sim.Millisecond)
+				env.Sleep(10 * sim.Millisecond)
+			}
+		})
+	k.Watch(task)
+	k.RunUntilWatchedExit(10 * sim.Second)
+	s := StateOf(task)
+	if s.Freezes == 0 {
+		t.Fatal("task never froze on the steady phase")
+	}
+	if s.Unfreezes == 0 {
+		t.Fatal("10x iteration-length drift did not unfreeze the task")
+	}
+}
+
+// TestDisciplineString covers the Stringer.
+func TestDisciplineString(t *testing.T) {
+	if DisciplineRR.String() != "RR" || DisciplineFIFO.String() != "FIFO" {
+		t.Fatal("discipline names wrong")
+	}
+}
+
+// TestHeuristicNames covers naming.
+func TestHeuristicNames(t *testing.T) {
+	for h, want := range map[Heuristic]string{
+		UniformHeuristic{}:  "uniform",
+		AdaptiveHeuristic{}: "adaptive",
+		HybridHeuristic{}:   "hybrid",
+		FixedHeuristic{}:    "fixed",
+	} {
+		if h.Name() != want {
+			t.Errorf("Name = %q, want %q", h.Name(), want)
+		}
+	}
+	if (POWER5Mechanism{}).Name() != "power5" || (NullMechanism{}).Name() != "null" {
+		t.Error("mechanism names wrong")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sim"
+)
+
+// Sysfs is the run-time tuning interface of the HPC scheduler, mirroring
+// the sysfs entries the paper exposes ("the heuristic can be tuned by the
+// user through specific entries in the sysfs filesystem"). Keys use the
+// paper's spelling where it gives one.
+type Sysfs struct {
+	class *HPCClass
+}
+
+// NewSysfs returns the tuning interface of c.
+func NewSysfs(c *HPCClass) *Sysfs { return &Sysfs{class: c} }
+
+// Keys lists the available entries in sorted order.
+func (s *Sysfs) Keys() []string {
+	ks := []string{
+		"high_util", "low_util", "min_prio", "max_prio",
+		"global_weight", "last_weight", "min_iter_us", "timeslice_ms",
+		"heuristic", "mechanism",
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Get reads an entry.
+func (s *Sysfs) Get(key string) (string, error) {
+	p := s.class.params
+	switch key {
+	case "high_util":
+		return fmt.Sprintf("%g", p.HighUtil), nil
+	case "low_util":
+		return fmt.Sprintf("%g", p.LowUtil), nil
+	case "min_prio":
+		return strconv.Itoa(int(p.MinPrio)), nil
+	case "max_prio":
+		return strconv.Itoa(int(p.MaxPrio)), nil
+	case "global_weight":
+		return fmt.Sprintf("%.6g", p.G), nil
+	case "last_weight":
+		return fmt.Sprintf("%.6g", p.L), nil
+	case "min_iter_us":
+		return strconv.FormatInt(int64(p.MinIterTime/sim.Microsecond), 10), nil
+	case "timeslice_ms":
+		return strconv.FormatInt(int64(p.Timeslice/sim.Millisecond), 10), nil
+	case "heuristic":
+		return s.class.heuristic.Name(), nil
+	case "mechanism":
+		return s.class.mechanism.Name(), nil
+	default:
+		return "", fmt.Errorf("sysfs: no entry %q", key)
+	}
+}
+
+// Set writes an entry. Numeric entries are validated as a whole parameter
+// set, so an invalid combination (e.g. high_util < low_util) is rejected.
+func (s *Sysfs) Set(key, value string) error {
+	p := s.class.params
+	parseF := func() (float64, error) { return strconv.ParseFloat(value, 64) }
+	parseI := func() (int64, error) { return strconv.ParseInt(value, 10, 64) }
+	switch key {
+	case "high_util":
+		v, err := parseF()
+		if err != nil {
+			return fmt.Errorf("sysfs: %s: %w", key, err)
+		}
+		p.HighUtil = v
+	case "low_util":
+		v, err := parseF()
+		if err != nil {
+			return fmt.Errorf("sysfs: %s: %w", key, err)
+		}
+		p.LowUtil = v
+	case "min_prio":
+		v, err := parseI()
+		if err != nil {
+			return fmt.Errorf("sysfs: %s: %w", key, err)
+		}
+		p.MinPrio = power5.Priority(v)
+	case "max_prio":
+		v, err := parseI()
+		if err != nil {
+			return fmt.Errorf("sysfs: %s: %w", key, err)
+		}
+		p.MaxPrio = power5.Priority(v)
+	case "global_weight":
+		v, err := parseF()
+		if err != nil {
+			return fmt.Errorf("sysfs: %s: %w", key, err)
+		}
+		p.G, p.L = v, 1-v
+	case "last_weight":
+		v, err := parseF()
+		if err != nil {
+			return fmt.Errorf("sysfs: %s: %w", key, err)
+		}
+		p.L, p.G = v, 1-v
+	case "min_iter_us":
+		v, err := parseI()
+		if err != nil {
+			return fmt.Errorf("sysfs: %s: %w", key, err)
+		}
+		p.MinIterTime = sim.Time(v) * sim.Microsecond
+	case "timeslice_ms":
+		v, err := parseI()
+		if err != nil {
+			return fmt.Errorf("sysfs: %s: %w", key, err)
+		}
+		p.Timeslice = sim.Time(v) * sim.Millisecond
+	case "heuristic":
+		switch value {
+		case "uniform":
+			s.class.heuristic = UniformHeuristic{}
+		case "adaptive":
+			s.class.heuristic = AdaptiveHeuristic{}
+		case "hybrid":
+			s.class.heuristic = HybridHeuristic{}
+		case "fixed":
+			s.class.heuristic = FixedHeuristic{}
+		default:
+			return fmt.Errorf("sysfs: unknown heuristic %q", value)
+		}
+		return nil
+	case "mechanism":
+		switch value {
+		case "power5":
+			s.class.mechanism = POWER5Mechanism{}
+		case "null":
+			s.class.mechanism = NullMechanism{}
+		default:
+			return fmt.Errorf("sysfs: unknown mechanism %q", value)
+		}
+		return nil
+	default:
+		return fmt.Errorf("sysfs: no entry %q", key)
+	}
+	return s.class.SetParams(p)
+}

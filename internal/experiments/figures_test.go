@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hpcsched/internal/trace"
+)
+
+func traceOf(r Result, name string) *trace.TaskTrace {
+	for _, tt := range r.Recorder.Traces() {
+		if tt.Name == name {
+			return tt
+		}
+	}
+	return nil
+}
+
+// TestFigure5Semantics: the BT-MZ traces show the paper's Figure 5
+// structure — P4 nearly always dark, P1's compute share multiplying under
+// the dynamic prioritization.
+func TestFigure5Semantics(t *testing.T) {
+	base := Run(Config{Workload: "btmz", Mode: ModeBaseline, Seed: 42, Trace: true})
+	uni := Run(Config{Workload: "btmz", Mode: ModeUniform, Seed: 42, Trace: true})
+	p4base := traceOf(base, "P4").CompPct(0, base.ExecTime)
+	if p4base < 95 {
+		t.Errorf("baseline P4 trace comp%% = %.1f, want ≥95", p4base)
+	}
+	p1base := traceOf(base, "P1").CompPct(0, base.ExecTime)
+	p1uni := traceOf(uni, "P1").CompPct(0, uni.ExecTime)
+	if p1uni < 2*p1base {
+		t.Errorf("P1 comp%% %.1f → %.1f: the unfavoured-crush signature is missing",
+			p1base, p1uni)
+	}
+	// The per-CPU view shows P1 and P4 sharing core 0.
+	out := uni.Recorder.RenderByCPU(trace.RenderOptions{Width: 60})
+	if !strings.Contains(out, "cpu0/c0") || !strings.Contains(out, "cpu1/c0") {
+		t.Fatalf("per-CPU view malformed:\n%s", out)
+	}
+}
+
+// TestFigure6Semantics: the SIESTA traces show P1 almost fully dark and
+// the workers wait-dominated, in both schedulers.
+func TestFigure6Semantics(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeUniform} {
+		r := Run(Config{Workload: "siesta", Mode: mode, Seed: 42, Trace: true})
+		if got := traceOf(r, "P1").CompPct(0, r.ExecTime); got < 95 {
+			t.Errorf("%v: P1 trace comp%% = %.1f, want ≥95", mode, got)
+		}
+		for _, name := range []string{"P3", "P4"} {
+			if got := traceOf(r, name).CompPct(0, r.ExecTime); got > 50 {
+				t.Errorf("%v: %s trace comp%% = %.1f, want wait-dominated", mode, name, got)
+			}
+		}
+	}
+}
+
+// TestTraceRecordsMatchAccounting: the recorder's per-task compute share
+// agrees with the kernel's own accounting (two independent measurement
+// paths).
+func TestTraceRecordsMatchAccounting(t *testing.T) {
+	r := Run(Config{Workload: "metbench", Mode: ModeUniform, Seed: 42, Trace: true})
+	for i, s := range r.Summaries {
+		if s.Name == "M" {
+			continue // the recorder's filter keeps only P* ranks
+		}
+		var tt *trace.TaskTrace
+		for _, cand := range r.Recorder.Traces() {
+			if cand.Name == s.Name {
+				tt = cand
+			}
+		}
+		if tt == nil {
+			t.Fatalf("no trace for %s", s.Name)
+		}
+		fromTrace := tt.CompPct(0, r.ExecTime)
+		if d := fromTrace - s.CompPct; d > 1.5 || d < -1.5 {
+			t.Errorf("task %d (%s): trace %.2f%% vs accounting %.2f%%",
+				i, s.Name, fromTrace, s.CompPct)
+		}
+	}
+}

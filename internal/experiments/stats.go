@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hpcsched/internal/metrics"
+)
+
+// ModeStats aggregates one scheduler mode over several seeds: the
+// replication discipline the paper's single-machine numbers lack.
+type ModeStats struct {
+	Mode      Mode
+	Runs      int
+	MeanExecS float64
+	StdExecS  float64
+	// MeanImp/StdImp are the improvement percentages versus the
+	// same-seed baseline runs.
+	MeanImp float64
+	StdImp  float64
+}
+
+// TableStats is a multi-seed reproduction of one table.
+type TableStats struct {
+	Workload string
+	Seeds    []uint64
+	Stats    []ModeStats
+}
+
+// RunTableStats reproduces the workload's table once per seed and
+// aggregates.
+func RunTableStats(workload string, seeds []uint64) TableStats {
+	ts := TableStats{Workload: workload, Seeds: seeds}
+	modes := TableModes(workload)
+	execs := make(map[Mode][]float64, len(modes))
+	imps := make(map[Mode][]float64, len(modes))
+	for _, seed := range seeds {
+		tr := RunTable(workload, seed)
+		base := tr.Baseline().ExecTime
+		for _, r := range tr.Rows {
+			m := r.Config.Mode
+			execs[m] = append(execs[m], r.ExecTime.Seconds())
+			imps[m] = append(imps[m], 100*metrics.Improvement(base, r.ExecTime))
+		}
+	}
+	for _, m := range modes {
+		me, se := meanStd(execs[m])
+		mi, si := meanStd(imps[m])
+		ts.Stats = append(ts.Stats, ModeStats{
+			Mode: m, Runs: len(execs[m]),
+			MeanExecS: me, StdExecS: se,
+			MeanImp: mi, StdImp: si,
+		})
+	}
+	return ts
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}
+
+// Format renders the aggregate table.
+func (ts TableStats) Format() string {
+	rows := make([][]string, 0, len(ts.Stats))
+	for _, s := range ts.Stats {
+		imp := "—"
+		if s.Mode != ModeBaseline {
+			imp = fmt.Sprintf("%+.1f%% ± %.1f", s.MeanImp, s.StdImp)
+		}
+		rows = append(rows, []string{
+			s.Mode.String(),
+			fmt.Sprintf("%.2fs ± %.2f", s.MeanExecS, s.StdExecS),
+			imp,
+		})
+	}
+	return fmt.Sprintf("%s over %d seeds\n%s", ts.Workload, len(ts.Seeds),
+		metrics.Table([]string{"Test", "Exec. Time", "vs base"}, rows))
+}
+
+// DefaultSeeds returns n deterministic replication seeds.
+func DefaultSeeds(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = 42 + uint64(i)*1001
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTableStats(t *testing.T) {
+	ts := RunTableStats("metbench", DefaultSeeds(3))
+	if len(ts.Stats) != 4 {
+		t.Fatalf("stats rows = %d", len(ts.Stats))
+	}
+	for _, s := range ts.Stats {
+		if s.Runs != 3 {
+			t.Errorf("%v runs = %d", s.Mode, s.Runs)
+		}
+		if s.MeanExecS <= 0 {
+			t.Errorf("%v mean exec %v", s.Mode, s.MeanExecS)
+		}
+	}
+	// The headline improvement is robust across seeds: uniform mean
+	// within the validated band, with a small spread.
+	for _, s := range ts.Stats {
+		if s.Mode == ModeUniform {
+			if s.MeanImp < 9 || s.MeanImp > 18 {
+				t.Errorf("uniform mean improvement = %v", s.MeanImp)
+			}
+			if s.StdImp > 4 {
+				t.Errorf("uniform improvement spread = %v, want small", s.StdImp)
+			}
+		}
+	}
+	out := ts.Format()
+	if !strings.Contains(out, "±") || !strings.Contains(out, "3 seeds") {
+		t.Fatalf("format wrong:\n%s", out)
+	}
+}
+
+func TestDefaultSeeds(t *testing.T) {
+	s := DefaultSeeds(5)
+	if len(s) != 5 || s[0] != 42 {
+		t.Fatalf("seeds = %v", s)
+	}
+	seen := map[uint64]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatal("duplicate seed")
+		}
+		seen[v] = true
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Fatalf("meanStd = %v, %v; want 5, 2", m, s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty meanStd should be zero")
+	}
+}

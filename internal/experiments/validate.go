@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hpcsched/internal/metrics"
+)
+
+// PaperRow is one row of a published evaluation table.
+type PaperRow struct {
+	Mode  Mode
+	ExecS float64
+	// Comp are the per-process "% Comp" columns (P1..P4; the master is
+	// not reported by the paper).
+	Comp []float64
+}
+
+// PaperTable is one published table.
+type PaperTable struct {
+	Workload string
+	Label    string
+	Rows     []PaperRow
+}
+
+// PaperTables returns the paper's Tables III-VI verbatim.
+func PaperTables() []PaperTable {
+	return []PaperTable{
+		{
+			Workload: "metbench", Label: "Table III",
+			Rows: []PaperRow{
+				{ModeBaseline, 81.78, []float64{25.34, 99.98, 25.32, 99.97}},
+				{ModeStatic, 70.90, []float64{99.97, 99.64, 99.95, 99.64}},
+				{ModeUniform, 71.74, []float64{96.17, 98.57, 90.94, 99.57}},
+				{ModeAdaptive, 71.65, []float64{80.64, 99.52, 87.52, 99.20}},
+			},
+		},
+		{
+			Workload: "metbenchvar", Label: "Table IV",
+			Rows: []PaperRow{
+				{ModeBaseline, 368.17, []float64{50.24, 75.09, 50.22, 75.08}},
+				{ModeStatic, 338.40, []float64{99.97, 68.06, 99.94, 68.04}},
+				{ModeUniform, 327.17, []float64{91.47, 95.55, 91.44, 95.33}},
+				{ModeAdaptive, 326.41, []float64{89.61, 93.08, 89.99, 95.15}},
+			},
+		},
+		{
+			Workload: "btmz", Label: "Table V",
+			Rows: []PaperRow{
+				{ModeBaseline, 94.97, []float64{17.63, 29.85, 66.09, 99.85}},
+				{ModeStatic, 79.63, []float64{70.64, 42.22, 60.96, 99.85}},
+				{ModeUniform, 79.81, []float64{70.31, 37.18, 65.29, 99.85}},
+				{ModeAdaptive, 79.92, []float64{70.31, 37.30, 65.30, 99.83}},
+			},
+		},
+		{
+			Workload: "siesta", Label: "Table VI",
+			Rows: []PaperRow{
+				{ModeBaseline, 81.49, []float64{98.90, 52.79, 28.45, 19.99}},
+				{ModeUniform, 76.82, []float64{98.81, 53.38, 31.41, 21.68}},
+				{ModeAdaptive, 76.91, []float64{98.81, 53.40, 31.47, 21.71}},
+			},
+		},
+	}
+}
+
+// Check is one paper-vs-measured comparison.
+type Check struct {
+	Name      string
+	Paper     float64
+	Measured  float64
+	Tolerance float64 // absolute
+	Pass      bool
+}
+
+// Tolerances for the shape comparison. The substrate is a simulator, so
+// these are deliberately generous on absolute numbers and tighter on the
+// relative improvements that carry the paper's claims.
+const (
+	tolExecFrac    = 0.10 // baseline absolute exec time: ±10%
+	tolImprovement = 6.0  // improvement percentage points: ±6
+	tolComp        = 16.0 // per-process %Comp: ±16 points
+)
+
+// Validate reproduces every table and compares it to the published
+// values.
+func Validate(seed uint64) []Check {
+	var out []Check
+	for _, pt := range PaperTables() {
+		tr := RunTable(pt.Workload, seed)
+		byMode := map[Mode]Result{}
+		for _, r := range tr.Rows {
+			byMode[r.Config.Mode] = r
+		}
+		paperBase := pt.Rows[0].ExecS
+		measBase := byMode[ModeBaseline].ExecTime.Seconds()
+		out = append(out, Check{
+			Name:      fmt.Sprintf("%s baseline exec (s)", pt.Label),
+			Paper:     paperBase,
+			Measured:  measBase,
+			Tolerance: tolExecFrac * paperBase,
+			Pass:      math.Abs(measBase-paperBase) <= tolExecFrac*paperBase,
+		})
+		for _, row := range pt.Rows[1:] {
+			r, ok := byMode[row.Mode]
+			if !ok {
+				continue
+			}
+			paperImp := 100 * (1 - row.ExecS/paperBase)
+			measImp := 100 * metrics.Improvement(byMode[ModeBaseline].ExecTime, r.ExecTime)
+			out = append(out, Check{
+				Name:      fmt.Sprintf("%s %s improvement (%%)", pt.Label, row.Mode),
+				Paper:     paperImp,
+				Measured:  measImp,
+				Tolerance: tolImprovement,
+				Pass:      math.Abs(measImp-paperImp) <= tolImprovement,
+			})
+		}
+		for _, row := range pt.Rows {
+			r, ok := byMode[row.Mode]
+			if !ok {
+				continue
+			}
+			for i, paperComp := range row.Comp {
+				if i >= len(r.Summaries) {
+					break
+				}
+				meas := r.Summaries[i].CompPct
+				out = append(out, Check{
+					Name:      fmt.Sprintf("%s %s P%d %%Comp", pt.Label, row.Mode, i+1),
+					Paper:     paperComp,
+					Measured:  meas,
+					Tolerance: tolComp,
+					Pass:      math.Abs(meas-paperComp) <= tolComp,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FormatValidation renders the checks with a pass/fail verdict.
+func FormatValidation(checks []Check) string {
+	var rows [][]string
+	passed := 0
+	for _, c := range checks {
+		verdict := "PASS"
+		if c.Pass {
+			passed++
+		} else {
+			verdict = "FAIL"
+		}
+		rows = append(rows, []string{
+			c.Name,
+			fmt.Sprintf("%.2f", c.Paper),
+			fmt.Sprintf("%.2f", c.Measured),
+			fmt.Sprintf("±%.2f", c.Tolerance),
+			verdict,
+		})
+	}
+	var b strings.Builder
+	b.WriteString(metrics.Table([]string{"Check", "Paper", "Measured", "Tol", "Verdict"}, rows))
+	fmt.Fprintf(&b, "\n%d/%d checks passed\n", passed, len(checks))
+	return b.String()
+}
+
+// ValidationPassRate returns the fraction of checks passing.
+func ValidationPassRate(checks []Check) float64 {
+	if len(checks) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range checks {
+		if c.Pass {
+			n++
+		}
+	}
+	return float64(n) / float64(len(checks))
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidationAgainstPaper runs the full paper-vs-measured comparison.
+// The reproduction is accepted when the overwhelming majority of checks
+// pass and every *baseline* check (the calibration targets) passes; the
+// known deviations (BT-MZ improvement magnitude, MetBench Adaptive
+// oscillation depth) are documented in EXPERIMENTS.md.
+func TestValidationAgainstPaper(t *testing.T) {
+	checks := Validate(42)
+	if len(checks) < 50 {
+		t.Fatalf("only %d checks generated", len(checks))
+	}
+	var failed []string
+	for _, c := range checks {
+		if !c.Pass {
+			failed = append(failed, c.Name)
+		}
+		// Baselines are calibration targets and must always hold.
+		if strings.Contains(c.Name, "Baseline") && !c.Pass {
+			t.Errorf("baseline check failed: %s (paper %.2f, measured %.2f)",
+				c.Name, c.Paper, c.Measured)
+		}
+	}
+	rate := ValidationPassRate(checks)
+	if rate < 0.85 {
+		t.Fatalf("validation pass rate %.0f%% (<85%%); failing: %v", 100*rate, failed)
+	}
+	t.Logf("validation: %.0f%% of %d checks pass; open deviations: %v",
+		100*rate, len(checks), failed)
+}
+
+func TestFormatValidation(t *testing.T) {
+	checks := []Check{
+		{Name: "x", Paper: 1, Measured: 1.1, Tolerance: 0.2, Pass: true},
+		{Name: "y", Paper: 1, Measured: 2, Tolerance: 0.2, Pass: false},
+	}
+	out := FormatValidation(checks)
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "FAIL") ||
+		!strings.Contains(out, "1/2 checks passed") {
+		t.Fatalf("format wrong:\n%s", out)
+	}
+}
+
+func TestPaperTablesShape(t *testing.T) {
+	pts := PaperTables()
+	if len(pts) != 4 {
+		t.Fatalf("tables = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Rows[0].Mode != ModeBaseline {
+			t.Errorf("%s first row is not baseline", pt.Label)
+		}
+		for _, r := range pt.Rows {
+			if len(r.Comp) != 4 || r.ExecS <= 0 {
+				t.Errorf("%s row %v malformed", pt.Label, r.Mode)
+			}
+		}
+	}
+	if len(pts[3].Rows) != 3 {
+		t.Error("Table VI must have no Static row")
+	}
+}

@@ -1,0 +1,262 @@
+// Package gang implements the paper's future-work extension (§VI): the
+// cluster level of load balancing. Modern supercomputers consist of
+// thousands of nodes; HPCSched balances tasks *within* a node, so "there
+// is another level of load balancing which consists of assigning the
+// correct group of tasks to each node (gang scheduling) considering that
+// the local scheduler is able to dynamically assign more or less hardware
+// resource to each task."
+//
+// A Cluster is a set of simulated nodes — each a POWER5 chip with its own
+// kernel, optional HPC class and OS noise — sharing one discrete-event
+// engine so a single virtual clock spans the machine. Placers assign MPI
+// ranks to nodes from their expected load weights; within each node the
+// per-node HPCSched instance does the fine-grained balancing.
+package gang
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcsched/internal/core"
+	"hpcsched/internal/mpi"
+	"hpcsched/internal/noise"
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is the number of nodes (default 2).
+	Nodes int
+	// CoresPerNode is the number of dual-context cores per node
+	// (default 2: each node is the paper's machine).
+	CoresPerNode int
+	// Seed drives all randomness.
+	Seed uint64
+	// HPC, when non-nil, installs an HPC class on every node.
+	HPC *core.Config
+	// Noise configures per-node background daemons (nil → default).
+	Noise *noise.Config
+	// KernelOpts configures every node's kernel.
+	KernelOpts sched.Options
+	// Perf builds a performance model per node (nil → calibrated).
+	Perf func(node int) power5.PerfModel
+}
+
+// Node is one machine of the cluster.
+type Node struct {
+	ID     int
+	Chip   *power5.Chip
+	Kernel *sched.Kernel
+	HPC    *core.HPCClass
+}
+
+// CPUs returns the number of OS CPUs on the node.
+func (n *Node) CPUs() int { return n.Chip.NumCPUs() }
+
+// Cluster is a set of nodes on one virtual clock.
+type Cluster struct {
+	Engine *sim.Engine
+	Nodes  []*Node
+
+	watchLeft int
+}
+
+// NewCluster builds the cluster.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.CoresPerNode <= 0 {
+		cfg.CoresPerNode = 2
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	c := &Cluster{Engine: engine}
+	for i := 0; i < cfg.Nodes; i++ {
+		var pm power5.PerfModel
+		if cfg.Perf != nil {
+			pm = cfg.Perf(i)
+		}
+		if pm == nil {
+			pm = power5.NewCalibratedPerfModel()
+		}
+		chip := power5.NewChip(cfg.CoresPerNode, pm)
+		kernel := sched.NewKernel(engine, chip, cfg.KernelOpts)
+		n := &Node{ID: i, Chip: chip, Kernel: kernel}
+		if cfg.HPC != nil {
+			n.HPC = core.MustInstall(kernel, *cfg.HPC)
+		}
+		nz := noise.DefaultConfig()
+		if cfg.Noise != nil {
+			nz = *cfg.Noise
+		}
+		noise.Install(kernel, nz)
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// TotalCPUs returns the number of CPUs across the cluster.
+func (c *Cluster) TotalCPUs() int {
+	n := 0
+	for _, node := range c.Nodes {
+		n += node.CPUs()
+	}
+	return n
+}
+
+// NewWorld creates an MPI world spanning the cluster. Spawn ranks with
+// SpawnRank so completion tracking and node accounting work.
+func (c *Cluster) NewWorld(size int, opts mpi.Options) *mpi.World {
+	return mpi.NewWorld(c.Nodes[0].Kernel, size, opts)
+}
+
+// SpawnRank places rank i of w on the given node. The policy should be
+// PolicyHPC when the cluster has HPC classes installed.
+func (c *Cluster) SpawnRank(w *mpi.World, i, node int, spec sched.TaskSpec,
+	body func(*mpi.Rank)) *sched.Task {
+	if node < 0 || node >= len(c.Nodes) {
+		panic(fmt.Sprintf("gang: node %d out of range", node))
+	}
+	n := c.Nodes[node]
+	task := w.SpawnAt(i, n.Kernel, node, spec, body)
+	c.watchLeft++
+	prev := n.Kernel.OnTaskExit
+	n.Kernel.OnTaskExit = func(t *sched.Task) {
+		if prev != nil {
+			prev(t)
+		}
+		if t == task {
+			c.watchLeft--
+			if c.watchLeft == 0 {
+				c.Engine.Stop()
+			}
+		}
+	}
+	return task
+}
+
+// Run drives the cluster until every spawned rank exits or the horizon
+// passes, then reaps all nodes' background processes.
+func (c *Cluster) Run(horizon sim.Time) sim.Time {
+	if c.watchLeft > 0 {
+		c.Engine.Run(horizon)
+	}
+	end := c.Engine.Now()
+	for _, n := range c.Nodes {
+		n.Kernel.Shutdown()
+	}
+	return end
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
+
+// Placer assigns ranks to nodes from their expected per-iteration load
+// weights.
+type Placer interface {
+	// Name identifies the strategy.
+	Name() string
+	// Assign returns, for each rank, the node it should run on. Every
+	// node must receive at most capacity ranks.
+	Assign(weights []float64, nodes, capacity int) []int
+}
+
+// BlockPlacer is the naive contiguous assignment most MPI launchers
+// default to: the first capacity ranks on node 0, the next on node 1, ...
+type BlockPlacer struct{}
+
+// Name implements Placer.
+func (BlockPlacer) Name() string { return "block" }
+
+// Assign implements Placer.
+func (BlockPlacer) Assign(weights []float64, nodes, capacity int) []int {
+	checkCapacity(len(weights), nodes, capacity)
+	out := make([]int, len(weights))
+	for i := range weights {
+		out[i] = i / capacity
+	}
+	return out
+}
+
+// RoundRobinPlacer deals ranks across nodes in order.
+type RoundRobinPlacer struct{}
+
+// Name implements Placer.
+func (RoundRobinPlacer) Name() string { return "round-robin" }
+
+// Assign implements Placer.
+func (RoundRobinPlacer) Assign(weights []float64, nodes, capacity int) []int {
+	checkCapacity(len(weights), nodes, capacity)
+	out := make([]int, len(weights))
+	for i := range weights {
+		out[i] = i % nodes
+	}
+	return out
+}
+
+// LPTPlacer is the gang scheduler: greedy longest-processing-time-first
+// assignment, placing each rank (heaviest first) on the node with the
+// least accumulated load that still has room. This is the "assign the
+// correct group of tasks to each node" level; HPCSched then absorbs the
+// residual imbalance inside each node.
+type LPTPlacer struct{}
+
+// Name implements Placer.
+func (LPTPlacer) Name() string { return "gang-lpt" }
+
+// Assign implements Placer.
+func (LPTPlacer) Assign(weights []float64, nodes, capacity int) []int {
+	checkCapacity(len(weights), nodes, capacity)
+	idx := make([]int, len(weights))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return weights[idx[a]] > weights[idx[b]] })
+	load := make([]float64, nodes)
+	count := make([]int, nodes)
+	out := make([]int, len(weights))
+	for _, i := range idx {
+		best := -1
+		for n := 0; n < nodes; n++ {
+			if count[n] >= capacity {
+				continue
+			}
+			if best < 0 || load[n] < load[best] {
+				best = n
+			}
+		}
+		if best < 0 {
+			panic("gang: cluster capacity exceeded")
+		}
+		out[i] = best
+		load[best] += weights[i]
+		count[best]++
+	}
+	return out
+}
+
+func checkCapacity(ranks, nodes, capacity int) {
+	if ranks > nodes*capacity {
+		panic(fmt.Sprintf("gang: %d ranks exceed cluster capacity %d×%d",
+			ranks, nodes, capacity))
+	}
+}
+
+// MaxNodeLoad returns the largest per-node weight sum of an assignment —
+// the lower bound on the job's pace set by placement alone.
+func MaxNodeLoad(weights []float64, assign []int, nodes int) float64 {
+	load := make([]float64, nodes)
+	for i, n := range assign {
+		load[n] += weights[i]
+	}
+	max := 0.0
+	for _, v := range load {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,196 @@
+package gang
+
+import (
+	"testing"
+
+	"hpcsched/internal/mpi"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+func TestClusterConstruction(t *testing.T) {
+	c := NewCluster(Config{Nodes: 3, CoresPerNode: 2, Seed: 1})
+	if len(c.Nodes) != 3 || c.TotalCPUs() != 12 {
+		t.Fatalf("cluster shape wrong: %d nodes, %d cpus", len(c.Nodes), c.TotalCPUs())
+	}
+	for i, n := range c.Nodes {
+		if n.ID != i || n.Kernel == nil || n.Chip == nil {
+			t.Fatalf("node %d malformed", i)
+		}
+		if n.Kernel.Engine != c.Engine {
+			t.Fatal("nodes must share one engine")
+		}
+	}
+}
+
+func TestClusterHPCInstalled(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2, Seed: 1, HPC: HPCConfigForCluster()})
+	for _, n := range c.Nodes {
+		if n.HPC == nil {
+			t.Fatal("HPC class missing on node")
+		}
+	}
+}
+
+func TestCrossNodeMessaging(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2, Seed: 1})
+	w := c.NewWorld(2, mpi.DefaultOptions())
+	var got int64
+	c.SpawnRank(w, 0, 0, sched.TaskSpec{}, func(r *mpi.Rank) {
+		r.Compute(sim.Millisecond)
+		r.Send(1, 7, 1<<20) // 1 MB across the interconnect
+	})
+	c.SpawnRank(w, 1, 1, sched.TaskSpec{}, func(r *mpi.Rank) {
+		got = r.Recv(0, 7)
+	})
+	end := c.Run(sim.Second)
+	if got != 1<<20 {
+		t.Fatalf("recv = %d", got)
+	}
+	if w.RemoteMsgCount != 1 {
+		t.Fatalf("RemoteMsgCount = %d, want 1", w.RemoteMsgCount)
+	}
+	// 1 MB at ~1 GB/s ≈ 1 ms of transfer on top of the compute.
+	if end < 2*sim.Millisecond {
+		t.Fatalf("remote transfer too fast: %v", end)
+	}
+	if c.Nodes[0].Kernel == c.Nodes[1].Kernel {
+		t.Fatal("ranks must be on distinct kernels")
+	}
+}
+
+func TestCrossNodeBarrier(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2, Seed: 1})
+	w := c.NewWorld(4, mpi.DefaultOptions())
+	counts := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		c.SpawnRank(w, i, i%2, sched.TaskSpec{}, func(r *mpi.Rank) {
+			for it := 0; it < 5; it++ {
+				r.Compute(sim.Time(i+1) * sim.Millisecond)
+				r.Barrier()
+				counts[i]++
+			}
+		})
+	}
+	end := c.Run(10 * sim.Second)
+	if end >= 10*sim.Second {
+		t.Fatal("cross-node barrier deadlocked")
+	}
+	for i, n := range counts {
+		if n != 5 {
+			t.Fatalf("rank %d completed %d barriers", i, n)
+		}
+	}
+}
+
+func TestPlacersAssignments(t *testing.T) {
+	weights := []float64{8, 7, 6, 5, 2, 2, 1, 1}
+	block := BlockPlacer{}.Assign(weights, 2, 4)
+	for i, n := range block {
+		if n != i/4 {
+			t.Fatalf("block assign = %v", block)
+		}
+	}
+	rr := RoundRobinPlacer{}.Assign(weights, 2, 4)
+	for i, n := range rr {
+		if n != i%2 {
+			t.Fatalf("round-robin assign = %v", rr)
+		}
+	}
+	lpt := LPTPlacer{}.Assign(weights, 2, 4)
+	// LPT must (near-)balance the node sums: 16 vs 16 here.
+	if l := MaxNodeLoad(weights, lpt, 2); l > 16.5 {
+		t.Fatalf("LPT max load = %v, want ≈16 (assign %v)", l, lpt)
+	}
+	if l := MaxNodeLoad(weights, block, 2); l < 25 {
+		t.Fatalf("block max load = %v, want 26", l)
+	}
+	// Capacity respected.
+	counts := map[int]int{}
+	for _, n := range lpt {
+		counts[n]++
+	}
+	for n, k := range counts {
+		if k > 4 {
+			t.Fatalf("node %d got %d ranks", n, k)
+		}
+	}
+}
+
+func TestPlacersCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-capacity assignment did not panic")
+		}
+	}()
+	LPTPlacer{}.Assign(make([]float64, 10), 2, 4)
+}
+
+// TestGangBeatsNaivePlacement is the headline cluster experiment: the LPT
+// gang placement beats block placement decisively, and within each node
+// HPCSched squeezes out the residual imbalance.
+func TestGangBeatsNaivePlacement(t *testing.T) {
+	job := DefaultJob()
+	job.Iterations = 4
+	cfg := Config{Nodes: 2, Seed: 42, HPC: HPCConfigForCluster()}
+	results := ComparePlacers(cfg, job)
+	if len(results) != 3 {
+		t.Fatal("missing placers")
+	}
+	block, lpt := results[0], results[2]
+	if lpt.ExecTime >= block.ExecTime {
+		t.Fatalf("gang placement (%v) must beat block placement (%v)",
+			lpt.ExecTime, block.ExecTime)
+	}
+	imp := 1 - lpt.ExecTime.Seconds()/block.ExecTime.Seconds()
+	if imp < 0.2 {
+		t.Fatalf("gang improvement = %.1f%%, want ≥20%% for the adversarial job", imp*100)
+	}
+	if lpt.MaxLoad >= block.MaxLoad {
+		t.Fatal("LPT did not reduce the placement bound")
+	}
+	out := FormatComparison(results)
+	if len(out) == 0 {
+		t.Fatal("empty comparison")
+	}
+}
+
+// TestHPCHelpsWithinNodes: with gang placement fixed, enabling the
+// per-node HPC class still improves the run (the residual imbalance
+// inside each node).
+func TestHPCHelpsWithinNodes(t *testing.T) {
+	job := DefaultJob()
+	job.Iterations = 4
+	withHPC := RunExperiment(Config{Nodes: 2, Seed: 42, HPC: HPCConfigForCluster()},
+		job, LPTPlacer{})
+	job.UseHPC = false
+	without := RunExperiment(Config{Nodes: 2, Seed: 42}, job, LPTPlacer{})
+	if withHPC.ExecTime >= without.ExecTime {
+		t.Fatalf("HPCSched inside nodes should help: %v vs %v",
+			withHPC.ExecTime, without.ExecTime)
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		job := DefaultJob()
+		job.Iterations = 3
+		return RunExperiment(Config{Nodes: 2, Seed: 9, HPC: HPCConfigForCluster()},
+			job, LPTPlacer{}).ExecTime
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("cluster runs nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSpawnRankValidation(t *testing.T) {
+	c := NewCluster(Config{Nodes: 2, Seed: 1})
+	w := c.NewWorld(1, mpi.DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid node did not panic")
+		}
+	}()
+	c.SpawnRank(w, 0, 5, sched.TaskSpec{}, func(r *mpi.Rank) {})
+}

@@ -1,0 +1,157 @@
+// Package metrics summarises simulation results into the measurements the
+// paper reports: per-process CPU utilization ("% Comp"), hardware
+// priorities, execution times, and imbalance figures, with fixed-width
+// table rendering for the CLI and the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// TaskSummary is one row of the paper's per-test tables.
+type TaskSummary struct {
+	Name      string
+	CompPct   float64 // 100 * exec / lifetime
+	HWPrio    int     // final hardware priority
+	ExecTime  sim.Time
+	SleepTime sim.Time
+	WaitTime  sim.Time
+	AvgWakeup sim.Time
+	Wakeups   int64
+}
+
+// Summarize builds summaries over [start, end] for the given tasks.
+func Summarize(tasks []*sched.Task, end sim.Time) []TaskSummary {
+	out := make([]TaskSummary, 0, len(tasks))
+	for _, t := range tasks {
+		life := end - t.StartedAt
+		if t.Exited() && t.ExitedAt < end {
+			life = t.ExitedAt - t.StartedAt
+		}
+		s := TaskSummary{
+			Name:      t.Name,
+			HWPrio:    int(t.HWPrio),
+			ExecTime:  t.SumExec,
+			SleepTime: t.SumSleep,
+			WaitTime:  t.SumWait,
+			AvgWakeup: t.AvgWakeupLatency(),
+			Wakeups:   t.WakeupCount,
+		}
+		if life > 0 {
+			s.CompPct = 100 * float64(t.SumExec) / float64(life)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Imbalance quantifies the load imbalance of a set of summaries as
+// 1 - mean(util)/max(util): 0 means perfectly balanced, approaching 1
+// means one process does all the computing. This is the natural scalar
+// for the paper's "% Comp" columns.
+func Imbalance(sums []TaskSummary) float64 {
+	if len(sums) == 0 {
+		return 0
+	}
+	var total, max float64
+	for _, s := range sums {
+		total += s.CompPct
+		if s.CompPct > max {
+			max = s.CompPct
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	mean := total / float64(len(sums))
+	return 1 - mean/max
+}
+
+// UtilStddev returns the population standard deviation of CompPct.
+func UtilStddev(sums []TaskSummary) float64 {
+	if len(sums) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, s := range sums {
+		mean += s.CompPct
+	}
+	mean /= float64(len(sums))
+	var v float64
+	for _, s := range sums {
+		d := s.CompPct - mean
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(sums)))
+}
+
+// Row is one line of a rendered table.
+type Row struct {
+	Cells []string
+}
+
+// Table renders rows under a header with aligned columns, in the style of
+// the paper's Tables III-VI.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// FormatSummaries renders per-task rows like the paper's tables.
+func FormatSummaries(sums []TaskSummary) string {
+	rows := make([][]string, 0, len(sums))
+	for _, s := range sums {
+		rows = append(rows, []string{
+			s.Name,
+			fmt.Sprintf("%.2f", s.CompPct),
+			fmt.Sprintf("%d", s.HWPrio),
+			fmt.Sprintf("%.2fs", s.ExecTime.Seconds()),
+			fmt.Sprintf("%.1fµs", float64(s.AvgWakeup)/1e3),
+		})
+	}
+	return Table([]string{"Proc", "% Comp", "Prio", "Exec", "AvgWakeLat"}, rows)
+}
+
+// Improvement returns the relative execution-time gain of b over a
+// (positive = b is faster), as the paper quotes ("improvement of about
+// 12%").
+func Improvement(baseline, improved sim.Time) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return float64(baseline-improved) / float64(baseline)
+}

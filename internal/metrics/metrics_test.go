@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+func TestSummarizeFromRun(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := sched.NewKernel(e, chip, sched.DefaultOptions())
+	busy := k.AddProcess(sched.TaskSpec{Name: "busy", Policy: sched.PolicyNormal,
+		Affinity: 1}, func(env *sched.Env) {
+		env.Compute(80 * sim.Millisecond)
+	})
+	idleish := k.AddProcess(sched.TaskSpec{Name: "idle", Policy: sched.PolicyNormal,
+		Affinity: 1 << 2}, func(env *sched.Env) {
+		env.Compute(20 * sim.Millisecond)
+		env.Sleep(60 * sim.Millisecond)
+	})
+	k.Watch(busy)
+	k.Watch(idleish)
+	end := k.RunUntilWatchedExit(sim.Second)
+	sums := Summarize([]*sched.Task{busy, idleish}, end)
+	if len(sums) != 2 {
+		t.Fatal("summaries missing")
+	}
+	if sums[0].CompPct < 95 {
+		t.Fatalf("busy CompPct = %v, want ≈100", sums[0].CompPct)
+	}
+	if sums[1].CompPct > 35 || sums[1].CompPct < 15 {
+		t.Fatalf("idle CompPct = %v, want ≈25", sums[1].CompPct)
+	}
+	if sums[0].HWPrio != 4 {
+		t.Fatalf("HWPrio = %d, want 4", sums[0].HWPrio)
+	}
+	k.Shutdown()
+}
+
+func TestImbalanceScalar(t *testing.T) {
+	balanced := []TaskSummary{{CompPct: 90}, {CompPct: 90}, {CompPct: 90}}
+	if got := Imbalance(balanced); got != 0 {
+		t.Fatalf("balanced imbalance = %v, want 0", got)
+	}
+	skewed := []TaskSummary{{CompPct: 100}, {CompPct: 25}, {CompPct: 100}, {CompPct: 25}}
+	got := Imbalance(skewed)
+	if got < 0.3 || got > 0.45 {
+		t.Fatalf("skewed imbalance = %v, want ≈0.375", got)
+	}
+	if Imbalance(nil) != 0 {
+		t.Fatal("empty imbalance should be 0")
+	}
+	if Imbalance([]TaskSummary{{CompPct: 0}}) != 0 {
+		t.Fatal("all-zero imbalance should be 0")
+	}
+}
+
+func TestUtilStddev(t *testing.T) {
+	if got := UtilStddev([]TaskSummary{{CompPct: 50}, {CompPct: 50}}); got != 0 {
+		t.Fatalf("stddev of equal = %v", got)
+	}
+	got := UtilStddev([]TaskSummary{{CompPct: 0}, {CompPct: 100}})
+	if got != 50 {
+		t.Fatalf("stddev = %v, want 50", got)
+	}
+	if UtilStddev(nil) != 0 {
+		t.Fatal("empty stddev should be 0")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100*sim.Second, 88*sim.Second); got < 0.119 || got > 0.121 {
+		t.Fatalf("Improvement = %v, want 0.12", got)
+	}
+	if Improvement(0, sim.Second) != 0 {
+		t.Fatal("zero baseline must yield 0")
+	}
+	if got := Improvement(80*sim.Second, 88*sim.Second); got >= 0 {
+		t.Fatalf("regression must be negative, got %v", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"A", "LongHeader"}, [][]string{
+		{"row1", "x"},
+		{"muchlongercell", "z"},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	// Second column starts at the same offset on every line.
+	col := strings.Index(lines[0], "LongHeader")
+	if strings.Index(lines[2], "x") != col || strings.Index(lines[3], "z") != col {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatal("separator missing")
+	}
+}
+
+func TestFormatSummaries(t *testing.T) {
+	out := FormatSummaries([]TaskSummary{
+		{Name: "P1", CompPct: 25.34, HWPrio: 4, ExecTime: 81780 * sim.Millisecond},
+	})
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "25.34") ||
+		!strings.Contains(out, "81.78s") {
+		t.Fatalf("format wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,170 @@
+package mpi
+
+import (
+	"testing"
+
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+func TestBcast(t *testing.T) {
+	k, w := newWorld(t, 4)
+	var got [4]int64
+	for i := 0; i < 4; i++ {
+		i := i
+		w.Spawn(i, sched.TaskSpec{}, func(r *Rank) {
+			if r.ID() == 2 {
+				r.Compute(3 * sim.Millisecond) // root arrives late
+			}
+			got[i] = r.Bcast(2, 4096)
+		})
+	}
+	k.RunUntilWatchedExit(sim.Second)
+	for i, v := range got {
+		if v != 4096 {
+			t.Fatalf("rank %d got %d", i, v)
+		}
+	}
+	if w.MsgCount != 3 {
+		t.Fatalf("Bcast used %d messages, want 3", w.MsgCount)
+	}
+	k.Shutdown()
+}
+
+func TestReduceBlocksRootUntilAllArrive(t *testing.T) {
+	k, w := newWorld(t, 3)
+	var rootDone sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		w.Spawn(i, sched.TaskSpec{}, func(r *Rank) {
+			r.Compute(sim.Time(i+1) * 5 * sim.Millisecond) // staggered
+			r.Reduce(0, 1<<10)
+			if r.ID() == 0 {
+				rootDone = r.Now()
+			}
+		})
+	}
+	k.RunUntilWatchedExit(sim.Second)
+	// The last contribution lands after rank 2's 15ms of work.
+	if rootDone < 15*sim.Millisecond {
+		t.Fatalf("root finished the reduce at %v, before the last contribution", rootDone)
+	}
+	k.Shutdown()
+}
+
+func TestAllreduceSynchronises(t *testing.T) {
+	k, w := newWorld(t, 4)
+	var after [4]sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		w.Spawn(i, sched.TaskSpec{}, func(r *Rank) {
+			r.Compute(sim.Time(i+1) * 4 * sim.Millisecond)
+			r.Allreduce(256)
+			after[i] = r.Now()
+		})
+	}
+	k.RunUntilWatchedExit(sim.Second)
+	// Everyone leaves within a small window of the last arrival.
+	min, max := after[0], after[0]
+	for _, ts := range after {
+		if ts < min {
+			min = ts
+		}
+		if ts > max {
+			max = ts
+		}
+	}
+	if max-min > sim.Millisecond {
+		t.Fatalf("allreduce exit spread %v too wide: %v", max-min, after)
+	}
+	if min < 16*sim.Millisecond {
+		t.Fatalf("allreduce released before the last contribution: %v", after)
+	}
+	k.Shutdown()
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	k, w := newWorld(t, 3)
+	counts := [3]int{}
+	for i := 0; i < 3; i++ {
+		i := i
+		w.Spawn(i, sched.TaskSpec{}, func(r *Rank) {
+			for it := 0; it < 8; it++ {
+				r.Compute(sim.Time(i+1) * sim.Millisecond)
+				r.Allreduce(64)
+				counts[i]++
+			}
+		})
+	}
+	end := k.RunUntilWatchedExit(sim.Second)
+	if end >= sim.Second {
+		t.Fatal("repeated allreduce deadlocked (tag reuse?)")
+	}
+	for i, c := range counts {
+		if c != 8 {
+			t.Fatalf("rank %d completed %d allreduces", i, c)
+		}
+	}
+	k.Shutdown()
+}
+
+func TestGather(t *testing.T) {
+	k, w := newWorld(t, 4)
+	var total int64
+	for i := 0; i < 4; i++ {
+		i := i
+		w.Spawn(i, sched.TaskSpec{}, func(r *Rank) {
+			got := r.Gather(1, int64(100*(i+1)))
+			if r.ID() == 1 {
+				total = got
+			} else if got != 0 {
+				t.Errorf("non-root rank %d got %d from Gather", i, got)
+			}
+		})
+	}
+	k.RunUntilWatchedExit(sim.Second)
+	if total != 100+200+300+400 {
+		t.Fatalf("Gather total = %d", total)
+	}
+	k.Shutdown()
+}
+
+func TestCollectivesMixedWithPointToPoint(t *testing.T) {
+	// Collective tags must never collide with application tags, even
+	// large ones.
+	k, w := newWorld(t, 2)
+	w.Spawn(0, sched.TaskSpec{}, func(r *Rank) {
+		r.Send(1, collBcastTag-1, 8) // adversarial application tag
+		r.Bcast(0, 64)
+		r.Allreduce(32)
+	})
+	w.Spawn(1, sched.TaskSpec{}, func(r *Rank) {
+		r.Bcast(0, 64)
+		if got := r.Recv(0, collBcastTag-1); got != 8 {
+			t.Errorf("p2p recv = %d", got)
+		}
+		r.Allreduce(32)
+	})
+	end := k.RunUntilWatchedExit(sim.Second)
+	if end >= sim.Second {
+		t.Fatal("mixed traffic deadlocked")
+	}
+	k.Shutdown()
+}
+
+func TestCollectiveInvalidRootPanics(t *testing.T) {
+	k, w := newWorld(t, 2)
+	w.Spawn(0, sched.TaskSpec{}, func(r *Rank) {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid root did not panic")
+			}
+		}()
+		r.Bcast(5, 1)
+	})
+	func() {
+		defer func() { recover() }()
+		k.RunUntilWatchedExit(sim.Second)
+	}()
+	k.Shutdown()
+}

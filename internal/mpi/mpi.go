@@ -1,0 +1,362 @@
+// Package mpi is a simulated message-passing runtime with the subset of
+// MPI semantics the paper's workloads use: blocking send/receive,
+// non-blocking isend/irecv with waitall, and barriers. It plays the role
+// MPI-CH 1.0.4p1 plays on the paper's machine.
+//
+// Ranks are simulated processes; a blocking operation puts the backing
+// kernel task to sleep and message arrival wakes it, so the scheduler —
+// and the paper's Load Imbalance Detector, which feeds on sleep/wake
+// transitions — observes exactly the pattern a real MPI application
+// produces (Figure 2: compute phase tR, wait phase tW).
+package mpi
+
+import (
+	"fmt"
+
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// AnyTag matches any message tag in Recv/Irecv.
+const AnyTag = -1
+
+// Options models the transport. The defaults approximate shared-memory
+// intra-node MPI: microsecond-scale latency, GB/s-scale bandwidth. Ranks
+// placed on different nodes (the gang-scheduling extension) pay the
+// Remote* figures instead.
+type Options struct {
+	// Latency is the fixed per-message delay from send to delivery.
+	Latency sim.Time
+	// ByteCost is the additional delay per payload byte.
+	ByteCost float64
+	// SendOverhead is CPU time charged to the sender per message.
+	SendOverhead sim.Time
+	// RecvOverhead is CPU time charged to the receiver per message.
+	RecvOverhead sim.Time
+	// BarrierLatency is the delay between the last arrival and the
+	// release of the waiters.
+	BarrierLatency sim.Time
+	// RemoteLatency/RemoteByteCost apply between ranks on different
+	// nodes (interconnect instead of shared memory).
+	RemoteLatency  sim.Time
+	RemoteByteCost float64
+}
+
+// DefaultOptions returns shared-memory-like transport parameters, with a
+// Myrinet-class interconnect for inter-node traffic.
+func DefaultOptions() Options {
+	return Options{
+		Latency:        2 * sim.Microsecond,
+		ByteCost:       0.25, // ns per byte ≈ 4 GB/s
+		SendOverhead:   500,  // ns
+		RecvOverhead:   500,  // ns
+		BarrierLatency: 3 * sim.Microsecond,
+		RemoteLatency:  20 * sim.Microsecond,
+		RemoteByteCost: 1.0, // ns per byte ≈ 1 GB/s
+	}
+}
+
+type msgKey struct {
+	src, tag int
+}
+
+type message struct {
+	src, tag int
+	size     int64
+}
+
+// World is one MPI job: a set of ranks over one kernel (the common case)
+// or spread over the kernels of a simulated cluster sharing one engine.
+type World struct {
+	engine        *sim.Engine
+	defaultKernel *sched.Kernel
+	opts          Options
+	ranks         []*Rank
+
+	barrierGen     int
+	barrierArrived int
+	barrierWaiters []*Rank
+
+	// MsgCount / MsgBytes aggregate transport statistics.
+	MsgCount int64
+	MsgBytes int64
+	// RemoteMsgCount counts inter-node messages.
+	RemoteMsgCount int64
+}
+
+// NewWorld creates a world of size ranks. Ranks are created unstarted;
+// Spawn launches them.
+func NewWorld(k *sched.Kernel, size int, opts Options) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{engine: k.Engine, defaultKernel: k, opts: opts}
+	for i := 0; i < size; i++ {
+		w.ranks = append(w.ranks, &Rank{world: w, id: i, inbox: map[msgKey][]message{}})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i (after Spawn it has a backing task).
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Tasks returns the backing kernel tasks of all spawned ranks.
+func (w *World) Tasks() []*sched.Task {
+	out := make([]*sched.Task, 0, len(w.ranks))
+	for _, r := range w.ranks {
+		if r.task != nil {
+			out = append(out, r.task)
+		}
+	}
+	return out
+}
+
+// Spawn launches rank i with the given task spec and body on the world's
+// default kernel. The kernel task is watched, so World users can run the
+// kernel until the job completes.
+func (w *World) Spawn(i int, spec sched.TaskSpec, body func(*Rank)) *sched.Task {
+	t := w.SpawnAt(i, w.defaultKernel, 0, spec, body)
+	w.defaultKernel.Watch(t)
+	return t
+}
+
+// SpawnAt launches rank i on the given kernel (a cluster node). The task
+// is NOT auto-watched: cluster runners track completion across kernels
+// themselves.
+func (w *World) SpawnAt(i int, k *sched.Kernel, node int, spec sched.TaskSpec,
+	body func(*Rank)) *sched.Task {
+	r := w.ranks[i]
+	if r.task != nil {
+		panic(fmt.Sprintf("mpi: rank %d spawned twice", i))
+	}
+	if k.Engine != w.engine {
+		panic("mpi: SpawnAt kernel does not share the world's engine")
+	}
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("P%d", i+1) // the paper numbers processes P1..P4
+	}
+	task := k.AddProcess(spec, func(env *sched.Env) {
+		r.env = env
+		body(r)
+	})
+	r.task = task
+	r.kernel = k
+	r.node = node
+	return task
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	world  *World
+	id     int
+	env    *sched.Env
+	task   *sched.Task
+	kernel *sched.Kernel
+	node   int
+
+	inbox   map[msgKey][]message
+	waiting []msgKey // non-empty while blocked in Recv/Waitall
+	seq     collSeq  // per-collective invocation counters
+}
+
+// Node returns the cluster node the rank was placed on (0 for single-node
+// worlds).
+func (r *Rank) Node() int { return r.node }
+
+// ID returns the rank number (0-based).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.world.ranks) }
+
+// Task returns the backing kernel task.
+func (r *Rank) Task() *sched.Task { return r.task }
+
+// Env exposes the scheduling environment (Compute, SetScheduler, ...).
+func (r *Rank) Env() *sched.Env { return r.env }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.env.Now() }
+
+// Compute burns d of single-thread work.
+func (r *Rank) Compute(d sim.Time) { r.env.Compute(d) }
+
+// Send performs an eager (buffered) send: the CPU-side overhead is charged
+// and the message is delivered after the transport delay; the sender does
+// not wait for a matching receive.
+func (r *Rank) Send(dst, tag int, size int64) {
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	if dst == r.id {
+		panic("mpi: Send to self")
+	}
+	if r.world.opts.SendOverhead > 0 {
+		r.env.Compute(r.world.opts.SendOverhead)
+	}
+	w := r.world
+	w.MsgCount++
+	w.MsgBytes += size
+	target := w.ranks[dst]
+	delay := w.opts.Latency + sim.Time(float64(size)*w.opts.ByteCost)
+	if target.node != r.node {
+		w.RemoteMsgCount++
+		delay = w.opts.RemoteLatency + sim.Time(float64(size)*w.opts.RemoteByteCost)
+	}
+	m := message{src: r.id, tag: tag, size: size}
+	w.engine.After(delay, func() { target.deliver(m) })
+}
+
+// Isend is Send: eager buffered sends complete immediately, so the
+// returned request is already complete. It exists so workload code can
+// mirror the paper's mpi_isend call sites.
+func (r *Rank) Isend(dst, tag int, size int64) Request {
+	r.Send(dst, tag, size)
+	return Request{done: true}
+}
+
+// deliver runs on the engine side when a message arrives.
+func (r *Rank) deliver(m message) {
+	key := msgKey{m.src, m.tag}
+	r.inbox[key] = append(r.inbox[key], m)
+	if len(r.waiting) == 0 {
+		return
+	}
+	for _, wk := range r.waiting {
+		if wk.src == m.src && (wk.tag == AnyTag || wk.tag == m.tag) {
+			r.waiting = nil
+			r.kernel.Wake(r.task)
+			return
+		}
+	}
+}
+
+// take consumes a matching message from the inbox.
+func (r *Rank) take(src, tag int) (message, bool) {
+	if tag != AnyTag {
+		key := msgKey{src, tag}
+		q := r.inbox[key]
+		if len(q) == 0 {
+			return message{}, false
+		}
+		m := q[0]
+		if len(q) == 1 {
+			delete(r.inbox, key)
+		} else {
+			r.inbox[key] = q[1:]
+		}
+		return m, true
+	}
+	// AnyTag: scan deterministically by tag order is unnecessary — take
+	// the match with the lowest tag for reproducibility.
+	bestTag := int(^uint(0) >> 1)
+	found := false
+	for key := range r.inbox {
+		if key.src == src && len(r.inbox[key]) > 0 && key.tag < bestTag {
+			bestTag, found = key.tag, true
+		}
+	}
+	if !found {
+		return message{}, false
+	}
+	return r.take(src, bestTag)
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its size.
+func (r *Rank) Recv(src, tag int) int64 {
+	if src < 0 || src >= r.Size() || src == r.id {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
+	}
+	for {
+		if m, ok := r.take(src, tag); ok {
+			if r.world.opts.RecvOverhead > 0 {
+				r.env.Compute(r.world.opts.RecvOverhead)
+			}
+			return m.size
+		}
+		r.waiting = []msgKey{{src, tag}}
+		r.env.Block("mpi-recv")
+	}
+}
+
+// Request is a handle for a non-blocking operation.
+type Request struct {
+	recv *msgKey // nil for completed sends
+	done bool
+}
+
+// Irecv posts a non-blocking receive. The message is only consumed by
+// Wait/Waitall.
+func (r *Rank) Irecv(src, tag int) Request {
+	if src < 0 || src >= r.Size() || src == r.id {
+		panic(fmt.Sprintf("mpi: Irecv from invalid rank %d", src))
+	}
+	return Request{recv: &msgKey{src, tag}}
+}
+
+// Wait blocks until the request completes.
+func (r *Rank) Wait(req Request) { r.Waitall([]Request{req}) }
+
+// Waitall blocks until every request completes (mpi_waitall). Completed
+// receives consume their messages.
+func (r *Rank) Waitall(reqs []Request) {
+	pending := make([]msgKey, 0, len(reqs))
+	for _, q := range reqs {
+		if q.recv != nil && !q.done {
+			pending = append(pending, *q.recv)
+		}
+	}
+	for len(pending) > 0 {
+		// Consume everything already here.
+		remaining := pending[:0]
+		progress := false
+		for _, key := range pending {
+			if _, ok := r.take(key.src, key.tag); ok {
+				progress = true
+				if r.world.opts.RecvOverhead > 0 {
+					r.env.Compute(r.world.opts.RecvOverhead)
+				}
+			} else {
+				remaining = append(remaining, key)
+			}
+		}
+		pending = remaining
+		if len(pending) == 0 {
+			return
+		}
+		if !progress {
+			r.waiting = append([]msgKey(nil), pending...)
+			r.env.Block("mpi-waitall")
+		}
+	}
+}
+
+// Barrier blocks until every rank in the world has entered the barrier
+// (mpi_barrier). The last arriving rank releases the others after the
+// configured barrier latency and continues immediately.
+func (r *Rank) Barrier() {
+	w := r.world
+	gen := w.barrierGen
+	w.barrierArrived++
+	if w.barrierArrived < len(w.ranks) {
+		w.barrierWaiters = append(w.barrierWaiters, r)
+		for w.barrierGen == gen {
+			r.env.Block("mpi-barrier")
+		}
+		return
+	}
+	// Last arrival: release everyone.
+	w.barrierGen++
+	w.barrierArrived = 0
+	waiters := w.barrierWaiters
+	w.barrierWaiters = nil
+	delay := w.opts.BarrierLatency
+	for _, waiter := range waiters {
+		wt, wk := waiter.task, waiter.kernel
+		w.engine.After(delay, func() { wk.Wake(wt) })
+	}
+}

@@ -1,0 +1,97 @@
+// Package noise injects operating-system background activity: per-CPU
+// daemon tasks in the SCHED_NORMAL class that wake on their own schedule
+// and run short bursts. This is the "extrinsic imbalance" and scheduler
+// latency source the paper discusses (§I, §V-D): under the baseline CFS
+// the MPI ranks compete with the daemons on wakeup and lose compute time
+// to them, while under HPCSched the HPC class outranks them entirely.
+package noise
+
+import (
+	"fmt"
+
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// Config describes the injected noise.
+type Config struct {
+	// DaemonsPerCPU pinned background tasks per CPU (default 2).
+	DaemonsPerCPU int
+	// Duty is the CPU fraction each daemon tries to consume (default 1%).
+	Duty float64
+	// BurstMean is the mean burst length (default 700µs).
+	BurstMean sim.Time
+	// Jitter randomises burst and gap lengths by ±Jitter fraction
+	// (default 0.5).
+	Jitter float64
+	// Nice is the daemons' nice level (default 0: system daemons do not
+	// run niced on the paper's machine).
+	Nice int
+}
+
+// DefaultConfig returns a modest noise level, calibrated so that the
+// baseline experiments lose ~1% to daemon competition, in line with the
+// overheads the paper attributes to the standard scheduler on its
+// (otherwise quiet) IBM OpenPower 710.
+func DefaultConfig() Config {
+	return Config{
+		DaemonsPerCPU: 2,
+		Duty:          0.0025,
+		BurstMean:     150 * sim.Microsecond,
+		Jitter:        0.5,
+	}
+}
+
+// Heavy returns an aggressive noise level (≈4% duty per CPU) for the noise
+// ablation experiments.
+func Heavy() Config {
+	return Config{
+		DaemonsPerCPU: 2,
+		Duty:          0.02,
+		BurstMean:     900 * sim.Microsecond,
+		Jitter:        0.5,
+	}
+}
+
+// Silent returns a configuration with no daemons.
+func Silent() Config { return Config{DaemonsPerCPU: 0} }
+
+// Install creates the daemon tasks. They loop forever; stop the simulation
+// by horizon or watched-task exit, then Kernel.Shutdown reaps them.
+func Install(k *sched.Kernel, cfg Config) []*sched.Task {
+	if cfg.DaemonsPerCPU < 0 {
+		panic("noise: negative DaemonsPerCPU")
+	}
+	if cfg.DaemonsPerCPU == 0 {
+		return nil
+	}
+	if cfg.Duty <= 0 || cfg.Duty >= 1 {
+		panic(fmt.Sprintf("noise: duty %v out of (0,1)", cfg.Duty))
+	}
+	if cfg.BurstMean <= 0 {
+		cfg.BurstMean = DefaultConfig().BurstMean
+	}
+	var tasks []*sched.Task
+	for cpu := 0; cpu < k.NumCPUs(); cpu++ {
+		for d := 0; d < cfg.DaemonsPerCPU; d++ {
+			rng := k.Engine.RNG().Split()
+			name := fmt.Sprintf("kd%d/%d", d, cpu)
+			gapMean := sim.Time(float64(cfg.BurstMean) * (1 - cfg.Duty) / cfg.Duty)
+			task := k.AddProcess(sched.TaskSpec{
+				Name:     name,
+				Policy:   sched.PolicyNormal,
+				Nice:     cfg.Nice,
+				Affinity: 1 << uint(cpu),
+			}, func(env *sched.Env) {
+				// Desynchronise daemon phases.
+				env.Sleep(rng.Duration(gapMean + 1))
+				for {
+					env.Compute(rng.Jitter(cfg.BurstMean, cfg.Jitter))
+					env.Sleep(rng.Jitter(gapMean, cfg.Jitter) + 1)
+				}
+			})
+			tasks = append(tasks, task)
+		}
+	}
+	return tasks
+}

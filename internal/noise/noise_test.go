@@ -1,0 +1,144 @@
+package noise
+
+import (
+	"testing"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+func newKernel(seed uint64) *sched.Kernel {
+	e := sim.NewEngine(seed)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	return sched.NewKernel(e, chip, sched.DefaultOptions())
+}
+
+func TestInstallCreatesPinnedDaemons(t *testing.T) {
+	k := newKernel(1)
+	ds := Install(k, DefaultConfig())
+	if len(ds) != 8 { // 2 per CPU × 4 CPUs
+		t.Fatalf("daemons = %d, want 8", len(ds))
+	}
+	perCPU := map[int]int{}
+	for _, d := range ds {
+		cpu := -1
+		for c := 0; c < 4; c++ {
+			if d.MayRunOn(c) {
+				if cpu != -1 {
+					t.Fatal("daemon not pinned to one CPU")
+				}
+				cpu = c
+			}
+		}
+		perCPU[cpu]++
+	}
+	for c := 0; c < 4; c++ {
+		if perCPU[c] != 2 {
+			t.Fatalf("CPU %d has %d daemons", c, perCPU[c])
+		}
+	}
+	k.Shutdown()
+}
+
+func TestSilentInstallsNothing(t *testing.T) {
+	k := newKernel(1)
+	if ds := Install(k, Silent()); ds != nil {
+		t.Fatalf("silent config created %d daemons", len(ds))
+	}
+}
+
+func TestDutyCycleApproximatelyHonoured(t *testing.T) {
+	k := newKernel(2)
+	cfg := DefaultConfig()
+	cfg.DaemonsPerCPU = 1
+	cfg.Duty = 0.05
+	ds := Install(k, cfg)
+	k.Engine.Run(5 * sim.Second)
+	for _, d := range ds {
+		duty := float64(d.SumExec) / float64(5*sim.Second)
+		if duty < 0.02 || duty > 0.09 {
+			t.Fatalf("daemon %s duty = %v, want ≈0.05", d.Name, duty)
+		}
+	}
+	k.Shutdown()
+}
+
+func TestNoiseStealsFromCFSNotFromHPC(t *testing.T) {
+	run := func(policy sched.Policy) sim.Time {
+		k := newKernel(3)
+		cfg := DefaultConfig()
+		cfg.Duty = 0.05 // exaggerated noise to make the effect obvious
+		Install(k, cfg)
+		task := k.AddProcess(sched.TaskSpec{Name: "app", Policy: policy, Affinity: 1},
+			func(env *sched.Env) {
+				for i := 0; i < 50; i++ {
+					env.Compute(4 * sim.Millisecond)
+					env.Sleep(sim.Millisecond)
+				}
+			})
+		k.Watch(task)
+		finish := k.RunUntilWatchedExit(10 * sim.Second)
+		k.Shutdown()
+		return finish
+	}
+	cfsTime := run(sched.PolicyNormal)
+	rtTime := run(sched.PolicyFIFO) // stands in for a higher class
+	if cfsTime <= rtTime {
+		t.Fatalf("noise should slow SCHED_NORMAL (%v) more than a higher class (%v)",
+			cfsTime, rtTime)
+	}
+	k := newKernel(3)
+	base := k.AddProcess(sched.TaskSpec{Name: "app", Policy: sched.PolicyNormal, Affinity: 1},
+		func(env *sched.Env) {
+			for i := 0; i < 50; i++ {
+				env.Compute(4 * sim.Millisecond)
+				env.Sleep(sim.Millisecond)
+			}
+		})
+	k.Watch(base)
+	quiet := k.RunUntilWatchedExit(10 * sim.Second)
+	k.Shutdown()
+	if cfsTime <= quiet {
+		t.Fatalf("noise had no cost: noisy=%v quiet=%v", cfsTime, quiet)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	k := newKernel(1)
+	for _, cfg := range []Config{
+		{DaemonsPerCPU: -1},
+		{DaemonsPerCPU: 1, Duty: 0},
+		{DaemonsPerCPU: 1, Duty: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			Install(k, cfg)
+		}()
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		k := newKernel(7)
+		Install(k, DefaultConfig())
+		task := k.AddProcess(sched.TaskSpec{Name: "app", Policy: sched.PolicyNormal,
+			Affinity: 1}, func(env *sched.Env) {
+			for i := 0; i < 20; i++ {
+				env.Compute(3 * sim.Millisecond)
+				env.Sleep(sim.Millisecond)
+			}
+		})
+		k.Watch(task)
+		finish := k.RunUntilWatchedExit(10 * sim.Second)
+		k.Shutdown()
+		return finish
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("noise nondeterministic: %v vs %v", a, b)
+	}
+}

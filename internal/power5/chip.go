@@ -1,0 +1,171 @@
+package power5
+
+import "fmt"
+
+// Context is one hardware thread (SMT context) of a core. The operating
+// system sees each context as a CPU.
+type Context struct {
+	core *Core
+	slot int // 0 or 1 within the core
+	id   int // global CPU number
+	prio Priority
+	busy bool
+}
+
+// ID returns the global CPU number of this context.
+func (c *Context) ID() int { return c.id }
+
+// Core returns the core this context belongs to.
+func (c *Context) Core() *Core { return c.core }
+
+// Sibling returns the other context of the same core.
+func (c *Context) Sibling() *Context { return c.core.contexts[1-c.slot] }
+
+// Priority returns the context's current hardware thread priority.
+func (c *Context) Priority() Priority { return c.prio }
+
+// Busy reports whether the context is currently executing work.
+func (c *Context) Busy() bool { return c.busy }
+
+// SetBusy marks the context as executing (or not). The kernel calls this as
+// tasks are dispatched and descheduled; it affects the sibling's speed.
+func (c *Context) SetBusy(b bool) {
+	if c.busy == b {
+		return
+	}
+	c.busy = b
+	c.core.chip.speedChanged(c.core)
+}
+
+// SetPriority sets the hardware thread priority, enforcing the privilege
+// rules of Table II. The paper's kernel runs with supervisor privilege and
+// may therefore set levels 1..6; user code only 2..4.
+func (c *Context) SetPriority(p Priority, priv Privilege) error {
+	if !p.Valid() {
+		return fmt.Errorf("power5: invalid priority %d", int(p))
+	}
+	if RequiredPrivilege(p) > priv {
+		return fmt.Errorf("power5: priority %v requires %v privilege, have %v",
+			p, RequiredPrivilege(p), priv)
+	}
+	if c.prio == p {
+		return nil
+	}
+	c.prio = p
+	c.core.chip.speedChanged(c.core)
+	return nil
+}
+
+// ExecOrNop models a thread issuing the `or X,X,X` priority-setting no-op
+// with register number reg at privilege priv. Unknown register numbers are,
+// as on hardware, plain no-ops and return false; insufficient privilege
+// silently leaves the priority unchanged (the instruction is a nop there
+// too) and returns false.
+func (c *Context) ExecOrNop(reg int, priv Privilege) bool {
+	p, ok := PriorityFromOrNop(reg)
+	if !ok {
+		return false
+	}
+	if err := c.SetPriority(p, priv); err != nil {
+		return false
+	}
+	return true
+}
+
+// Speed returns the context's current execution speed relative to ST mode,
+// as decided by the chip's performance model and the sibling's state.
+func (c *Context) Speed() float64 {
+	sib := c.Sibling()
+	return c.core.chip.perf.Speed(c.prio, sib.prio, sib.busy)
+}
+
+// Core is one POWER5 core: two SMT contexts sharing the decode stage.
+type Core struct {
+	chip     *Chip
+	id       int
+	contexts [2]*Context
+}
+
+// ID returns the core number within the chip.
+func (co *Core) ID() int { return co.id }
+
+// Context returns the core's i-th context (i in {0,1}).
+func (co *Core) Context(i int) *Context { return co.contexts[i] }
+
+// Chip is a set of cores sharing a socket. The paper's machine (IBM
+// OpenPower 710) has one chip with two cores; the gang-scheduling extension
+// instantiates one Chip per simulated node.
+type Chip struct {
+	cores  []*Core
+	perf   PerfModel
+	onSpew func(*Core) // speed-change hook
+}
+
+// NewChip builds a chip with nCores dual-context cores, all contexts at the
+// default priority (medium, 4) and idle. perf must not be nil.
+func NewChip(nCores int, perf PerfModel) *Chip {
+	if nCores <= 0 {
+		panic("power5: NewChip with no cores")
+	}
+	if perf == nil {
+		panic("power5: NewChip with nil PerfModel")
+	}
+	ch := &Chip{perf: perf}
+	for i := 0; i < nCores; i++ {
+		co := &Core{chip: ch, id: i}
+		for s := 0; s < 2; s++ {
+			co.contexts[s] = &Context{
+				core: co,
+				slot: s,
+				id:   i*2 + s,
+				prio: PrioMedium,
+			}
+		}
+		ch.cores = append(ch.cores, co)
+	}
+	return ch
+}
+
+// PerfModel returns the chip's performance model.
+func (ch *Chip) PerfModel() PerfModel { return ch.perf }
+
+// NumCores returns the number of cores.
+func (ch *Chip) NumCores() int { return len(ch.cores) }
+
+// NumCPUs returns the number of OS-visible CPUs (contexts).
+func (ch *Chip) NumCPUs() int { return 2 * len(ch.cores) }
+
+// Core returns the i-th core.
+func (ch *Chip) Core(i int) *Core { return ch.cores[i] }
+
+// CPU returns the context with global CPU number id.
+func (ch *Chip) CPU(id int) *Context {
+	if id < 0 || id >= ch.NumCPUs() {
+		panic(fmt.Sprintf("power5: CPU %d out of range [0,%d)", id, ch.NumCPUs()))
+	}
+	return ch.cores[id/2].contexts[id%2]
+}
+
+// SetSpeedChangeHook registers a callback invoked whenever a priority or
+// occupancy change may have altered the speed of a core's contexts. The
+// kernel uses it to re-plan in-flight compute bursts.
+func (ch *Chip) SetSpeedChangeHook(fn func(*Core)) { ch.onSpew = fn }
+
+func (ch *Chip) speedChanged(co *Core) {
+	if ch.onSpew != nil {
+		ch.onSpew(co)
+	}
+}
+
+// ResetPriorities restores every context to the default medium priority
+// without invoking privilege checks (a hypervisor/boot operation).
+func (ch *Chip) ResetPriorities() {
+	for _, co := range ch.cores {
+		for _, cx := range co.contexts {
+			if cx.prio != PrioMedium {
+				cx.prio = PrioMedium
+				ch.speedChanged(co)
+			}
+		}
+	}
+}

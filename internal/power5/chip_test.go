@@ -1,0 +1,184 @@
+package power5
+
+import "testing"
+
+func newTestChip() *Chip { return NewChip(2, NewCalibratedPerfModel()) }
+
+func TestChipTopology(t *testing.T) {
+	ch := newTestChip()
+	if ch.NumCores() != 2 || ch.NumCPUs() != 4 {
+		t.Fatalf("topology = %d cores / %d cpus", ch.NumCores(), ch.NumCPUs())
+	}
+	for id := 0; id < 4; id++ {
+		cx := ch.CPU(id)
+		if cx.ID() != id {
+			t.Fatalf("CPU(%d).ID() = %d", id, cx.ID())
+		}
+		if cx.Core().ID() != id/2 {
+			t.Fatalf("CPU %d on core %d, want %d", id, cx.Core().ID(), id/2)
+		}
+		sib := cx.Sibling()
+		if sib.Core() != cx.Core() || sib == cx {
+			t.Fatal("sibling wiring broken")
+		}
+		if sib.Sibling() != cx {
+			t.Fatal("sibling symmetry broken")
+		}
+	}
+	if ch.Core(1).Context(0).ID() != 2 {
+		t.Fatal("core/context numbering broken")
+	}
+}
+
+func TestChipDefaults(t *testing.T) {
+	ch := newTestChip()
+	for id := 0; id < 4; id++ {
+		if p := ch.CPU(id).Priority(); p != PrioMedium {
+			t.Fatalf("CPU %d default priority %v, want medium", id, p)
+		}
+		if ch.CPU(id).Busy() {
+			t.Fatalf("CPU %d busy at boot", id)
+		}
+	}
+}
+
+func TestCPUOutOfRangePanics(t *testing.T) {
+	ch := newTestChip()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CPU(4) did not panic")
+		}
+	}()
+	ch.CPU(4)
+}
+
+func TestSetPriorityPrivilegeEnforced(t *testing.T) {
+	ch := newTestChip()
+	cx := ch.CPU(0)
+	if err := cx.SetPriority(PrioHigh, PrivUser); err == nil {
+		t.Fatal("user set priority 6 — must be denied")
+	}
+	if err := cx.SetPriority(PrioHigh, PrivSupervisor); err != nil {
+		t.Fatalf("supervisor denied priority 6: %v", err)
+	}
+	if cx.Priority() != PrioHigh {
+		t.Fatal("priority not applied")
+	}
+	if err := cx.SetPriority(PrioVeryHigh, PrivSupervisor); err == nil {
+		t.Fatal("supervisor set priority 7 — must be hypervisor-only")
+	}
+	if err := cx.SetPriority(PrioVeryHigh, PrivHypervisor); err != nil {
+		t.Fatalf("hypervisor denied priority 7: %v", err)
+	}
+	if err := cx.SetPriority(Priority(9), PrivHypervisor); err == nil {
+		t.Fatal("invalid priority accepted")
+	}
+}
+
+func TestExecOrNop(t *testing.T) {
+	ch := newTestChip()
+	cx := ch.CPU(1)
+	if !cx.ExecOrNop(6, PrivUser) { // or 6,6,6 → medium-low
+		t.Fatal("or 6,6,6 rejected for user")
+	}
+	if cx.Priority() != PrioMediumLow {
+		t.Fatalf("priority = %v, want medium-low", cx.Priority())
+	}
+	if cx.ExecOrNop(3, PrivUser) { // or 3,3,3 → high, needs supervisor
+		t.Fatal("user-issued or 3,3,3 must be a plain nop")
+	}
+	if cx.Priority() != PrioMediumLow {
+		t.Fatal("plain nop changed priority")
+	}
+	if cx.ExecOrNop(12, PrivHypervisor) {
+		t.Fatal("or 12,12,12 is not a priority nop")
+	}
+	if !cx.ExecOrNop(3, PrivSupervisor) {
+		t.Fatal("supervisor or 3,3,3 rejected")
+	}
+	if cx.Priority() != PrioHigh {
+		t.Fatal("or 3,3,3 did not set high")
+	}
+}
+
+func TestSpeedReflectsSiblingState(t *testing.T) {
+	ch := newTestChip()
+	m := NewCalibratedPerfModel()
+	a, b := ch.CPU(0), ch.CPU(1)
+	a.SetBusy(true)
+	if got := a.Speed(); got != m.IdleSibling {
+		t.Fatalf("lone busy context speed = %v, want %v", got, m.IdleSibling)
+	}
+	b.SetBusy(true)
+	if got := a.Speed(); got != m.SMTBase {
+		t.Fatalf("equal-priority SMT speed = %v, want %v", got, m.SMTBase)
+	}
+	if err := a.SetPriority(PrioHigh, PrivSupervisor); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Speed(); got != m.Favoured[2] {
+		t.Fatalf("favoured +2 speed = %v, want %v", got, m.Favoured[2])
+	}
+	if got := b.Speed(); got != m.Unfavoured[2] {
+		t.Fatalf("unfavoured -2 speed = %v, want %v", got, m.Unfavoured[2])
+	}
+	// Speeds are per-core: the other core is unaffected.
+	c := ch.CPU(2)
+	c.SetBusy(true)
+	if got := c.Speed(); got != m.IdleSibling {
+		t.Fatalf("other-core speed = %v, want %v", got, m.IdleSibling)
+	}
+}
+
+func TestSpeedChangeHook(t *testing.T) {
+	ch := newTestChip()
+	var calls []int
+	ch.SetSpeedChangeHook(func(co *Core) { calls = append(calls, co.ID()) })
+	ch.CPU(0).SetBusy(true)
+	ch.CPU(3).SetBusy(true)
+	if err := ch.CPU(0).SetPriority(PrioMediumHigh, PrivSupervisor); err != nil {
+		t.Fatal(err)
+	}
+	// No-op changes must not fire the hook.
+	ch.CPU(0).SetBusy(true)
+	if err := ch.CPU(0).SetPriority(PrioMediumHigh, PrivSupervisor); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0}
+	if len(calls) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("hook calls = %v, want %v", calls, want)
+		}
+	}
+}
+
+func TestResetPriorities(t *testing.T) {
+	ch := newTestChip()
+	ch.CPU(0).SetPriority(PrioHigh, PrivSupervisor)
+	ch.CPU(2).SetPriority(PrioLow, PrivUser)
+	ch.ResetPriorities()
+	for id := 0; id < 4; id++ {
+		if ch.CPU(id).Priority() != PrioMedium {
+			t.Fatalf("CPU %d not reset", id)
+		}
+	}
+}
+
+func TestNewChipValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewChip(0, NewCalibratedPerfModel()) },
+		func() { NewChip(2, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewChip did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

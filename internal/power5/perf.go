@@ -1,0 +1,208 @@
+package power5
+
+import "fmt"
+
+// PerfModel maps the priority pair of a core's two contexts to execution
+// speed. Speed is expressed relative to single-thread (ST) mode: 1.0 means
+// the thread progresses as fast as it would with the whole core to itself.
+//
+// Implementations must be pure functions of their arguments: the kernel
+// re-evaluates speeds whenever priorities or occupancy change and relies on
+// identical answers for identical inputs.
+type PerfModel interface {
+	// Speed returns the speed of a thread at priority own whose sibling
+	// context is at priority sib; sibBusy reports whether the sibling is
+	// actually executing work (an idle sibling leaves the core's resources
+	// to the running thread regardless of priorities).
+	Speed(own, sib Priority, sibBusy bool) float64
+}
+
+// CalibratedPerfModel is the default PerfModel. It is a lookup table keyed
+// by the priority difference, calibrated so that the whole pipeline
+// reproduces the paper's measurements (see EXPERIMENTS.md for the
+// derivation from Tables III/IV):
+//
+//   - equal priorities: each thread runs at SMTBase of ST speed;
+//   - an idle sibling still costs a little: Linux's POWER5 idle loop spins
+//     in snooze before dropping priority, so a busy thread with an idle
+//     sibling context runs at IdleSibling, not at the full ST speed
+//     (reachable only with the sibling off, priority 7/0);
+//   - the favoured thread approaches ST speed quickly: at +2 it reaches
+//     ≈95% of the maximum possible improvement, the paper's motivation for
+//     limiting the explored range to ±2;
+//   - the unfavoured thread collapses much faster than the favoured thread
+//     gains (the "10X" asymmetry of the paper's §I conclusion 1);
+//   - priority 1 (background) only picks up leftovers; priority 7 is ST
+//     mode; priority 0 is off.
+type CalibratedPerfModel struct {
+	// SMTBase is the per-thread speed at equal priorities (default 0.58).
+	SMTBase float64
+	// IdleSibling is the speed of a busy thread whose sibling context is
+	// idle but not switched off (default 0.93): the sibling spins in the
+	// kernel idle loop at normal priority.
+	IdleSibling float64
+	// SnoozedSibling is the speed when the idle sibling has dropped to
+	// priority 1 (the smt_snooze_delay path, default 0.97): the snoozing
+	// context consumes almost nothing.
+	SnoozedSibling float64
+	// Favoured[d] / Unfavoured[d] are speeds at priority difference d
+	// (1..4) for the higher- and lower-priority thread respectively.
+	Favoured   [5]float64
+	Unfavoured [5]float64
+	// BackgroundLeftover is the speed of a priority-1 thread whose
+	// foreground sibling is busy.
+	BackgroundLeftover float64
+	// BackgroundDrag is the speed of a normal-priority thread whose
+	// sibling is a busy background (priority-1) thread.
+	BackgroundDrag float64
+}
+
+// NewCalibratedPerfModel returns the default calibration.
+func NewCalibratedPerfModel() *CalibratedPerfModel {
+	return &CalibratedPerfModel{
+		SMTBase:        0.58,
+		IdleSibling:    0.93,
+		SnoozedSibling: 0.97,
+		// Index 0 unused (diff 0 uses SMTBase).
+		Favoured:           [5]float64{0, 0.930, 0.9790, 0.9850, 0.9900},
+		Unfavoured:         [5]float64{0, 0.420, 0.1680, 0.0900, 0.0500},
+		BackgroundLeftover: 0.05,
+		BackgroundDrag:     0.95,
+	}
+}
+
+// Validate checks internal consistency: speeds within (0,1], favoured
+// non-decreasing and unfavoured non-increasing in the priority difference,
+// and favoured ≥ SMTBase ≥ unfavoured.
+func (m *CalibratedPerfModel) Validate() error {
+	if m.SMTBase <= 0 || m.SMTBase > 1 {
+		return fmt.Errorf("power5: SMTBase %v out of (0,1]", m.SMTBase)
+	}
+	prevF, prevU := m.SMTBase, m.SMTBase
+	for d := 1; d <= 4; d++ {
+		f, u := m.Favoured[d], m.Unfavoured[d]
+		if f <= 0 || f > 1 || u <= 0 || u > 1 {
+			return fmt.Errorf("power5: speeds at diff %d out of (0,1]: %v/%v", d, f, u)
+		}
+		if f < prevF {
+			return fmt.Errorf("power5: favoured speed not monotone at diff %d", d)
+		}
+		if u > prevU {
+			return fmt.Errorf("power5: unfavoured speed not monotone at diff %d", d)
+		}
+		prevF, prevU = f, u
+	}
+	if m.BackgroundLeftover <= 0 || m.BackgroundLeftover > 1 {
+		return fmt.Errorf("power5: BackgroundLeftover %v out of (0,1]", m.BackgroundLeftover)
+	}
+	if m.BackgroundDrag <= 0 || m.BackgroundDrag > 1 {
+		return fmt.Errorf("power5: BackgroundDrag %v out of (0,1]", m.BackgroundDrag)
+	}
+	if m.IdleSibling <= 0 || m.IdleSibling > 1 {
+		return fmt.Errorf("power5: IdleSibling %v out of (0,1]", m.IdleSibling)
+	}
+	if m.IdleSibling < m.SMTBase {
+		return fmt.Errorf("power5: IdleSibling %v below SMTBase %v", m.IdleSibling, m.SMTBase)
+	}
+	if m.SnoozedSibling < m.IdleSibling || m.SnoozedSibling > 1 {
+		return fmt.Errorf("power5: SnoozedSibling %v out of [IdleSibling,1]", m.SnoozedSibling)
+	}
+	return nil
+}
+
+// Speed implements PerfModel.
+func (m *CalibratedPerfModel) Speed(own, sib Priority, sibBusy bool) float64 {
+	if !own.Valid() || !sib.Valid() {
+		panic(fmt.Sprintf("power5: invalid priorities %d,%d", int(own), int(sib)))
+	}
+	if own == PrioThreadOff {
+		return 0
+	}
+	// A switched-off sibling leaves the whole core to this thread: true
+	// single-thread mode (priority 7 requires the sibling off).
+	if sib == PrioThreadOff {
+		return 1
+	}
+	// An idle-but-on sibling still burns a few decode slots in its idle
+	// loop; once it has dropped to priority 1 (snooze) it costs almost
+	// nothing.
+	if !sibBusy {
+		if sib == PrioVeryLow {
+			return m.SnoozedSibling
+		}
+		return m.IdleSibling
+	}
+	if own == PrioVeryHigh && sib == PrioVeryHigh {
+		return m.SMTBase // architecturally invalid; degrade gracefully
+	}
+	if own == PrioVeryHigh {
+		return 1
+	}
+	if sib == PrioVeryHigh {
+		return m.BackgroundLeftover
+	}
+	if own == PrioVeryLow && sib == PrioVeryLow {
+		return m.SMTBase
+	}
+	if own == PrioVeryLow {
+		return m.BackgroundLeftover
+	}
+	if sib == PrioVeryLow {
+		return m.BackgroundDrag
+	}
+	diff := int(own) - int(sib)
+	switch {
+	case diff == 0:
+		return m.SMTBase
+	case diff > 0:
+		if diff > 4 {
+			diff = 4
+		}
+		return m.Favoured[diff]
+	default:
+		if diff < -4 {
+			diff = -4
+		}
+		return m.Unfavoured[-diff]
+	}
+}
+
+// DecodeProportionalPerfModel is an alternative, deliberately naive model
+// where speed is directly proportional to the decode share (clamped to ST
+// speed). It exists for ablation: it understates the baseline SMT yield and
+// overstates the favoured thread's gain, and the ablation benches show how
+// the balancing result degrades under it.
+type DecodeProportionalPerfModel struct {
+	// Throughput at full decode share; equal split then yields Scale/2
+	// per thread. Default 1.3 (30% SMT yield).
+	Scale float64
+}
+
+// NewDecodeProportionalPerfModel returns the model with the default scale.
+func NewDecodeProportionalPerfModel() *DecodeProportionalPerfModel {
+	return &DecodeProportionalPerfModel{Scale: 1.3}
+}
+
+// Speed implements PerfModel.
+func (m *DecodeProportionalPerfModel) Speed(own, sib Priority, sibBusy bool) float64 {
+	if !own.Valid() || !sib.Valid() {
+		panic(fmt.Sprintf("power5: invalid priorities %d,%d", int(own), int(sib)))
+	}
+	if own == PrioThreadOff {
+		return 0
+	}
+	if !sibBusy || sib == PrioThreadOff {
+		return 1
+	}
+	so, _ := shareBetween(own, sib)
+	v := so * m.Scale
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// shareBetween returns DecodeShare with the special levels folded in.
+func shareBetween(a, b Priority) (float64, float64) {
+	return DecodeShare(a, b)
+}

@@ -1,0 +1,167 @@
+package power5
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCalibratedModelValidates(t *testing.T) {
+	if err := NewCalibratedPerfModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibratedValidateCatchesBadTables(t *testing.T) {
+	m := NewCalibratedPerfModel()
+	m.Favoured[2] = 0.5 // below Favoured[1] → not monotone
+	if m.Validate() == nil {
+		t.Fatal("non-monotone favoured table passed validation")
+	}
+	m = NewCalibratedPerfModel()
+	m.SMTBase = 1.5
+	if m.Validate() == nil {
+		t.Fatal("SMTBase > 1 passed validation")
+	}
+	m = NewCalibratedPerfModel()
+	m.Unfavoured[3] = 0.9
+	if m.Validate() == nil {
+		t.Fatal("non-monotone unfavoured table passed validation")
+	}
+}
+
+func TestIdleSiblingSpeed(t *testing.T) {
+	m := NewCalibratedPerfModel()
+	for own := PrioLow; own <= PrioHigh; own++ {
+		for sib := PrioLow; sib <= PrioHigh; sib++ {
+			if got := m.Speed(own, sib, false); got != m.IdleSibling {
+				t.Errorf("Speed(%v,%v,idle) = %v, want IdleSibling %v",
+					own, sib, got, m.IdleSibling)
+			}
+		}
+	}
+	// True ST speed needs the sibling switched off.
+	if got := m.Speed(PrioMedium, PrioThreadOff, false); got != 1 {
+		t.Errorf("Speed(medium, off) = %v, want 1", got)
+	}
+	m.IdleSibling = 0.3 // below SMTBase: inconsistent
+	if m.Validate() == nil {
+		t.Error("IdleSibling < SMTBase passed validation")
+	}
+}
+
+func TestEqualPrioritySMTBase(t *testing.T) {
+	m := NewCalibratedPerfModel()
+	for p := PrioLow; p <= PrioHigh; p++ {
+		if got := m.Speed(p, p, true); got != m.SMTBase {
+			t.Errorf("Speed(%v,%v,busy) = %v, want SMTBase %v", p, p, got, m.SMTBase)
+		}
+	}
+}
+
+// TestNinetyFivePercentAtPlusTwo verifies the paper's §IV-B claim baked
+// into the calibration: at +2 the favoured thread reaches ≈95% of the
+// maximum possible improvement over the equal-priority baseline.
+func TestNinetyFivePercentAtPlusTwo(t *testing.T) {
+	m := NewCalibratedPerfModel()
+	base := m.Speed(PrioMedium, PrioMedium, true)
+	max := 1.0
+	got := m.Speed(PrioHigh, PrioMedium, true)
+	frac := (got - base) / (max - base)
+	if frac < 0.94 || frac > 0.96 {
+		t.Fatalf("+2 improvement fraction = %v, want ≈0.95", frac)
+	}
+}
+
+// TestAsymmetry verifies conclusion 1 of the paper's §I: from ±2 on, the
+// unfavoured thread's slowdown exceeds the favoured thread's speedup by a
+// large factor (±1 is roughly symmetric on the calibrated hardware).
+func TestAsymmetry(t *testing.T) {
+	m := NewCalibratedPerfModel()
+	base := m.SMTBase
+	for d := 2; d <= 4; d++ {
+		own := PrioLow + Priority(d)
+		gain := m.Speed(own, PrioLow, true) - base
+		loss := base - m.Speed(PrioLow, own, true)
+		if loss <= gain {
+			t.Errorf("diff %d: loss %v not greater than gain %v", d, loss, gain)
+		}
+	}
+	// At ±2, exec-time terms: the favoured task saves ~40% while the
+	// unfavoured one pays ~2.5x — "sometimes by an order of magnitude".
+	slowdown := base/m.Speed(PrioLow, PrioMedium+Priority(2), true) - 1
+	speedup := 1 - base/m.Speed(PrioMedium+Priority(2), PrioLow, true)
+	if slowdown < 2*speedup {
+		t.Errorf("±2 asymmetry too weak: slowdown %v vs speedup %v", slowdown, speedup)
+	}
+}
+
+func TestSpecialLevels(t *testing.T) {
+	m := NewCalibratedPerfModel()
+	if m.Speed(PrioThreadOff, PrioMedium, true) != 0 {
+		t.Error("off context must have zero speed")
+	}
+	if m.Speed(PrioVeryHigh, PrioThreadOff, false) != 1 {
+		t.Error("ST mode must run at full speed")
+	}
+	if m.Speed(PrioVeryHigh, PrioMedium, false) != m.IdleSibling {
+		t.Error("priority 7 with sibling merely idle is not true ST mode")
+	}
+	if got := m.Speed(PrioVeryLow, PrioMedium, true); got != m.BackgroundLeftover {
+		t.Errorf("background thread speed = %v, want leftover %v", got, m.BackgroundLeftover)
+	}
+	if got := m.Speed(PrioMedium, PrioVeryLow, true); got != m.BackgroundDrag {
+		t.Errorf("foreground-vs-background speed = %v, want %v", got, m.BackgroundDrag)
+	}
+	if got := m.Speed(PrioMedium, PrioThreadOff, true); got != 1 {
+		t.Errorf("sibling off: speed = %v, want 1", got)
+	}
+	// sibBusy=true with sib==PrioVeryHigh means the sibling runs in ST
+	// mode; this thread only sees leftovers.
+	if got := m.Speed(PrioMedium, PrioVeryHigh, true); got != m.BackgroundLeftover {
+		t.Errorf("vs ST sibling: speed = %v, want leftover", got)
+	}
+}
+
+// Property: speed is always in [0,1] and monotone in own priority for a
+// fixed busy sibling in the normal range.
+func TestPropertyCalibratedSpeedBounds(t *testing.T) {
+	m := NewCalibratedPerfModel()
+	f := func(x, y uint8, busy bool) bool {
+		own := Priority(int(x) % 8)
+		sib := Priority(int(y) % 8)
+		v := m.Speed(own, sib, busy)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for sib := PrioLow; sib <= PrioHigh; sib++ {
+		prev := 0.0
+		for own := PrioLow; own <= PrioHigh; own++ {
+			v := m.Speed(own, sib, true)
+			if v < prev {
+				t.Fatalf("speed not monotone in own priority at (%v,%v)", own, sib)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestDecodeProportionalModel(t *testing.T) {
+	m := NewDecodeProportionalPerfModel()
+	if got := m.Speed(PrioMedium, PrioMedium, true); got != 0.65 {
+		t.Fatalf("equal split speed = %v, want 0.5*1.3", got)
+	}
+	if got := m.Speed(PrioHigh, PrioLow, true); got != 1 {
+		t.Fatalf("31/32 share must clamp to 1, got %v", got)
+	}
+	if got := m.Speed(PrioLow, PrioHigh, true); got >= 0.1 {
+		t.Fatalf("1/32 share speed = %v, want < 0.1", got)
+	}
+	if got := m.Speed(PrioMedium, PrioHigh, false); got != 1 {
+		t.Fatal("idle sibling must give full speed")
+	}
+	if got := m.Speed(PrioThreadOff, PrioMedium, true); got != 0 {
+		t.Fatal("off context must have zero speed")
+	}
+}

@@ -1,0 +1,218 @@
+// Package power5 models the hardware substrate of the paper: an IBM POWER5
+// chip — two cores, each 2-way SMT — whose cores arbitrate decode slots
+// between their two hardware contexts according to software-visible
+// hardware thread priorities (0..7).
+//
+// The model reproduces, exactly, the architectural interface the paper
+// relies on:
+//
+//   - Table I: within a window of R = 2^(|PrioA-PrioB|+1) decode cycles the
+//     lower-priority context receives 1 cycle and the higher-priority
+//     context R-1 cycles.
+//   - Table II: priorities are set by or-nop instructions (or X,X,X) and
+//     each level requires a privilege (user / supervisor / hypervisor).
+//   - Special levels: priority 0 switches the context off; priority 7 runs
+//     the context in single-thread (ST) mode (the sibling must be off);
+//     priority 1 marks a background thread that only consumes resources
+//     left over by the foreground sibling.
+//
+// Execution *speed* is not fully determined by decode share on real
+// hardware (pipeline sharing, caches and queues matter), so the mapping
+// from (own priority, sibling priority) to instruction throughput is
+// provided by a PerfModel. The calibrated default reproduces the two
+// headline observations of the authors' ISCA'08 characterisation used by
+// the paper: gains of the favoured thread are much smaller than the losses
+// of the unfavoured one (up to an order of magnitude), and a +2 priority
+// difference already yields ≈95% of the maximum achievable improvement.
+package power5
+
+import "fmt"
+
+// Priority is a POWER5 hardware thread priority level (0..7).
+type Priority int
+
+// The eight architected priority levels (Table II of the paper).
+const (
+	PrioThreadOff  Priority = 0 // context switched off (hypervisor)
+	PrioVeryLow    Priority = 1 // background thread (supervisor)
+	PrioLow        Priority = 2 // user
+	PrioMediumLow  Priority = 3 // user
+	PrioMedium     Priority = 4 // user; the default for every task
+	PrioMediumHigh Priority = 5 // supervisor
+	PrioHigh       Priority = 6 // supervisor
+	PrioVeryHigh   Priority = 7 // single-thread mode (hypervisor)
+)
+
+// Valid reports whether p is an architected priority level.
+func (p Priority) Valid() bool { return p >= 0 && p <= 7 }
+
+// String returns the paper's name for the level.
+func (p Priority) String() string {
+	switch p {
+	case PrioThreadOff:
+		return "thread-off"
+	case PrioVeryLow:
+		return "very-low"
+	case PrioLow:
+		return "low"
+	case PrioMediumLow:
+		return "medium-low"
+	case PrioMedium:
+		return "medium"
+	case PrioMediumHigh:
+		return "medium-high"
+	case PrioHigh:
+		return "high"
+	case PrioVeryHigh:
+		return "very-high"
+	default:
+		return fmt.Sprintf("invalid(%d)", int(p))
+	}
+}
+
+// Privilege is the execution privilege required to set a priority level.
+type Privilege int
+
+const (
+	PrivUser Privilege = iota
+	PrivSupervisor
+	PrivHypervisor
+)
+
+func (pv Privilege) String() string {
+	switch pv {
+	case PrivUser:
+		return "user"
+	case PrivSupervisor:
+		return "supervisor"
+	case PrivHypervisor:
+		return "hypervisor"
+	default:
+		return fmt.Sprintf("privilege(%d)", int(pv))
+	}
+}
+
+// RequiredPrivilege returns the minimum privilege needed to set priority p
+// (Table II). It panics on invalid priorities.
+func RequiredPrivilege(p Priority) Privilege {
+	switch p {
+	case PrioThreadOff, PrioVeryHigh:
+		return PrivHypervisor
+	case PrioVeryLow, PrioMediumHigh, PrioHigh:
+		return PrivSupervisor
+	case PrioLow, PrioMediumLow, PrioMedium:
+		return PrivUser
+	default:
+		panic(fmt.Sprintf("power5: invalid priority %d", int(p)))
+	}
+}
+
+// OrNopRegister returns the register number X of the `or X,X,X` no-op that
+// sets priority p (Table II), and ok=false for priority 0, which has no
+// or-nop encoding (the context is switched off by the hypervisor instead).
+func OrNopRegister(p Priority) (reg int, ok bool) {
+	switch p {
+	case PrioVeryLow:
+		return 31, true
+	case PrioLow:
+		return 1, true
+	case PrioMediumLow:
+		return 6, true
+	case PrioMedium:
+		return 2, true
+	case PrioMediumHigh:
+		return 5, true
+	case PrioHigh:
+		return 3, true
+	case PrioVeryHigh:
+		return 7, true
+	default:
+		return 0, false
+	}
+}
+
+// PriorityFromOrNop is the inverse of OrNopRegister: it decodes the register
+// number of an `or X,X,X` instruction into the priority it requests.
+func PriorityFromOrNop(reg int) (Priority, bool) {
+	switch reg {
+	case 31:
+		return PrioVeryLow, true
+	case 1:
+		return PrioLow, true
+	case 6:
+		return PrioMediumLow, true
+	case 2:
+		return PrioMedium, true
+	case 5:
+		return PrioMediumHigh, true
+	case 3:
+		return PrioHigh, true
+	case 7:
+		return PrioVeryHigh, true
+	default:
+		return 0, false
+	}
+}
+
+// DecodeWindow returns, for two contexts at priorities a and b in the
+// "normal" range (2..6), the arbitration window R = 2^(|a-b|+1) and the
+// decode cycles granted to each context within it (Table I). The
+// higher-priority context receives R-1 cycles, the other 1; at equal
+// priority the window is 2 and each context receives 1 cycle.
+//
+// Priorities 0, 1 and 7 do not follow Table I (the paper, §II-B); callers
+// must special-case them. DecodeWindow panics when given one, to make
+// misuse loud.
+func DecodeWindow(a, b Priority) (r, cyclesA, cyclesB int) {
+	if !a.Valid() || !b.Valid() {
+		panic(fmt.Sprintf("power5: invalid priorities %d,%d", int(a), int(b)))
+	}
+	if a <= PrioVeryLow || b <= PrioVeryLow || a == PrioVeryHigh || b == PrioVeryHigh {
+		panic(fmt.Sprintf("power5: DecodeWindow is undefined for special priorities (%v, %v)", a, b))
+	}
+	diff := int(a) - int(b)
+	if diff < 0 {
+		diff = -diff
+	}
+	r = 1 << uint(diff+1)
+	switch {
+	case a > b:
+		return r, r - 1, 1
+	case b > a:
+		return r, 1, r - 1
+	default:
+		return r, 1, 1
+	}
+}
+
+// DecodeShare returns each context's fraction of decode cycles, following
+// DecodeWindow. For the special levels: a context that is off (or whose
+// sibling runs in ST mode) has share 0 and its sibling share 1; a
+// background (priority 1) context is treated as receiving no guaranteed
+// share, its foreground sibling the full share.
+func DecodeShare(a, b Priority) (shareA, shareB float64) {
+	switch {
+	case a == PrioThreadOff && b == PrioThreadOff:
+		return 0, 0
+	case a == PrioThreadOff:
+		return 0, 1
+	case b == PrioThreadOff:
+		return 1, 0
+	case a == PrioVeryHigh && b == PrioVeryHigh:
+		// Architecturally invalid (7 requires the sibling off); model as
+		// an even split so a buggy caller still makes progress.
+		return 0.5, 0.5
+	case a == PrioVeryHigh:
+		return 1, 0
+	case b == PrioVeryHigh:
+		return 0, 1
+	case a == PrioVeryLow && b == PrioVeryLow:
+		return 0.5, 0.5
+	case a == PrioVeryLow:
+		return 0, 1
+	case b == PrioVeryLow:
+		return 1, 0
+	}
+	r, ca, cb := DecodeWindow(a, b)
+	return float64(ca) / float64(r), float64(cb) / float64(r)
+}

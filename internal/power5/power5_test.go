@@ -1,0 +1,177 @@
+package power5
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTableIDecodeCycles checks the model against the paper's Table I row
+// by row.
+func TestTableIDecodeCycles(t *testing.T) {
+	rows := []struct {
+		diff      int
+		r, hi, lo int
+	}{
+		{0, 2, 1, 1},
+		{1, 4, 3, 1},
+		{2, 8, 7, 1},
+		{3, 16, 15, 1},
+		{4, 32, 31, 1},
+	}
+	for _, row := range rows {
+		a := PrioLow + Priority(row.diff) // keep both in the normal range 2..6
+		b := PrioLow
+		r, ca, cb := DecodeWindow(a, b)
+		if r != row.r || ca != row.hi || cb != row.lo {
+			t.Errorf("diff %d: got R=%d cycles=(%d,%d), want R=%d (%d,%d)",
+				row.diff, r, ca, cb, row.r, row.hi, row.lo)
+		}
+		// Symmetric call.
+		r, ca, cb = DecodeWindow(b, a)
+		if r != row.r || cb != row.hi || ca != row.lo {
+			t.Errorf("diff -%d: got R=%d cycles=(%d,%d)", row.diff, r, ca, cb)
+		}
+	}
+}
+
+// TestPaperExampleSixVsTwo reproduces the worked example from §II-B: TaskA
+// at 6, TaskB at 2 → the core fetches 31 times from A and once from B.
+func TestPaperExampleSixVsTwo(t *testing.T) {
+	r, a, b := DecodeWindow(PrioHigh, PrioLow)
+	if r != 32 || a != 31 || b != 1 {
+		t.Fatalf("6 vs 2: got R=%d (%d,%d), want 32 (31,1)", r, a, b)
+	}
+}
+
+func TestDecodeWindowPanicsOnSpecialLevels(t *testing.T) {
+	for _, pair := range [][2]Priority{
+		{PrioThreadOff, PrioMedium},
+		{PrioVeryLow, PrioMedium},
+		{PrioMedium, PrioVeryHigh},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DecodeWindow(%v,%v) did not panic", pair[0], pair[1])
+				}
+			}()
+			DecodeWindow(pair[0], pair[1])
+		}()
+	}
+}
+
+func TestDecodeShareSpecialLevels(t *testing.T) {
+	cases := []struct {
+		a, b           Priority
+		shareA, shareB float64
+	}{
+		{PrioThreadOff, PrioMedium, 0, 1},
+		{PrioMedium, PrioThreadOff, 1, 0},
+		{PrioThreadOff, PrioThreadOff, 0, 0},
+		{PrioVeryHigh, PrioThreadOff, 1, 0},
+		{PrioVeryLow, PrioMedium, 0, 1},
+		{PrioMedium, PrioVeryLow, 1, 0},
+		{PrioMedium, PrioMedium, 0.5, 0.5},
+	}
+	for _, c := range cases {
+		a, b := DecodeShare(c.a, c.b)
+		if a != c.shareA || b != c.shareB {
+			t.Errorf("DecodeShare(%v,%v) = (%v,%v), want (%v,%v)",
+				c.a, c.b, a, b, c.shareA, c.shareB)
+		}
+	}
+}
+
+// Property: for normal priorities the two shares always sum to 1 and the
+// higher priority never gets the smaller share.
+func TestPropertyDecodeShare(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a := Priority(2 + int(x)%5) // 2..6
+		b := Priority(2 + int(y)%5)
+		sa, sb := DecodeShare(a, b)
+		if sa+sb < 0.999 || sa+sb > 1.001 {
+			return false
+		}
+		if a > b && sa <= sb {
+			return false
+		}
+		if a == b && sa != sb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableIIPrivileges checks the privilege column of Table II.
+func TestTableIIPrivileges(t *testing.T) {
+	want := map[Priority]Privilege{
+		PrioThreadOff:  PrivHypervisor,
+		PrioVeryLow:    PrivSupervisor,
+		PrioLow:        PrivUser,
+		PrioMediumLow:  PrivUser,
+		PrioMedium:     PrivUser,
+		PrioMediumHigh: PrivSupervisor,
+		PrioHigh:       PrivSupervisor,
+		PrioVeryHigh:   PrivHypervisor,
+	}
+	for p, w := range want {
+		if got := RequiredPrivilege(p); got != w {
+			t.Errorf("RequiredPrivilege(%v) = %v, want %v", p, got, w)
+		}
+	}
+}
+
+// TestTableIIOrNops checks the or-nop instruction column of Table II.
+func TestTableIIOrNops(t *testing.T) {
+	want := map[Priority]int{
+		PrioVeryLow:    31,
+		PrioLow:        1,
+		PrioMediumLow:  6,
+		PrioMedium:     2,
+		PrioMediumHigh: 5,
+		PrioHigh:       3,
+		PrioVeryHigh:   7,
+	}
+	for p, reg := range want {
+		got, ok := OrNopRegister(p)
+		if !ok || got != reg {
+			t.Errorf("OrNopRegister(%v) = (%d,%v), want (%d,true)", p, got, ok, reg)
+		}
+		back, ok := PriorityFromOrNop(reg)
+		if !ok || back != p {
+			t.Errorf("PriorityFromOrNop(%d) = (%v,%v), want (%v,true)", reg, back, ok, p)
+		}
+	}
+	if _, ok := OrNopRegister(PrioThreadOff); ok {
+		t.Error("priority 0 must have no or-nop encoding")
+	}
+	if _, ok := PriorityFromOrNop(4); ok {
+		t.Error("register 4 is not a priority nop")
+	}
+}
+
+func TestPriorityStrings(t *testing.T) {
+	if PrioMedium.String() != "medium" || PrioVeryHigh.String() != "very-high" {
+		t.Fatal("priority names wrong")
+	}
+	if Priority(9).String() != "invalid(9)" {
+		t.Fatal("invalid priority name wrong")
+	}
+	if PrivUser.String() != "user" || PrivHypervisor.String() != "hypervisor" {
+		t.Fatal("privilege names wrong")
+	}
+}
+
+func TestPriorityValid(t *testing.T) {
+	for p := Priority(0); p <= 7; p++ {
+		if !p.Valid() {
+			t.Errorf("priority %d should be valid", p)
+		}
+	}
+	if Priority(-1).Valid() || Priority(8).Valid() {
+		t.Error("out-of-range priorities reported valid")
+	}
+}

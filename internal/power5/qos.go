@@ -1,0 +1,77 @@
+package power5
+
+import "fmt"
+
+// QoSPerfModel extends a base model with software-controlled partitioning
+// of the chip's *other* shared resources. The paper argues (§I, citing the
+// cache-QoS literature) that "allowing the software to control not only
+// the decode stage ... but also other processor shared resources in the
+// chip, like the cache, would increase the performance of HPC
+// applications". This model lets the experiments quantify that claim: a
+// priority difference additionally shifts shared-cache capacity towards
+// the favoured thread, amplifying its gain and deepening the unfavoured
+// thread's penalty.
+//
+// The amplification is multiplicative per priority-difference level and
+// saturates at single-thread speed, so the model remains physical.
+type QoSPerfModel struct {
+	// Base provides the decode-priority behaviour (nil → calibrated).
+	Base PerfModel
+	// CacheBoost is the extra speed fraction per priority-difference
+	// level granted to the favoured thread (default 0.02).
+	CacheBoost float64
+	// CachePenalty is the extra slowdown fraction per level on the
+	// unfavoured thread (default 0.05).
+	CachePenalty float64
+}
+
+// NewQoSPerfModel returns the extended model with default amplification.
+func NewQoSPerfModel() *QoSPerfModel {
+	return &QoSPerfModel{
+		Base:         NewCalibratedPerfModel(),
+		CacheBoost:   0.02,
+		CachePenalty: 0.05,
+	}
+}
+
+// Validate checks the amplification parameters.
+func (m *QoSPerfModel) Validate() error {
+	if m.CacheBoost < 0 || m.CacheBoost > 0.2 {
+		return fmt.Errorf("power5: CacheBoost %v out of [0,0.2]", m.CacheBoost)
+	}
+	if m.CachePenalty < 0 || m.CachePenalty > 0.5 {
+		return fmt.Errorf("power5: CachePenalty %v out of [0,0.5]", m.CachePenalty)
+	}
+	return nil
+}
+
+// Speed implements PerfModel.
+func (m *QoSPerfModel) Speed(own, sib Priority, sibBusy bool) float64 {
+	base := m.Base
+	if base == nil {
+		base = NewCalibratedPerfModel()
+	}
+	v := base.Speed(own, sib, sibBusy)
+	if !sibBusy || v == 0 {
+		return v // cache partitioning only matters under contention
+	}
+	// Only the normal range participates (the special levels already
+	// model full/none resource ownership).
+	if own < PrioLow || own > PrioHigh || sib < PrioLow || sib > PrioHigh {
+		return v
+	}
+	diff := int(own) - int(sib)
+	switch {
+	case diff > 0:
+		v *= 1 + m.CacheBoost*float64(diff)
+		if v > 1 {
+			v = 1
+		}
+	case diff < 0:
+		v *= 1 - m.CachePenalty*float64(-diff)
+		if v < 0.01 {
+			v = 0.01
+		}
+	}
+	return v
+}

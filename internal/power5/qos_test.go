@@ -1,0 +1,72 @@
+package power5
+
+import "testing"
+
+func TestQoSAmplifiesDifferences(t *testing.T) {
+	base := NewCalibratedPerfModel()
+	qos := NewQoSPerfModel()
+	if err := qos.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Equal priorities: identical to the base model.
+	if qos.Speed(PrioMedium, PrioMedium, true) != base.Speed(PrioMedium, PrioMedium, true) {
+		t.Fatal("QoS changed the equal-priority speed")
+	}
+	// Favoured: at least as fast as base, capped at ST.
+	for d := Priority(1); d <= 2; d++ {
+		own := PrioMedium + d
+		b := base.Speed(own, PrioMedium, true)
+		q := qos.Speed(own, PrioMedium, true)
+		if q < b || q > 1 {
+			t.Errorf("diff +%d: qos %v vs base %v", d, q, b)
+		}
+		// Unfavoured: strictly slower than base.
+		bu := base.Speed(PrioMedium, own, true)
+		qu := qos.Speed(PrioMedium, own, true)
+		if qu >= bu {
+			t.Errorf("diff -%d: qos %v not below base %v", d, qu, bu)
+		}
+	}
+}
+
+func TestQoSIdleSiblingUnchanged(t *testing.T) {
+	base := NewCalibratedPerfModel()
+	qos := NewQoSPerfModel()
+	if qos.Speed(PrioHigh, PrioMedium, false) != base.Speed(PrioHigh, PrioMedium, false) {
+		t.Fatal("cache partitioning must not matter without contention")
+	}
+}
+
+func TestQoSSpecialLevelsPassThrough(t *testing.T) {
+	base := NewCalibratedPerfModel()
+	qos := NewQoSPerfModel()
+	for _, pair := range [][2]Priority{
+		{PrioThreadOff, PrioMedium},
+		{PrioVeryHigh, PrioMedium},
+		{PrioMedium, PrioVeryLow},
+	} {
+		if qos.Speed(pair[0], pair[1], true) != base.Speed(pair[0], pair[1], true) {
+			t.Errorf("special pair %v amplified", pair)
+		}
+	}
+}
+
+func TestQoSValidation(t *testing.T) {
+	m := NewQoSPerfModel()
+	m.CacheBoost = 0.5
+	if m.Validate() == nil {
+		t.Fatal("excessive boost accepted")
+	}
+	m = NewQoSPerfModel()
+	m.CachePenalty = -0.1
+	if m.Validate() == nil {
+		t.Fatal("negative penalty accepted")
+	}
+}
+
+func TestQoSNilBaseDefaults(t *testing.T) {
+	m := &QoSPerfModel{CacheBoost: 0.02, CachePenalty: 0.05}
+	if got := m.Speed(PrioMedium, PrioMedium, true); got != NewCalibratedPerfModel().SMTBase {
+		t.Fatalf("nil base speed = %v", got)
+	}
+}

@@ -1,0 +1,192 @@
+// Package proc implements the coroutine harness that lets simulated
+// programs (MPI ranks, OS daemons) be written as ordinary sequential Go
+// functions while the simulation stays fully deterministic.
+//
+// Each Process runs its body on a dedicated goroutine, but the goroutine is
+// only ever runnable while the engine is blocked waiting for the process's
+// next request: control passes back and forth over unbuffered channels in
+// strict lock-step, so at any instant at most one goroutine in the whole
+// simulation makes progress. The result behaves like hand-written
+// coroutines — no data races, no scheduling nondeterminism — with none of
+// the pain of writing workloads as explicit state machines.
+//
+// Protocol: the engine calls Start to obtain the body's first request, then
+// repeatedly answers requests via Resume, which returns the next request.
+// When the body returns, Resume reports done=true. A process abandoned
+// mid-request (e.g. the simulation horizon was reached) must be released
+// with Kill, which unwinds the body's goroutine.
+package proc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Request is an opaque service request from a process body to the engine.
+// The kernel layer defines the concrete request types (compute bursts,
+// blocking receives, ...).
+type Request any
+
+// errKilled unwinds a killed process body. It is deliberately unexported:
+// bodies must not recover from it.
+var errKilled = errors.New("proc: process killed")
+
+type exitMsg struct{}
+
+type panicMsg struct{ value any }
+
+// PanicError wraps a panic raised inside a process body so the engine can
+// attribute it.
+type PanicError struct {
+	Process string
+	Value   any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("proc: panic in process %q: %v", e.Process, e.Value)
+}
+
+// Process is one simulated sequential program.
+type Process struct {
+	id      int
+	name    string
+	body    func(*Handle)
+	req     chan Request
+	reply   chan any
+	kill    chan struct{}
+	started bool
+	done    bool
+	killed  bool
+}
+
+// New creates a process. The body does not start executing until Start is
+// called.
+func New(id int, name string, body func(*Handle)) *Process {
+	if body == nil {
+		panic("proc: nil body")
+	}
+	return &Process{
+		id:    id,
+		name:  name,
+		body:  body,
+		req:   make(chan Request),
+		reply: make(chan any),
+		kill:  make(chan struct{}),
+	}
+}
+
+// ID returns the identifier the process was created with.
+func (p *Process) ID() int { return p.id }
+
+// Name returns the human-readable name the process was created with.
+func (p *Process) Name() string { return p.name }
+
+// Done reports whether the body has returned (or the process was killed).
+func (p *Process) Done() bool { return p.done }
+
+// Handle is the body-side endpoint. It is only valid on the body's
+// goroutine, for the lifetime of the body function.
+type Handle struct {
+	p *Process
+}
+
+// Process returns the process this handle belongs to.
+func (h *Handle) Process() *Process { return h.p }
+
+// Invoke submits a request to the engine and blocks the body until the
+// engine answers via Resume. It returns the engine's reply.
+func (h *Handle) Invoke(req Request) any {
+	p := h.p
+	select {
+	case p.req <- req:
+	case <-p.kill:
+		panic(errKilled)
+	}
+	select {
+	case r := <-p.reply:
+		return r
+	case <-p.kill:
+		panic(errKilled)
+	}
+}
+
+// Start launches the body goroutine and returns its first request.
+// done is true if the body returned without issuing any request.
+func (p *Process) Start() (req Request, done bool) {
+	if p.started {
+		panic("proc: Start called twice")
+	}
+	p.started = true
+	go p.run()
+	return p.next()
+}
+
+// Resume delivers the engine's reply to the body's pending Invoke and
+// returns the body's next request. done is true when the body has returned,
+// in which case req is nil and the process must not be resumed again.
+func (p *Process) Resume(reply any) (req Request, done bool) {
+	if !p.started {
+		panic("proc: Resume before Start")
+	}
+	if p.done {
+		panic(fmt.Sprintf("proc: Resume on finished process %q", p.name))
+	}
+	p.reply <- reply
+	return p.next()
+}
+
+// Kill releases a process that is blocked inside Invoke, unwinding its
+// goroutine. It is idempotent. Killing a process that already finished is a
+// no-op.
+func (p *Process) Kill() {
+	if p.killed || p.done {
+		p.done = true
+		return
+	}
+	p.killed = true
+	p.done = true
+	close(p.kill)
+	if p.started {
+		// Drain the final message the unwinding goroutine may emit if it
+		// was between "send request" and "receive reply".
+		select {
+		case <-p.req:
+		default:
+		}
+	}
+}
+
+func (p *Process) next() (Request, bool) {
+	r := <-p.req
+	switch m := r.(type) {
+	case exitMsg:
+		p.done = true
+		return nil, true
+	case panicMsg:
+		p.done = true
+		panic(&PanicError{Process: p.name, Value: m.value})
+	default:
+		return r, false
+	}
+}
+
+func (p *Process) run() {
+	defer func() {
+		if v := recover(); v != nil {
+			if err, ok := v.(error); ok && errors.Is(err, errKilled) {
+				return // silent unwind; engine already moved on
+			}
+			select {
+			case p.req <- panicMsg{v}:
+			case <-p.kill:
+			}
+			return
+		}
+		select {
+		case p.req <- exitMsg{}:
+		case <-p.kill:
+		}
+	}()
+	h := &Handle{p: p}
+	p.body(h)
+}

@@ -1,0 +1,191 @@
+package proc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockstepExchange(t *testing.T) {
+	p := New(1, "worker", func(h *Handle) {
+		for i := 0; i < 3; i++ {
+			got := h.Invoke(i)
+			if got != i*10 {
+				t.Errorf("reply = %v, want %v", got, i*10)
+			}
+		}
+	})
+	req, done := p.Start()
+	for i := 0; i < 3; i++ {
+		if done {
+			t.Fatalf("process finished early at step %d", i)
+		}
+		if req != i {
+			t.Fatalf("request = %v, want %v", req, i)
+		}
+		req, done = p.Resume(i * 10)
+	}
+	if !done {
+		t.Fatal("process did not finish")
+	}
+	if !p.Done() {
+		t.Fatal("Done() = false after completion")
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	p := New(1, "empty", func(h *Handle) {})
+	req, done := p.Start()
+	if !done || req != nil {
+		t.Fatalf("Start = (%v, %v), want (nil, true)", req, done)
+	}
+}
+
+func TestBodyPanicPropagates(t *testing.T) {
+	p := New(1, "boom", func(h *Handle) {
+		h.Invoke("first")
+		panic("kaboom")
+	})
+	_, done := p.Start()
+	if done {
+		t.Fatal("finished before panic point")
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic did not propagate to engine side")
+		}
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", v)
+		}
+		if pe.Process != "boom" || pe.Value != "kaboom" {
+			t.Fatalf("PanicError = %+v", pe)
+		}
+		if !strings.Contains(pe.Error(), "boom") {
+			t.Fatalf("Error() = %q", pe.Error())
+		}
+	}()
+	p.Resume(nil)
+}
+
+func TestImmediatePanicPropagates(t *testing.T) {
+	p := New(1, "early", func(h *Handle) { panic("now") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in body before first Invoke did not propagate")
+		}
+	}()
+	p.Start()
+}
+
+func TestKillUnblocksBody(t *testing.T) {
+	reached := make(chan bool, 1)
+	p := New(1, "victim", func(h *Handle) {
+		defer func() { reached <- true }()
+		h.Invoke("block me")
+		reached <- false // must not be reached
+	})
+	_, done := p.Start()
+	if done {
+		t.Fatal("finished early")
+	}
+	p.Kill()
+	if !<-reached {
+		t.Fatal("body continued past Invoke after Kill")
+	}
+	if !p.Done() {
+		t.Fatal("Done() = false after Kill")
+	}
+	p.Kill() // idempotent
+}
+
+func TestKillBeforeStart(t *testing.T) {
+	p := New(1, "unborn", func(h *Handle) { t.Error("body ran") })
+	p.Kill()
+	if !p.Done() {
+		t.Fatal("Done() = false after Kill")
+	}
+}
+
+func TestResumeAfterDonePanics(t *testing.T) {
+	p := New(1, "done", func(h *Handle) {})
+	p.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resume on finished process did not panic")
+		}
+	}()
+	p.Resume(nil)
+}
+
+func TestStartTwicePanics(t *testing.T) {
+	p := New(1, "dup", func(h *Handle) {})
+	p.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start did not panic")
+		}
+	}()
+	p.Start()
+}
+
+func TestNilBodyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil body) did not panic")
+		}
+	}()
+	New(1, "nil", nil)
+}
+
+func TestManyProcessesInterleaved(t *testing.T) {
+	// Drive 10 processes round-robin; each yields its ID 5 times. The
+	// engine-observed sequence must be exactly round-robin: lock-step
+	// means no goroutine can "run ahead".
+	const n, rounds = 10, 5
+	procs := make([]*Process, n)
+	for i := 0; i < n; i++ {
+		id := i
+		procs[i] = New(id, "p", func(h *Handle) {
+			for r := 0; r < rounds; r++ {
+				h.Invoke(id)
+			}
+		})
+	}
+	var seen []int
+	reqs := make([]Request, n)
+	for i, p := range procs {
+		req, done := p.Start()
+		if done {
+			t.Fatal("finished early")
+		}
+		reqs[i] = req
+	}
+	for r := 0; r < rounds; r++ {
+		for i, p := range procs {
+			seen = append(seen, reqs[i].(int))
+			req, done := p.Resume(nil)
+			if done != (r == rounds-1) {
+				t.Fatalf("round %d proc %d done=%v", r, i, done)
+			}
+			reqs[i] = req
+		}
+	}
+	for k, v := range seen {
+		if v != k%n {
+			t.Fatalf("interleaving broken at %d: got %d want %d", k, v, k%n)
+		}
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	p := New(7, "meta", func(h *Handle) {
+		if h.Process().ID() != 7 || h.Process().Name() != "meta" {
+			t.Error("handle metadata mismatch")
+		}
+	})
+	p.Start()
+	if p.ID() != 7 || p.Name() != "meta" {
+		t.Fatalf("ID/Name = %d/%q", p.ID(), p.Name())
+	}
+}

@@ -1,0 +1,373 @@
+// Package rbtree implements an intrusive-style red-black tree with a cached
+// leftmost node, mirroring the Linux kernel's rbtree as used by CFS: the
+// scheduler needs ordered insertion, arbitrary deletion via a retained node
+// handle, and O(1) access to the leftmost ("next to run") element.
+package rbtree
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+// Node is a tree node holding one item. Callers keep the *Node returned by
+// Insert to delete the item later without a lookup.
+type Node[T any] struct {
+	Item                T
+	parent, left, right *Node[T]
+	color               color
+}
+
+// Tree is a red-black tree ordered by a strict-weak less function supplied
+// at construction. Duplicate-ordering items are allowed; among equal items,
+// later insertions sort after earlier ones (insertion-stable), matching the
+// kernel behaviour CFS relies on for FIFO tie-breaking.
+type Tree[T any] struct {
+	root     *Node[T]
+	nilNode  *Node[T] // sentinel: all leaves and the root's parent
+	leftmost *Node[T]
+	less     func(a, b T) bool
+	size     int
+}
+
+// New returns an empty tree ordered by less.
+func New[T any](less func(a, b T) bool) *Tree[T] {
+	if less == nil {
+		panic("rbtree: nil less function")
+	}
+	sentinel := &Node[T]{color: black}
+	return &Tree[T]{root: sentinel, nilNode: sentinel, less: less}
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Empty reports whether the tree holds no items.
+func (t *Tree[T]) Empty() bool { return t.size == 0 }
+
+// Min returns the leftmost node, or nil if the tree is empty. O(1).
+func (t *Tree[T]) Min() *Node[T] {
+	if t.leftmost == t.nilNode || t.leftmost == nil {
+		return nil
+	}
+	return t.leftmost
+}
+
+// Insert adds item and returns its node handle.
+func (t *Tree[T]) Insert(item T) *Node[T] {
+	n := &Node[T]{Item: item, left: t.nilNode, right: t.nilNode, color: red}
+	parent := t.nilNode
+	cur := t.root
+	isLeftmostPath := true
+	for cur != t.nilNode {
+		parent = cur
+		if t.less(item, cur.Item) {
+			cur = cur.left
+		} else {
+			cur = cur.right
+			isLeftmostPath = false
+		}
+	}
+	n.parent = parent
+	switch {
+	case parent == t.nilNode:
+		t.root = n
+	case t.less(item, parent.Item):
+		parent.left = n
+	default:
+		parent.right = n
+	}
+	if isLeftmostPath || t.size == 0 {
+		t.leftmost = n
+	}
+	t.size++
+	t.insertFixup(n)
+	return n
+}
+
+// Delete removes the node from the tree. The node must currently be in the
+// tree; deleting a node twice corrupts the structure, so Delete clears the
+// handle's parent pointers and panics on obvious reuse.
+func (t *Tree[T]) Delete(n *Node[T]) {
+	if n == nil || n == t.nilNode {
+		panic("rbtree: Delete of nil node")
+	}
+	if n.left == nil && n.right == nil {
+		panic("rbtree: Delete of node not in tree (double delete?)")
+	}
+	if n == t.leftmost {
+		t.leftmost = t.successor(n)
+	}
+
+	y := n
+	yOrig := y.color
+	var x *Node[T]
+	switch {
+	case n.left == t.nilNode:
+		x = n.right
+		t.transplant(n, n.right)
+	case n.right == t.nilNode:
+		x = n.left
+		t.transplant(n, n.left)
+	default:
+		y = t.minimum(n.right)
+		yOrig = y.color
+		x = y.right
+		if y.parent == n {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = n.right
+			y.right.parent = y
+		}
+		t.transplant(n, y)
+		y.left = n.left
+		y.left.parent = y
+		y.color = n.color
+	}
+	if yOrig == black {
+		t.deleteFixup(x)
+	}
+	t.size--
+	if t.size == 0 {
+		t.leftmost = t.nilNode
+	}
+	n.left, n.right, n.parent = nil, nil, nil // poison the handle
+}
+
+// PopMin removes and returns the smallest item. ok is false on an empty
+// tree.
+func (t *Tree[T]) PopMin() (item T, ok bool) {
+	n := t.Min()
+	if n == nil {
+		var zero T
+		return zero, false
+	}
+	item = n.Item
+	t.Delete(n)
+	return item, true
+}
+
+// Ascend calls fn on every item in order, stopping early if fn returns
+// false.
+func (t *Tree[T]) Ascend(fn func(item T) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[T]) ascend(n *Node[T], fn func(item T) bool) bool {
+	if n == t.nilNode {
+		return true
+	}
+	if !t.ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.Item) {
+		return false
+	}
+	return t.ascend(n.right, fn)
+}
+
+// Items returns all items in order. Intended for tests and debugging.
+func (t *Tree[T]) Items() []T {
+	out := make([]T, 0, t.size)
+	t.Ascend(func(it T) bool { out = append(out, it); return true })
+	return out
+}
+
+func (t *Tree[T]) minimum(n *Node[T]) *Node[T] {
+	for n.left != t.nilNode {
+		n = n.left
+	}
+	return n
+}
+
+func (t *Tree[T]) successor(n *Node[T]) *Node[T] {
+	if n.right != t.nilNode {
+		return t.minimum(n.right)
+	}
+	p := n.parent
+	for p != t.nilNode && n == p.right {
+		n = p
+		p = p.parent
+	}
+	return p
+}
+
+func (t *Tree[T]) transplant(u, v *Node[T]) {
+	switch {
+	case u.parent == t.nilNode:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree[T]) rotateLeft(x *Node[T]) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nilNode {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nilNode:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[T]) rotateRight(x *Node[T]) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nilNode {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nilNode:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[T]) insertFixup(z *Node[T]) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateRight(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateLeft(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+func (t *Tree[T]) deleteFixup(x *Node[T]) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.right.color == black {
+					w.left.color = black
+					w.color = red
+					t.rotateRight(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.right.color = black
+				t.rotateLeft(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateRight(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.left.color == black {
+					w.right.color = black
+					w.color = red
+					t.rotateLeft(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.left.color = black
+				t.rotateRight(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = black
+}
+
+// checkInvariants validates the red-black properties; it returns the black
+// height and panics on violation. Exposed to the package tests via
+// invariants_test.go.
+func (t *Tree[T]) checkInvariants() int {
+	if t.root.color != black {
+		panic("rbtree: root is red")
+	}
+	var walk func(n *Node[T]) int
+	walk = func(n *Node[T]) int {
+		if n == t.nilNode {
+			return 1
+		}
+		if n.color == red && (n.left.color == red || n.right.color == red) {
+			panic("rbtree: red node with red child")
+		}
+		lh := walk(n.left)
+		rh := walk(n.right)
+		if lh != rh {
+			panic("rbtree: black-height mismatch")
+		}
+		if n.left != t.nilNode && t.less(n.Item, n.left.Item) {
+			panic("rbtree: left child greater than parent")
+		}
+		if n.right != t.nilNode && t.less(n.right.Item, n.Item) {
+			panic("rbtree: right child less than parent")
+		}
+		if n.color == black {
+			return lh + 1
+		}
+		return lh
+	}
+	return walk(t.root)
+}

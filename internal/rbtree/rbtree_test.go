@@ -1,0 +1,244 @@
+package rbtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hpcsched/internal/sim"
+)
+
+func intTree() *Tree[int] { return New[int](func(a, b int) bool { return a < b }) }
+
+func TestEmpty(t *testing.T) {
+	tr := intTree()
+	if !tr.Empty() || tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if tr.Min() != nil {
+		t.Fatal("Min on empty tree should be nil")
+	}
+	if _, ok := tr.PopMin(); ok {
+		t.Fatal("PopMin on empty tree should report !ok")
+	}
+}
+
+func TestInsertOrdered(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{5, 3, 8, 1, 4, 7, 9, 2, 6, 0} {
+		tr.Insert(v)
+		tr.checkInvariants()
+	}
+	got := tr.Items()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("Items = %v", got)
+		}
+	}
+	if tr.Min().Item != 0 {
+		t.Fatalf("Min = %v, want 0", tr.Min().Item)
+	}
+}
+
+func TestPopMinDrains(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{42, 17, 99, 3, 64} {
+		tr.Insert(v)
+	}
+	want := []int{3, 17, 42, 64, 99}
+	for _, w := range want {
+		v, ok := tr.PopMin()
+		if !ok || v != w {
+			t.Fatalf("PopMin = (%v,%v), want %v", v, ok, w)
+		}
+		tr.checkInvariants()
+	}
+	if !tr.Empty() {
+		t.Fatal("tree not empty after draining")
+	}
+}
+
+func TestDeleteByHandle(t *testing.T) {
+	tr := intTree()
+	nodes := map[int]*Node[int]{}
+	for v := 0; v < 50; v++ {
+		nodes[v] = tr.Insert(v)
+	}
+	// Delete odds via handles.
+	for v := 1; v < 50; v += 2 {
+		tr.Delete(nodes[v])
+		tr.checkInvariants()
+	}
+	got := tr.Items()
+	if len(got) != 25 {
+		t.Fatalf("len = %d, want 25", len(got))
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("Items = %v", got)
+		}
+	}
+	if tr.Min().Item != 0 {
+		t.Fatal("Min wrong after deletes")
+	}
+}
+
+func TestDeleteLeftmostUpdatesMin(t *testing.T) {
+	tr := intTree()
+	var hs []*Node[int]
+	for v := 0; v < 10; v++ {
+		hs = append(hs, tr.Insert(v))
+	}
+	for v := 0; v < 9; v++ {
+		tr.Delete(hs[v])
+		if tr.Min().Item != v+1 {
+			t.Fatalf("after deleting %d, Min = %v want %d", v, tr.Min().Item, v+1)
+		}
+	}
+}
+
+func TestDoubleDeletePanics(t *testing.T) {
+	tr := intTree()
+	n := tr.Insert(1)
+	tr.Insert(2)
+	tr.Delete(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double delete did not panic")
+		}
+	}()
+	tr.Delete(n)
+}
+
+func TestDeleteNilPanics(t *testing.T) {
+	tr := intTree()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delete(nil) did not panic")
+		}
+	}()
+	tr.Delete(nil)
+}
+
+func TestNilLessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil) did not panic")
+		}
+	}()
+	New[int](nil)
+}
+
+func TestDuplicatesStable(t *testing.T) {
+	// Items with equal keys must come out in insertion order.
+	type kv struct{ key, seq int }
+	tr := New[kv](func(a, b kv) bool { return a.key < b.key })
+	for i := 0; i < 10; i++ {
+		tr.Insert(kv{key: 7, seq: i})
+	}
+	tr.Insert(kv{key: 3, seq: 100})
+	got := tr.Items()
+	if got[0].key != 3 {
+		t.Fatal("ordering broken")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].key != 7 || got[i].seq != i-1 {
+			t.Fatalf("duplicates not insertion-stable: %v", got)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := intTree()
+	for v := 0; v < 20; v++ {
+		tr.Insert(v)
+	}
+	var seen []int
+	tr.Ascend(func(v int) bool {
+		seen = append(seen, v)
+		return v < 4 // fn(4) returns false → iteration stops after visiting 4
+	})
+	if len(seen) != 5 || seen[len(seen)-1] != 4 {
+		t.Fatalf("early stop broken: %v", seen)
+	}
+}
+
+// Property: random interleaved insert/delete sequences keep the tree
+// consistent with a reference sorted multiset.
+func TestPropertyAgainstReference(t *testing.T) {
+	f := func(ops []int16, seed uint64) bool {
+		if len(ops) > 300 {
+			ops = ops[:300]
+		}
+		rng := sim.NewRNG(seed)
+		tr := intTree()
+		var ref []int
+		handles := map[int][]*Node[int]{}
+		for _, op := range ops {
+			v := int(op)
+			if rng.Intn(3) != 0 || len(ref) == 0 {
+				// Insert.
+				handles[v] = append(handles[v], tr.Insert(v))
+				i := sort.SearchInts(ref, v)
+				ref = append(ref, 0)
+				copy(ref[i+1:], ref[i:])
+				ref[i] = v
+			} else {
+				// Delete a random existing value.
+				v = ref[rng.Intn(len(ref))]
+				hs := handles[v]
+				h := hs[len(hs)-1]
+				handles[v] = hs[:len(hs)-1]
+				tr.Delete(h)
+				i := sort.SearchInts(ref, v)
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+			tr.checkInvariants()
+			if tr.Len() != len(ref) {
+				return false
+			}
+			if len(ref) > 0 && tr.Min().Item != ref[0] {
+				return false
+			}
+		}
+		got := tr.Items()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: black-height stays logarithmic (≤ 2*log2(n+1)).
+func TestPropertyBalanced(t *testing.T) {
+	tr := intTree()
+	rng := sim.NewRNG(5)
+	for i := 0; i < 4096; i++ {
+		tr.Insert(rng.Intn(1 << 20))
+	}
+	bh := tr.checkInvariants()
+	// Black height of a RB tree with n nodes is at most log2(n+1)+1.
+	if bh > 14 {
+		t.Fatalf("black height %d too large for 4096 nodes", bh)
+	}
+}
+
+func BenchmarkInsertPopMin(b *testing.B) {
+	tr := intTree()
+	rng := sim.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Intn(1 << 30))
+		if tr.Len() > 64 {
+			tr.PopMin()
+		}
+	}
+}

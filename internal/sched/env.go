@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"hpcsched/internal/power5"
+	"hpcsched/internal/proc"
+	"hpcsched/internal/sim"
+)
+
+// Request types exchanged between process bodies and the kernel pump.
+type (
+	computeReq  struct{ d sim.Time }
+	sleepReq    struct{ d sim.Time }
+	blockReq    struct{ reason string }
+	yieldReq    struct{}
+	setSchedReq struct {
+		policy Policy
+		rtPrio int
+	}
+	setNiceReq   struct{ nice int }
+	setHWPrioReq struct{ prio power5.Priority }
+)
+
+// Env is the system-call surface available to a simulated process body. It
+// is only valid on the body's goroutine.
+//
+// Lock-step discipline: while the body runs, the simulation engine is
+// parked, so Env methods (and higher layers such as the MPI runtime, which
+// call Kernel methods directly from the body goroutine) never race with
+// engine-side code.
+type Env struct {
+	h      *proc.Handle
+	kernel *Kernel
+	task   *Task
+}
+
+// Task returns the kernel task backing this process.
+func (e *Env) Task() *Task { return e.task }
+
+// Kernel returns the kernel. Higher-level runtimes (MPI) use it to wake
+// peers and schedule deliveries; plain workload bodies should not need it.
+func (e *Env) Kernel() *Kernel { return e.kernel }
+
+// Now returns the current virtual time.
+func (e *Env) Now() sim.Time { return e.kernel.Now() }
+
+// Compute executes d nanoseconds of work measured at single-thread speed.
+// The call returns when the work completes; how long that takes in virtual
+// time depends on scheduling and on the hardware priorities of the core's
+// two contexts.
+func (e *Env) Compute(d sim.Time) {
+	if d < 0 {
+		panic("sched: Compute with negative duration")
+	}
+	e.h.Invoke(computeReq{d})
+}
+
+// Sleep blocks the process for d of virtual time.
+func (e *Env) Sleep(d sim.Time) {
+	if d < 0 {
+		panic("sched: Sleep with negative duration")
+	}
+	e.h.Invoke(sleepReq{d})
+}
+
+// Block parks the process until some other party calls Kernel.Wake on its
+// task. reason is for diagnostics only.
+func (e *Env) Block(reason string) {
+	e.h.Invoke(blockReq{reason})
+}
+
+// Yield releases the CPU, staying runnable (sched_yield).
+func (e *Env) Yield() {
+	e.h.Invoke(yieldReq{})
+}
+
+// SetScheduler switches the process to another scheduling policy — the
+// one-line change the paper asks of HPC applications
+// (sched_setscheduler(SCHED_HPC)). rtPrio is only meaningful for the
+// real-time policies.
+func (e *Env) SetScheduler(p Policy, rtPrio int) {
+	e.h.Invoke(setSchedReq{policy: p, rtPrio: rtPrio})
+}
+
+// SetNice adjusts the CFS nice level.
+func (e *Env) SetNice(nice int) {
+	e.h.Invoke(setNiceReq{nice})
+}
+
+// SetHWPrio sets the process's own hardware priority, as a user-level
+// program could via the or-nop interface. The kernel clamps nothing here:
+// privilege is checked when the priority is applied to the context
+// (supervisor level, since the kernel performs the write).
+func (e *Env) SetHWPrio(p power5.Priority) {
+	if !p.Valid() {
+		panic("sched: invalid hardware priority")
+	}
+	e.h.Invoke(setHWPrioReq{p})
+}

@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"testing"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sim"
+)
+
+// TestIdlePolicyRunsLast: a SCHED_IDLE task only progresses while no
+// higher class wants the CPU.
+func TestIdlePolicyRunsLast(t *testing.T) {
+	_, k := newTestKernel(1)
+	idler := k.AddProcess(TaskSpec{Name: "idler", Policy: PolicyIdle, Affinity: pin(0)},
+		func(env *Env) {
+			env.Compute(5 * sim.Millisecond)
+		})
+	hog := k.AddProcess(TaskSpec{Name: "hog", Policy: PolicyNormal, Affinity: pin(0)},
+		func(env *Env) {
+			env.Compute(30 * sim.Millisecond)
+		})
+	k.Watch(idler)
+	k.Watch(hog)
+	k.RunUntilWatchedExit(sim.Second)
+	if idler.ExitedAt <= hog.ExitedAt {
+		t.Fatalf("idle task (%v) must finish after the normal task (%v)",
+			idler.ExitedAt, hog.ExitedAt)
+	}
+	// The idle task never preempted the hog: the hog's exec time is one
+	// uninterrupted run.
+	want := sim.Time(float64(30*sim.Millisecond) / pm.IdleSibling)
+	approx(t, "hog finish", hog.ExitedAt, want, 0.02)
+}
+
+// TestIdleClassQueueing exercises the idle class's queue discipline with
+// several idle tasks.
+func TestIdleClassQueueing(t *testing.T) {
+	_, k := newTestKernel(1)
+	var order []int
+	var tasks []*Task
+	for i := 0; i < 3; i++ {
+		i := i
+		task := k.AddProcess(TaskSpec{Name: "bg", Policy: PolicyIdle, Affinity: pin(0)},
+			func(env *Env) {
+				env.Compute(5 * sim.Millisecond)
+				order = append(order, i)
+			})
+		k.Watch(task)
+		tasks = append(tasks, task)
+	}
+	k.RunUntilWatchedExit(sim.Second)
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("idle FIFO broken: %v", order)
+		}
+	}
+	_ = tasks
+}
+
+// TestIdleClassStealAndWake: idle tasks migrate to idle CPUs and survive
+// sleep/wake cycles.
+func TestIdleClassStealAndWake(t *testing.T) {
+	_, k := newTestKernel(1)
+	var tasks []*Task
+	for i := 0; i < 4; i++ {
+		task := k.AddProcess(TaskSpec{Name: "bg", Policy: PolicyIdle},
+			func(env *Env) {
+				for j := 0; j < 3; j++ {
+					env.Compute(4 * sim.Millisecond)
+					env.Sleep(sim.Millisecond)
+				}
+			})
+		k.Watch(task)
+		tasks = append(tasks, task)
+	}
+	end := k.RunUntilWatchedExit(sim.Second)
+	if end >= sim.Second {
+		t.Fatal("idle tasks starved with an otherwise empty machine")
+	}
+	cpus := map[int]bool{}
+	for _, task := range tasks {
+		cpus[task.CPU] = true
+	}
+	if len(cpus) < 2 {
+		t.Fatalf("idle tasks never spread: %v", cpus)
+	}
+}
+
+func TestSetNiceFromBody(t *testing.T) {
+	_, k := newTestKernel(1)
+	stop := false
+	greedy := k.AddProcess(TaskSpec{Name: "greedy", Policy: PolicyNormal, Affinity: pin(0)},
+		func(env *Env) {
+			env.SetNice(-10)
+			for !stop {
+				env.Compute(2 * sim.Millisecond)
+			}
+		})
+	meek := k.AddProcess(TaskSpec{Name: "meek", Policy: PolicyNormal, Affinity: pin(0)},
+		func(env *Env) {
+			env.SetNice(10)
+			for !stop {
+				env.Compute(2 * sim.Millisecond)
+			}
+		})
+	e := k.Engine
+	e.Schedule(300*sim.Millisecond, func() { stop = true; e.Stop() })
+	e.Run(400 * sim.Millisecond)
+	if greedy.Nice != -10 || meek.Nice != 10 {
+		t.Fatalf("nice not applied: %d / %d", greedy.Nice, meek.Nice)
+	}
+	if float64(greedy.SumExec) < 3*float64(meek.SumExec) {
+		t.Fatalf("nice weighting ineffective: %v vs %v", greedy.SumExec, meek.SumExec)
+	}
+}
+
+func TestSetHWPrioFromBody(t *testing.T) {
+	_, k := newTestKernel(1)
+	task := k.AddProcess(TaskSpec{Name: "self", Policy: PolicyNormal, Affinity: pin(0)},
+		func(env *Env) {
+			env.SetHWPrio(power5.PrioMediumHigh)
+			env.Compute(sim.Millisecond)
+		})
+	k.Watch(task)
+	k.RunUntilWatchedExit(sim.Second)
+	if task.HWPrio != power5.PrioMediumHigh {
+		t.Fatalf("HWPrio = %v", task.HWPrio)
+	}
+}
+
+func TestSetHWPrioInvalidPanics(t *testing.T) {
+	// The validation fires inside the body, which runs up to its first
+	// request during AddProcess, so the panic surfaces there.
+	_, k := newTestKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid SetHWPrio did not panic")
+		}
+	}()
+	k.AddProcess(TaskSpec{Name: "bad", Policy: PolicyNormal},
+		func(env *Env) {
+			env.SetHWPrio(power5.Priority(9))
+		})
+}
+
+func TestEnvArgumentValidation(t *testing.T) {
+	for name, body := range map[string]func(*Env){
+		"negative compute": func(env *Env) { env.Compute(-1) },
+		"negative sleep":   func(env *Env) { env.Sleep(-1) },
+	} {
+		func() {
+			_, k := newTestKernel(1)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			k.AddProcess(TaskSpec{Name: name, Policy: PolicyNormal}, body)
+		}()
+	}
+}
+
+func TestRegisterClassBeforeErrors(t *testing.T) {
+	_, k := newTestKernel(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown class name did not panic")
+			}
+		}()
+		k.RegisterClassBefore("nonexistent", newIdleClass())
+	}()
+	k.AddProcess(TaskSpec{Name: "t", Policy: PolicyNormal}, func(env *Env) {})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("late registration did not panic")
+			}
+		}()
+		k.RegisterClassBefore("fair", newIdleClass())
+	}()
+}
+
+func TestKernelAccessors(t *testing.T) {
+	_, k := newTestKernel(1)
+	task := k.AddProcess(TaskSpec{Name: "x", Policy: PolicyNormal}, func(env *Env) {
+		env.Compute(sim.Millisecond)
+	})
+	if len(k.Tasks()) == 0 || k.Tasks()[0] != task {
+		t.Fatal("Tasks() broken")
+	}
+	if k.ClassFor(PolicyIdle).Name() != "idle" {
+		t.Fatal("ClassFor(PolicyIdle) wrong")
+	}
+	if task.String() == "" || task.Class() == nil {
+		t.Fatal("accessors broken")
+	}
+	k.Watch(task)
+	k.RunUntilWatchedExit(sim.Second)
+	if !task.Exited() {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestSetSchedulerSleepingTask(t *testing.T) {
+	_, k := newTestKernel(1)
+	task := k.AddProcess(TaskSpec{Name: "s", Policy: PolicyNormal}, func(env *Env) {
+		env.Sleep(20 * sim.Millisecond)
+		env.Compute(5 * sim.Millisecond)
+	})
+	k.Watch(task)
+	k.Engine.Schedule(10*sim.Millisecond, func() {
+		k.SetScheduler(task, PolicyFIFO, 30) // switch while sleeping
+	})
+	k.RunUntilWatchedExit(sim.Second)
+	if task.Policy() != PolicyFIFO || task.Class().Name() != "rt" {
+		t.Fatalf("policy switch on sleeping task failed: %v", task.Policy())
+	}
+}

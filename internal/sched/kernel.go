@@ -1,0 +1,863 @@
+// Package sched reimplements the Linux 2.6.24 scheduler framework the paper
+// targets: an ordered list of scheduling classes handled by a Scheduler
+// Core, per-CPU run queues, tick-driven accounting, wakeup preemption and
+// load balancing — driven by, and driving, the discrete-event simulation of
+// a POWER5 chip.
+//
+// The kernel also embeds the execution engine: the progress of the task
+// running on a context depends on the context's hardware priority and on
+// the sibling context's occupancy and priority (via the chip's PerfModel),
+// exactly the coupling the paper's HPCSched exploits.
+package sched
+
+import (
+	"fmt"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/proc"
+	"hpcsched/internal/sim"
+)
+
+// RunQueue is the per-CPU scheduler state.
+type RunQueue struct {
+	CPU     int
+	kernel  *Kernel
+	current *Task
+	classRQ []ClassRQ // parallel to kernel.classes
+
+	reschedPending bool
+	needResched    bool
+	switchPenalty  sim.Time // one-shot dispatch delay after a context switch
+	idleSince      sim.Time // when the CPU last went idle (MaxTime when busy)
+	loadAvg        float64  // tick-sampled occupancy, ~100 ms horizon
+
+	// ContextSwitches counts dispatches of a task different from the
+	// previous one.
+	ContextSwitches int64
+	lastRan         *Task
+}
+
+// Current returns the task on this CPU, or nil when idle.
+func (rq *RunQueue) Current() *Task { return rq.current }
+
+// NrRunning returns the number of runnable tasks on this CPU including the
+// running one.
+func (rq *RunQueue) NrRunning() int {
+	n := 0
+	for _, crq := range rq.classRQ {
+		n += crq.Len()
+	}
+	if rq.current != nil {
+		n++
+	}
+	return n
+}
+
+// NrQueued returns the number of queued (not running) tasks.
+func (rq *RunQueue) NrQueued() int {
+	n := 0
+	for _, crq := range rq.classRQ {
+		n += crq.Len()
+	}
+	return n
+}
+
+// Kernel is the Scheduler Core plus the machinery that executes simulated
+// processes on the simulated chip.
+type Kernel struct {
+	Engine *sim.Engine
+	Chip   *power5.Chip
+	Opts   Options
+
+	classes []Class
+	rqs     []*RunQueue
+	tasks   []*Task
+	nextPID int
+
+	tracer Tracer
+
+	watch     map[*Task]bool
+	watchLeft int
+
+	// Migration counters by source (diagnostics).
+	MigWake, MigSteal, MigActive int64
+
+	// OnTaskExit, when non-nil, is invoked after a task exits.
+	OnTaskExit func(t *Task)
+}
+
+// NewKernel builds a kernel for the given chip with the standard Linux
+// class order: real-time, fair (CFS), idle. The paper's HPC class is
+// registered between real-time and fair via RegisterClassBefore("fair").
+func NewKernel(engine *sim.Engine, chip *power5.Chip, opts Options) *Kernel {
+	if engine == nil || chip == nil {
+		panic("sched: NewKernel with nil engine or chip")
+	}
+	k := &Kernel{
+		Engine:  engine,
+		Chip:    chip,
+		Opts:    opts.withDefaults(),
+		nextPID: 1,
+		watch:   make(map[*Task]bool),
+	}
+	k.classes = []Class{newRTClass(), newFairClass(), newIdleClass()}
+	k.buildRQs()
+	chip.SetSpeedChangeHook(k.coreSpeedChanged)
+	for cpu := 0; cpu < chip.NumCPUs(); cpu++ {
+		k.startTicker(cpu)
+	}
+	return k
+}
+
+func (k *Kernel) buildRQs() {
+	k.rqs = make([]*RunQueue, k.Chip.NumCPUs())
+	for cpu := range k.rqs {
+		rq := &RunQueue{CPU: cpu, kernel: k}
+		for _, c := range k.classes {
+			rq.classRQ = append(rq.classRQ, c.NewRQ(k, cpu))
+		}
+		k.rqs[cpu] = rq
+	}
+}
+
+// RegisterClassBefore inserts class c immediately before the class named
+// name in the priority order. It must be called before any task is added.
+func (k *Kernel) RegisterClassBefore(name string, c Class) {
+	if len(k.tasks) > 0 {
+		panic("sched: RegisterClassBefore after tasks were added")
+	}
+	for i, existing := range k.classes {
+		if existing.Name() == name {
+			k.classes = append(k.classes[:i], append([]Class{c}, k.classes[i:]...)...)
+			k.buildRQs()
+			return
+		}
+	}
+	panic(fmt.Sprintf("sched: no class named %q", name))
+}
+
+// Classes returns the class list in priority order.
+func (k *Kernel) Classes() []Class { return k.classes }
+
+// ClassFor returns the class serving the given policy.
+func (k *Kernel) ClassFor(p Policy) Class {
+	for _, c := range k.classes {
+		for _, cp := range c.Policies() {
+			if cp == p {
+				return c
+			}
+		}
+	}
+	panic(fmt.Sprintf("sched: no class serves %v", p))
+}
+
+// classRQFor returns the class run queue currently responsible for t.
+func (k *Kernel) classRQFor(t *Task) ClassRQ {
+	return k.rqs[t.CPU].classRQ[k.classIndex(t.class)]
+}
+
+func (k *Kernel) classIndex(c Class) int {
+	for i, x := range k.classes {
+		if x == c {
+			return i
+		}
+	}
+	panic("sched: unregistered class")
+}
+
+// RQ returns the run queue of cpu.
+func (k *Kernel) RQ(cpu int) *RunQueue { return k.rqs[cpu] }
+
+// NumCPUs returns the number of CPUs.
+func (k *Kernel) NumCPUs() int { return len(k.rqs) }
+
+// Tasks returns all tasks ever created.
+func (k *Kernel) Tasks() []*Task { return k.tasks }
+
+// SetTracer installs a trace sink (may be nil).
+func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.Engine.Now() }
+
+func (k *Kernel) traceState(t *Task, s State, cpu int) {
+	if k.tracer != nil {
+		k.tracer.TaskState(k.Now(), t, s, cpu)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Task creation and the request pump
+// ---------------------------------------------------------------------------
+
+// TaskSpec configures a new process.
+type TaskSpec struct {
+	Name     string
+	Policy   Policy
+	Nice     int
+	RTPrio   int
+	Affinity uint64          // 0 = any CPU
+	HWPrio   power5.Priority // 0 value → default medium
+}
+
+// AddProcess creates a task running body and makes it runnable now. The
+// body executes up to its first request on the caller's goroutine.
+func (k *Kernel) AddProcess(spec TaskSpec, body func(*Env)) *Task {
+	t := &Task{
+		PID:        k.nextPID,
+		Name:       spec.Name,
+		policy:     spec.Policy,
+		Nice:       spec.Nice,
+		RTPrio:     spec.RTPrio,
+		Affinity:   spec.Affinity,
+		HWPrio:     spec.HWPrio,
+		CPU:        -1,
+		state:      StateNew,
+		StartedAt:  k.Now(),
+		lastUpdate: k.Now(),
+	}
+	if t.HWPrio == 0 {
+		t.HWPrio = power5.PrioMedium
+	}
+	if !t.HWPrio.Valid() {
+		panic(fmt.Sprintf("sched: invalid hardware priority %d", t.HWPrio))
+	}
+	t.class = k.ClassFor(t.policy)
+	t.cfs.init(t)
+	k.nextPID++
+	k.tasks = append(k.tasks, t)
+
+	p := proc.New(t.PID, spec.Name, func(h *proc.Handle) {
+		body(&Env{h: h, kernel: k, task: t})
+	})
+	t.proc = p
+	req, done := p.Start()
+	if done {
+		t.state = StateExited
+		t.ExitedAt = k.Now()
+		return t
+	}
+	t.pendingReq = req
+	k.activate(t, false)
+	return t
+}
+
+// Watch registers t so RunUntilWatchedExit stops once every watched task
+// has exited.
+func (k *Kernel) Watch(t *Task) {
+	if !k.watch[t] && !t.Exited() {
+		k.watch[t] = true
+		k.watchLeft++
+	}
+}
+
+// RunUntilWatchedExit drives the simulation until every watched task exits
+// or the horizon passes; it returns the finish time.
+func (k *Kernel) RunUntilWatchedExit(horizon sim.Time) sim.Time {
+	if k.watchLeft > 0 {
+		k.Engine.Run(horizon)
+	}
+	return k.Now()
+}
+
+// Shutdown releases the goroutines of every process that has not exited
+// (daemons and abandoned tasks). The kernel must not be used afterwards.
+// Call it when a simulation run is complete; it is what keeps long test
+// and benchmark sessions from accumulating parked goroutines.
+func (k *Kernel) Shutdown() {
+	for _, t := range k.tasks {
+		if !t.Exited() && t.proc != nil {
+			t.proc.Kill()
+			t.state = StateExited
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// State transitions
+// ---------------------------------------------------------------------------
+
+// activate makes a task runnable: select a CPU, enqueue, check preemption.
+func (k *Kernel) activate(t *Task, wakeup bool) {
+	if t.state == StateRunnable || t.state == StateRunning {
+		panic(fmt.Sprintf("sched: activate of runnable task %v", t))
+	}
+	if t.state == StateExited {
+		panic(fmt.Sprintf("sched: activate of exited task %v", t))
+	}
+	k.account(t)
+	if wakeup {
+		t.class.TaskWake(k, t)
+		t.wakeAt = k.Now()
+		t.wakeValid = true
+	}
+	cpu := t.class.SelectCPU(k, t, wakeup)
+	if !t.MayRunOn(cpu) {
+		panic(fmt.Sprintf("sched: class %s placed %v on forbidden CPU %d", t.class.Name(), t, cpu))
+	}
+	if t.CPU >= 0 && t.CPU != cpu {
+		t.Migrations++
+		k.MigWake++
+	}
+	t.CPU = cpu
+	t.state = StateRunnable
+	t.queuedAt = k.Now()
+	rq := k.rqs[cpu]
+	crq := rq.classRQ[k.classIndex(t.class)]
+	crq.Enqueue(t, wakeup)
+	k.traceState(t, StateRunnable, cpu)
+	k.checkPreempt(rq, t)
+}
+
+// checkPreempt decides whether the newly enqueued task should cause a
+// reschedule of rq's current task.
+func (k *Kernel) checkPreempt(rq *RunQueue, woken *Task) {
+	cur := rq.current
+	if cur == nil {
+		k.Resched(rq.CPU)
+		return
+	}
+	ci, wi := k.classIndex(cur.class), k.classIndex(woken.class)
+	switch {
+	case wi < ci:
+		// Higher class always preempts: this is the implicit class
+		// prioritisation of the framework (and the reason SCHED_HPC tasks
+		// see near-zero scheduler latency over SCHED_NORMAL daemons).
+		k.Resched(rq.CPU)
+	case wi == ci:
+		if rq.classRQ[wi].CheckPreempt(cur, woken) {
+			k.Resched(rq.CPU)
+		}
+	}
+}
+
+// deactivate blocks the current task of cpu (sleep). Only the running task
+// can block: blocking is something a process does to itself.
+func (k *Kernel) deactivate(t *Task) {
+	if t.state != StateRunning {
+		panic(fmt.Sprintf("sched: deactivate of non-running task %v", t))
+	}
+	k.account(t)
+	k.unplanBurst(t)
+	rq := k.rqs[t.CPU]
+	rq.current = nil
+	k.Chip.CPU(t.CPU).SetBusy(false)
+	t.state = StateSleeping
+	t.class.TaskSleep(k, t)
+	k.traceState(t, StateSleeping, t.CPU)
+	k.Resched(t.CPU)
+}
+
+// Wake makes a sleeping task runnable. Waking a task that is not sleeping
+// panics: lost/duplicate wakeups are model bugs and must surface.
+func (k *Kernel) Wake(t *Task) {
+	if t.state != StateSleeping {
+		panic(fmt.Sprintf("sched: Wake of non-sleeping task %v", t))
+	}
+	k.activate(t, true)
+}
+
+// exit finishes the current task of a CPU.
+func (k *Kernel) exit(t *Task) {
+	k.account(t)
+	k.unplanBurst(t)
+	rq := k.rqs[t.CPU]
+	rq.current = nil
+	k.Chip.CPU(t.CPU).SetBusy(false)
+	t.state = StateExited
+	t.ExitedAt = k.Now()
+	k.traceState(t, StateExited, t.CPU)
+	if k.watch[t] {
+		delete(k.watch, t)
+		k.watchLeft--
+		if k.watchLeft == 0 {
+			k.Engine.Stop()
+		}
+	}
+	if k.OnTaskExit != nil {
+		k.OnTaskExit(t)
+	}
+	k.Resched(t.CPU)
+}
+
+// account settles the task's time counters up to now.
+func (k *Kernel) account(t *Task) {
+	now := k.Now()
+	d := now - t.lastUpdate
+	if d < 0 {
+		panic("sched: accounting time went backwards")
+	}
+	switch t.state {
+	case StateRunning:
+		t.SumExec += d
+	case StateRunnable:
+		t.SumWait += d
+	case StateSleeping:
+		t.SumSleep += d
+	}
+	t.lastUpdate = now
+}
+
+// ---------------------------------------------------------------------------
+// The scheduler proper
+// ---------------------------------------------------------------------------
+
+// Resched requests a scheduling pass on cpu. The pass runs as a separate
+// engine event at the current instant, never reentrantly.
+func (k *Kernel) Resched(cpu int) {
+	rq := k.rqs[cpu]
+	rq.needResched = true
+	if rq.reschedPending {
+		return
+	}
+	rq.reschedPending = true
+	k.Engine.Schedule(k.Now(), func() {
+		rq.reschedPending = false
+		if rq.needResched {
+			rq.needResched = false
+			k.schedule(cpu)
+		}
+	})
+}
+
+// schedule is __schedule(): put back the preempted task, pick the next one
+// across classes in priority order, dispatch it.
+func (k *Kernel) schedule(cpu int) {
+	rq := k.rqs[cpu]
+	prev := rq.current
+	if prev != nil {
+		k.account(prev)
+		k.unplanBurst(prev)
+		// Still runnable: back into its class queue. It was running a
+		// moment ago, so it is cache-hot for the balancer.
+		prev.state = StateRunnable
+		prev.queuedAt = k.Now()
+		rq.current = nil
+		rq.classRQ[k.classIndex(prev.class)].Enqueue(prev, false)
+	}
+
+	var next *Task
+	for _, crq := range rq.classRQ {
+		if t := crq.PickNext(); t != nil {
+			next = t
+			break
+		}
+	}
+	if next == nil {
+		next = k.idleBalance(rq)
+	}
+	if next == nil {
+		// CPU goes idle.
+		k.Chip.CPU(cpu).SetBusy(false)
+		if rq.idleSince == sim.MaxTime {
+			rq.idleSince = k.Now()
+		}
+		if prev != nil {
+			k.traceState(prev, StateRunnable, cpu)
+		}
+		return
+	}
+	rq.idleSince = sim.MaxTime
+
+	if next != prev {
+		rq.ContextSwitches++
+		rq.switchPenalty = k.Opts.ContextSwitchCost
+		if prev != nil {
+			k.traceState(prev, StateRunnable, cpu)
+		}
+	}
+	k.dispatch(rq, next)
+}
+
+// dispatch puts t on rq's CPU and starts executing its work.
+func (k *Kernel) dispatch(rq *RunQueue, t *Task) {
+	k.account(t) // close the Runnable window before switching state
+	t.state = StateRunning
+	t.CPU = rq.CPU
+	rq.current = t
+	rq.lastRan = t
+
+	if t.wakeValid {
+		lat := k.Now() - t.wakeAt
+		t.WakeupCount++
+		t.WakeupLatSum += lat
+		if lat > t.WakeupLatMax {
+			t.WakeupLatMax = lat
+		}
+		t.wakeValid = false
+	}
+
+	k.ApplyHWPrio(t)
+	k.traceState(t, StateRunning, rq.CPU)
+	k.pump(rq.CPU)
+}
+
+// ApplyHWPrio programs the task's hardware priority into its context if the
+// task is currently running. The kernel acts at supervisor privilege, as in
+// the paper (levels 1..6 reachable).
+func (k *Kernel) ApplyHWPrio(t *Task) {
+	if t.state != StateRunning {
+		return
+	}
+	ctx := k.Chip.CPU(t.CPU)
+	if err := ctx.SetPriority(t.HWPrio, power5.PrivSupervisor); err != nil {
+		panic(fmt.Sprintf("sched: cannot apply hw priority: %v", err))
+	}
+	if k.tracer != nil {
+		k.tracer.TaskHWPrio(k.Now(), t, int(t.HWPrio))
+	}
+}
+
+// pump drives the current task of cpu: execute its pending compute burst or
+// fetch and process its next requests until it either computes, blocks,
+// sleeps or exits.
+func (k *Kernel) pump(cpu int) {
+	rq := k.rqs[cpu]
+	for {
+		t := rq.current
+		if t == nil {
+			return
+		}
+		if t.remaining > 0 {
+			k.planBurst(rq, t)
+			return
+		}
+		var req proc.Request
+		var done bool
+		switch {
+		case t.pendingReq != nil:
+			req, t.pendingReq = t.pendingReq, nil
+		case t.needsResume:
+			t.needsResume = false
+			req, done = t.proc.Resume(nil)
+		default:
+			panic(fmt.Sprintf("sched: task %v has neither work nor pending request", t))
+		}
+		if done {
+			k.exit(t)
+			return
+		}
+		if !k.handleRequest(rq, t, req) {
+			return
+		}
+		if rq.needResched {
+			// A same-instant wakeup (e.g. a barrier release performed by
+			// this task) wants the CPU back; let the scheduler decide
+			// before burning more requests.
+			if t.remaining > 0 {
+				k.planBurst(rq, t)
+			} else if rq.current == t {
+				// Task has no work planned; it must issue its next request
+				// once rescheduled. Mark it resumable.
+				t.needsResume = true
+				k.Resched(cpu)
+				return
+			}
+			return
+		}
+	}
+}
+
+// handleRequest applies one request of the running task t. It returns true
+// when the pump loop should continue (the task still holds the CPU and may
+// issue further requests at this instant).
+func (k *Kernel) handleRequest(rq *RunQueue, t *Task, req proc.Request) bool {
+	switch r := req.(type) {
+	case computeReq:
+		if r.d < 0 {
+			panic("sched: negative compute duration")
+		}
+		t.remaining += float64(r.d)
+		t.needsResume = true
+		return true
+	case sleepReq:
+		t.needsResume = true
+		k.deactivate(t)
+		tt := t
+		k.Engine.After(r.d, func() { k.Wake(tt) })
+		return false
+	case blockReq:
+		t.needsResume = true
+		k.deactivate(t)
+		return false
+	case yieldReq:
+		t.needsResume = true
+		k.Resched(rq.CPU)
+		return false
+	case setSchedReq:
+		k.setSchedulerRunning(t, r.policy, r.rtPrio)
+		t.needsResume = true
+		return true
+	case setNiceReq:
+		t.Nice = r.nice
+		t.cfs.init(t)
+		t.needsResume = true
+		return true
+	case setHWPrioReq:
+		t.HWPrio = r.prio
+		k.ApplyHWPrio(t)
+		t.needsResume = true
+		return true
+	default:
+		panic(fmt.Sprintf("sched: unknown request %T", req))
+	}
+}
+
+// setSchedulerRunning switches the class of the *running* task t.
+func (k *Kernel) setSchedulerRunning(t *Task, p Policy, rtPrio int) {
+	t.policy = p
+	t.RTPrio = rtPrio
+	newClass := k.ClassFor(p)
+	if newClass != t.class {
+		t.class = newClass
+		// Re-evaluate: a lower class current may now be preemptable.
+		k.Resched(t.CPU)
+	}
+}
+
+// SetScheduler changes the policy of a task from outside (the
+// sched_setscheduler syscall issued by a shell, as the paper's users do).
+// The task may be in any state.
+func (k *Kernel) SetScheduler(t *Task, p Policy, rtPrio int) {
+	switch t.state {
+	case StateRunning:
+		k.setSchedulerRunning(t, p, rtPrio)
+	case StateRunnable:
+		k.account(t) // settle the Runnable window under the old class
+		rq := k.rqs[t.CPU]
+		rq.classRQ[k.classIndex(t.class)].Dequeue(t)
+		t.policy = p
+		t.RTPrio = rtPrio
+		t.class = k.ClassFor(p)
+		t.state = StateSleeping // transient, for activate's sanity check
+		k.activate(t, false)
+	default:
+		t.policy = p
+		t.RTPrio = rtPrio
+		t.class = k.ClassFor(p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Burst execution on the chip
+// ---------------------------------------------------------------------------
+
+// planBurst schedules the completion of t's remaining work at the context's
+// current speed.
+func (k *Kernel) planBurst(rq *RunQueue, t *Task) {
+	if t.finishEv != nil {
+		panic("sched: planBurst with a plan already in place")
+	}
+	ctx := k.Chip.CPU(rq.CPU)
+	ctx.SetBusy(true) // may fire the speed hook for the sibling
+	speed := ctx.Speed()
+	if speed <= 0 {
+		panic(fmt.Sprintf("sched: context %d has zero speed for running task", rq.CPU))
+	}
+	t.planAt = k.Now()
+	t.planSpeed = speed
+	delay := sim.Time(t.remaining/speed) + 1 // +1ns: never round to "done" early
+	delay += rq.switchPenalty
+	rq.switchPenalty = 0
+	tt := t
+	t.finishEv = k.Engine.After(delay, func() { k.burstDone(tt) })
+}
+
+// unplanBurst settles the work done so far and cancels the completion
+// event.
+func (k *Kernel) unplanBurst(t *Task) {
+	if t.finishEv == nil {
+		return
+	}
+	k.Engine.Cancel(t.finishEv)
+	t.finishEv = nil
+	elapsed := k.Now() - t.planAt
+	t.remaining -= float64(elapsed) * t.planSpeed
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+}
+
+// burstDone fires when the running task finishes its compute burst.
+func (k *Kernel) burstDone(t *Task) {
+	if t.state != StateRunning {
+		panic(fmt.Sprintf("sched: burst completion for non-running %v", t))
+	}
+	t.finishEv = nil
+	t.remaining = 0
+	k.account(t)
+	rq := k.rqs[t.CPU]
+	k.Chip.CPU(t.CPU).SetBusy(false) // between bursts the context is not decoding
+	k.pump(rq.CPU)
+}
+
+// coreSpeedChanged is the chip hook: re-plan in-flight bursts on both
+// contexts of the core whose speed conditions changed.
+func (k *Kernel) coreSpeedChanged(co *power5.Core) {
+	for i := 0; i < 2; i++ {
+		cpu := co.Context(i).ID()
+		rq := k.rqs[cpu]
+		t := rq.current
+		if t == nil || t.finishEv == nil {
+			continue
+		}
+		newSpeed := co.Context(i).Speed()
+		if newSpeed == t.planSpeed {
+			continue
+		}
+		k.unplanBurst(t)
+		if t.remaining > 0 {
+			k.planBurst(rq, t)
+		} else {
+			// The change lands exactly at completion; finish now.
+			tt := t
+			t.finishEv = k.Engine.Schedule(k.Now(), func() { k.burstDone(tt) })
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ticks and balancing
+// ---------------------------------------------------------------------------
+
+// startTicker arms the periodic scheduler tick for cpu. Ticks are staggered
+// across CPUs as on real SMP kernels.
+func (k *Kernel) startTicker(cpu int) {
+	period := k.Opts.TickPeriod
+	offset := period * sim.Time(cpu) / sim.Time(k.Chip.NumCPUs())
+	var tick func()
+	tick = func() {
+		k.tick(cpu)
+		k.Engine.After(period, tick)
+	}
+	k.Engine.Schedule(k.Engine.Now()+offset, tick)
+}
+
+// tick performs the per-CPU periodic work: settle accounting, let the
+// current class act (timeslices, fairness), honour preemption requests,
+// and rebalance idle CPUs (rebalance_tick).
+func (k *Kernel) tick(cpu int) {
+	rq := k.rqs[cpu]
+	// Decayed occupancy average (cpu_load): the balancer reads this, not
+	// the instantaneous state, so brief waits do not look like idleness.
+	const alpha = 0.01 // tick/100ms horizon
+	sample := 0.0
+	if rq.current != nil {
+		sample = 1
+	}
+	rq.loadAvg += alpha * (sample - rq.loadAvg)
+	if t := rq.current; t != nil {
+		k.account(t)
+		rq.classRQ[k.classIndex(t.class)].Tick(t)
+	} else if rq.NrQueued() == 0 {
+		// Idle CPU: periodically retry the balance pull, including the
+		// SMT-domain active migration (a fully idle core pulls a running
+		// task from a core running two).
+		k.schedule(cpu)
+		// Still idle after the balance attempt: enter SMT snooze once the
+		// configured delay has passed, handing decode slots to the
+		// sibling (smt_snooze_delay).
+		if d := k.Opts.SMTSnoozeDelay; d > 0 && rq.current == nil &&
+			k.Now()-rq.idleSince >= d {
+			ctx := k.Chip.CPU(cpu)
+			if ctx.Priority() != power5.PrioVeryLow {
+				if err := ctx.SetPriority(power5.PrioVeryLow, power5.PrivSupervisor); err != nil {
+					panic(fmt.Sprintf("sched: snooze failed: %v", err))
+				}
+			}
+		}
+	}
+	if rq.needResched && !rq.reschedPending {
+		k.Resched(cpu)
+	}
+}
+
+// idleBalance runs when a CPU found no runnable task: classes get, in
+// priority order, a chance to pull work from other CPUs (the "idle CPU
+// pulls from busiest run queue" behaviour of the framework). If no queued
+// task exists anywhere, the SMT-domain active balance may migrate a
+// *running* task from a doubly-busy core to a fully idle one.
+func (k *Kernel) idleBalance(rq *RunQueue) *Task {
+	for ci := range k.classes {
+		// Find the busiest CPU for this class.
+		busiest, best := -1, 0
+		for other := 0; other < len(k.rqs); other++ {
+			if other == rq.CPU {
+				continue
+			}
+			if n := k.rqs[other].classRQ[ci].Len(); n > best {
+				best, busiest = n, other
+			}
+		}
+		if busiest < 0 {
+			continue
+		}
+		if t := k.rqs[busiest].classRQ[ci].Steal(rq.CPU); t != nil {
+			t.CPU = rq.CPU
+			t.Migrations++
+			k.MigSteal++
+			return t
+		}
+	}
+	return k.activeBalance(rq)
+}
+
+// activeBalance implements the 2.6.24 SMT-domain capacity rule: an idle
+// core (both contexts without work) pulls one of the two running tasks of
+// a core whose contexts are both busy. Without it, two SPMD ranks that a
+// wakeup once co-scheduled on one core would share it forever while
+// another core idles, which the real kernel's sched-domain balancer never
+// allows. Like the real active_load_balance — which only fires after
+// repeated failed balance attempts — it requires the imbalance to have
+// persisted (several ticks of idleness), so momentary wait windows do not
+// tear stable placements apart.
+func (k *Kernel) activeBalance(rq *RunQueue) *Task {
+	if k.Now()-rq.idleSince < 4*k.Opts.TickPeriod {
+		return nil // not idle long enough (nr_balance_failed gating)
+	}
+	sib := k.rqs[rq.CPU^1]
+	if sib.current != nil || sib.NrQueued() > 0 {
+		return nil // this core is not fully idle
+	}
+	if k.Now()-sib.idleSince < 4*k.Opts.TickPeriod {
+		return nil // the sibling context only just went idle
+	}
+	// The receiving core must be idle *on average* too: a core whose
+	// tasks merely wait between phases keeps a high decayed load and must
+	// not attract migrations (cpu_load semantics).
+	if rq.loadAvg > 0.35 || sib.loadAvg > 0.35 {
+		return nil
+	}
+	for base := 0; base < len(k.rqs); base += 2 {
+		if base == rq.CPU&^1 {
+			continue
+		}
+		a, b := k.rqs[base], k.rqs[base+1]
+		if a.current == nil || b.current == nil {
+			continue
+		}
+		// The donor core must be persistently saturated on both contexts.
+		if a.loadAvg < 0.75 || b.loadAvg < 0.75 {
+			continue
+		}
+		// Prefer migrating the second context's task (deterministic).
+		for _, donor := range []*RunQueue{b, a} {
+			t := donor.current
+			if t == nil || !t.MayRunOn(rq.CPU) {
+				continue
+			}
+			k.account(t)
+			k.unplanBurst(t)
+			donor.current = nil
+			k.Chip.CPU(donor.CPU).SetBusy(false)
+			t.state = StateRunnable
+			t.CPU = rq.CPU
+			t.Migrations++
+			k.MigActive++
+			k.traceState(t, StateRunnable, rq.CPU)
+			k.Resched(donor.CPU)
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"testing"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sim"
+)
+
+// TestSnoozeBoostsSibling: with smt_snooze_delay enabled, a long-idle
+// context drops to priority 1 and the busy sibling speeds up from the
+// idle-loop speed (0.93) to the snoozed speed (0.97).
+func TestSnoozeBoostsSibling(t *testing.T) {
+	run := func(snooze sim.Time) sim.Time {
+		opts := DefaultOptions()
+		opts.SMTSnoozeDelay = snooze
+		e := sim.NewEngine(1)
+		chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+		k := NewKernel(e, chip, opts)
+		task := k.AddProcess(TaskSpec{Name: "busy", Policy: PolicyNormal, Affinity: pin(1)},
+			func(env *Env) {
+				env.Compute(930 * sim.Millisecond)
+			})
+		k.Watch(task)
+		end := k.RunUntilWatchedExit(10 * sim.Second)
+		k.Shutdown()
+		return end
+	}
+	plain := run(0)
+	snoozed := run(5 * sim.Millisecond)
+	// 930ms of work: at 0.93 → 1000ms; with snooze mostly at 0.97 → ≈960ms.
+	if plain < 995*sim.Millisecond {
+		t.Fatalf("idle-loop run finished at %v, want ≈1s", plain)
+	}
+	if snoozed > plain-25*sim.Millisecond {
+		t.Fatalf("snooze did not help: %v vs %v", snoozed, plain)
+	}
+}
+
+// TestSnoozeRevertsOnDispatch: waking a task on a snoozed context restores
+// its priority (ApplyHWPrio runs at dispatch).
+func TestSnoozeRevertsOnDispatch(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SMTSnoozeDelay = 2 * sim.Millisecond
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(e, chip, opts)
+	task := k.AddProcess(TaskSpec{Name: "napper", Policy: PolicyNormal, Affinity: pin(0)},
+		func(env *Env) {
+			env.Sleep(20 * sim.Millisecond) // long enough for cpu0 to snooze
+			env.Compute(5 * sim.Millisecond)
+		})
+	k.Watch(task)
+	// Mid-sleep, the context must have entered snooze.
+	e.Schedule(15*sim.Millisecond, func() {
+		if got := chip.CPU(0).Priority(); got != power5.PrioVeryLow {
+			t.Errorf("cpu0 priority = %v at 15ms, want very-low (snoozed)", got)
+		}
+	})
+	k.RunUntilWatchedExit(sim.Second)
+	if got := chip.CPU(0).Priority(); got != power5.PrioMedium {
+		t.Fatalf("cpu0 priority = %v after dispatch, want medium restored", got)
+	}
+}
+
+// TestSnoozeDisabledByDefault: the calibrated configuration keeps the
+// idle loop at normal priority, as the paper's measurements imply.
+func TestSnoozeDisabledByDefault(t *testing.T) {
+	if DefaultOptions().SMTSnoozeDelay != 0 {
+		t.Fatal("snooze must be disabled by default")
+	}
+	_, k := newTestKernel(1)
+	task := k.AddProcess(TaskSpec{Name: "t", Policy: PolicyNormal, Affinity: pin(1)},
+		func(env *Env) { env.Compute(50 * sim.Millisecond) })
+	k.Watch(task)
+	k.RunUntilWatchedExit(sim.Second)
+	if got := k.Chip.CPU(0).Priority(); got != power5.PrioMedium {
+		t.Fatalf("idle cpu0 priority = %v with snooze disabled", got)
+	}
+}

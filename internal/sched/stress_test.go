@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/proc"
+	"hpcsched/internal/sim"
+)
+
+// TestPropertyAccountingIdentity: under random task mixes, every task's
+// state-time sums exactly cover its lifetime.
+func TestPropertyAccountingIdentity(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n)%6 + 2
+		e := sim.NewEngine(seed)
+		chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+		k := NewKernel(e, chip, DefaultOptions())
+		rng := sim.NewRNG(seed ^ 0xabc)
+		var tasks []*Task
+		for i := 0; i < count; i++ {
+			policy := []Policy{PolicyNormal, PolicyFIFO, PolicyRR, PolicyBatch}[rng.Intn(4)]
+			aff := uint64(0)
+			if rng.Intn(2) == 0 {
+				aff = 1 << uint(rng.Intn(4))
+			}
+			spec := TaskSpec{Name: "t", Policy: policy, RTPrio: rng.Intn(90) + 1, Affinity: aff}
+			task := k.AddProcess(spec, func(env *Env) {
+				for j := 0; j < 4; j++ {
+					env.Compute(sim.Time(rng.Int63n(int64(8*sim.Millisecond)) + 1))
+					switch rng.Intn(3) {
+					case 0:
+						env.Sleep(sim.Time(rng.Int63n(int64(4*sim.Millisecond)) + 1))
+					case 1:
+						env.Yield()
+					}
+				}
+			})
+			k.Watch(task)
+			tasks = append(tasks, task)
+		}
+		k.RunUntilWatchedExit(10 * sim.Second)
+		for _, task := range tasks {
+			if !task.Exited() {
+				return false
+			}
+			total := task.SumExec + task.SumWait + task.SumSleep
+			life := task.ExitedAt - task.StartedAt
+			if d := total - life; d > sim.Microsecond || d < -sim.Microsecond {
+				return false
+			}
+		}
+		k.Shutdown()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWorkConservation: a saturated CPU is never idle — the sum of
+// on-CPU time across tasks pinned to one CPU equals the elapsed time.
+func TestPropertyWorkConservation(t *testing.T) {
+	e := sim.NewEngine(3)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(e, chip, DefaultOptions())
+	var tasks []*Task
+	for i := 0; i < 3; i++ {
+		task := k.AddProcess(TaskSpec{Name: "w", Policy: PolicyNormal, Affinity: 1},
+			func(env *Env) {
+				for {
+					env.Compute(5 * sim.Millisecond)
+				}
+			})
+		tasks = append(tasks, task)
+	}
+	e.Run(500 * sim.Millisecond)
+	var exec sim.Time
+	for _, task := range tasks {
+		exec += task.SumExec
+	}
+	// Allow for context-switch penalties and the final partial update.
+	if exec < 490*sim.Millisecond {
+		t.Fatalf("saturated CPU executed only %v of 500ms", exec)
+	}
+	k.Shutdown()
+}
+
+// TestBodyPanicSurfacesWithContext: a panicking process unwinds through
+// the engine with its identity attached.
+func TestBodyPanicSurfacesWithContext(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(e, chip, DefaultOptions())
+	task := k.AddProcess(TaskSpec{Name: "bomber", Policy: PolicyNormal}, func(env *Env) {
+		env.Compute(sim.Millisecond)
+		panic("workload bug")
+	})
+	k.Watch(task)
+	defer func() {
+		v := recover()
+		pe, ok := v.(*proc.PanicError)
+		if !ok || pe.Process != "bomber" {
+			t.Fatalf("recovered %#v, want PanicError from bomber", v)
+		}
+	}()
+	k.RunUntilWatchedExit(sim.Second)
+	t.Fatal("panic did not propagate")
+}
+
+// TestEarlyExitFreesCPU: tasks that finish early release their CPU to
+// queued work; nothing deadlocks or leaks.
+func TestEarlyExitFreesCPU(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(e, chip, DefaultOptions())
+	short := k.AddProcess(TaskSpec{Name: "short", Policy: PolicyFIFO, RTPrio: 50,
+		Affinity: 1}, func(env *Env) {
+		env.Compute(2 * sim.Millisecond)
+	})
+	long := k.AddProcess(TaskSpec{Name: "long", Policy: PolicyNormal, Affinity: 1},
+		func(env *Env) {
+			env.Compute(10 * sim.Millisecond)
+		})
+	k.Watch(short)
+	k.Watch(long)
+	k.RunUntilWatchedExit(sim.Second)
+	if !short.Exited() || !long.Exited() {
+		t.Fatal("tasks did not finish")
+	}
+	if long.ExitedAt <= short.ExitedAt {
+		t.Fatal("the RT task should finish first")
+	}
+}
+
+// TestZeroWorkTask: a task that exits immediately is handled.
+func TestZeroWorkTask(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(e, chip, DefaultOptions())
+	task := k.AddProcess(TaskSpec{Name: "empty", Policy: PolicyNormal}, func(env *Env) {})
+	if !task.Exited() {
+		t.Fatal("empty task should exit during AddProcess")
+	}
+	k.Watch(task) // watching an exited task must be a no-op
+	if end := k.RunUntilWatchedExit(sim.Second); end != 0 {
+		t.Fatalf("engine advanced to %v for a finished job", end)
+	}
+}
+
+// TestShutdownReapsDaemons: Shutdown unwinds never-exiting bodies.
+func TestShutdownReapsDaemons(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(e, chip, DefaultOptions())
+	d := k.AddProcess(TaskSpec{Name: "daemon", Policy: PolicyNormal}, func(env *Env) {
+		for {
+			env.Compute(sim.Millisecond)
+			env.Sleep(sim.Millisecond)
+		}
+	})
+	e.Run(10 * sim.Millisecond)
+	if d.Exited() {
+		t.Fatal("daemon exited early")
+	}
+	k.Shutdown()
+	if !d.Exited() {
+		t.Fatal("Shutdown did not reap the daemon")
+	}
+}
+
+// TestPreemptedBurstResumesExactly: a compute burst interrupted by a
+// higher class resumes with the remaining work intact (no loss, no
+// duplication) — the burst-replanning invariant.
+func TestPreemptedBurstResumesExactly(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(e, chip, DefaultOptions())
+	victim := k.AddProcess(TaskSpec{Name: "victim", Policy: PolicyNormal, Affinity: 1},
+		func(env *Env) {
+			env.Compute(50 * sim.Millisecond)
+		})
+	// Three RT interruptions of 5ms each.
+	rt := k.AddProcess(TaskSpec{Name: "rt", Policy: PolicyFIFO, RTPrio: 50, Affinity: 1},
+		func(env *Env) {
+			for i := 0; i < 3; i++ {
+				env.Sleep(8 * sim.Millisecond)
+				env.Compute(5 * sim.Millisecond)
+			}
+		})
+	k.Watch(victim)
+	k.Watch(rt)
+	k.RunUntilWatchedExit(sim.Second)
+	m := power5.NewCalibratedPerfModel()
+	want := sim.Time(float64(50*sim.Millisecond)/m.IdleSibling) +
+		sim.Time(float64(15*sim.Millisecond)/m.IdleSibling)
+	got := victim.ExitedAt
+	tol := 2 * sim.Millisecond
+	if got < want-tol || got > want+tol {
+		t.Fatalf("victim finished at %v, want ≈%v", got, want)
+	}
+}
+
+// TestSpeedChangeMidBurst: priority flips while a burst is in flight
+// re-plan it correctly — total work is conserved across speed changes.
+func TestSpeedChangeMidBurst(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(e, chip, DefaultOptions())
+	a := k.AddProcess(TaskSpec{Name: "a", Policy: PolicyNormal, Affinity: 1},
+		func(env *Env) {
+			env.Compute(58 * sim.Millisecond)
+		})
+	// Sibling arrives 25ms in and leaves later: a's speed changes
+	// 0.93 → 0.58 → 0.93 mid-burst.
+	b := k.AddProcess(TaskSpec{Name: "b", Policy: PolicyNormal, Affinity: 1 << 1},
+		func(env *Env) {
+			env.Sleep(25 * sim.Millisecond)
+			env.Compute(29 * sim.Millisecond)
+		})
+	k.Watch(a)
+	k.Watch(b)
+	k.RunUntilWatchedExit(sim.Second)
+	m := power5.NewCalibratedPerfModel()
+	// a: 25ms at 0.93 (23.25ms work), then shares at 0.58 with b until b
+	// finishes (b: 29ms work at 0.58 → 50ms → at t=75ms), doing 29ms work;
+	// remaining 5.75ms at 0.93 → ≈6.18ms → total ≈81.2ms.
+	aWork := float64(58 * sim.Millisecond)
+	done25 := 25 * 0.93 * float64(sim.Millisecond)
+	bSpan := float64(29*sim.Millisecond) / m.SMTBase
+	doneShared := bSpan * m.SMTBase
+	rest := (aWork - done25*1 - doneShared) / m.IdleSibling
+	want := sim.Time(25*float64(sim.Millisecond) + bSpan + rest)
+	tol := 2 * sim.Millisecond
+	if a.ExitedAt < want-tol || a.ExitedAt > want+tol {
+		t.Fatalf("a finished at %v, want ≈%v", a.ExitedAt, want)
+	}
+}
+
+// TestManyTasksManyCPUsStress: a larger randomized mix completes and
+// stays internally consistent.
+func TestManyTasksManyCPUsStress(t *testing.T) {
+	e := sim.NewEngine(77)
+	chip := power5.NewChip(4, power5.NewCalibratedPerfModel()) // 8 CPUs
+	k := NewKernel(e, chip, DefaultOptions())
+	rng := sim.NewRNG(7)
+	var tasks []*Task
+	for i := 0; i < 40; i++ {
+		policy := []Policy{PolicyNormal, PolicyNormal, PolicyBatch, PolicyRR}[rng.Intn(4)]
+		task := k.AddProcess(TaskSpec{Name: "s", Policy: policy, RTPrio: 10},
+			func(env *Env) {
+				for j := 0; j < 6; j++ {
+					env.Compute(sim.Time(rng.Int63n(int64(3*sim.Millisecond)) + 1))
+					if rng.Intn(2) == 0 {
+						env.Sleep(sim.Time(rng.Int63n(int64(2*sim.Millisecond)) + 1))
+					}
+				}
+			})
+		k.Watch(task)
+		tasks = append(tasks, task)
+	}
+	end := k.RunUntilWatchedExit(30 * sim.Second)
+	if end >= 30*sim.Second {
+		t.Fatal("stress mix did not complete")
+	}
+	for _, task := range tasks {
+		if !task.Exited() {
+			t.Fatal("task leaked")
+		}
+	}
+	// Every CPU's context-switch counter moved: work spread machine-wide.
+	busy := 0
+	for cpu := 0; cpu < k.NumCPUs(); cpu++ {
+		if k.RQ(cpu).ContextSwitches > 0 {
+			busy++
+		}
+	}
+	if busy < 6 {
+		t.Fatalf("only %d of 8 CPUs saw work", busy)
+	}
+	k.Shutdown()
+}

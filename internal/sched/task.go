@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"fmt"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/proc"
+	"hpcsched/internal/sim"
+)
+
+// State is the lifecycle state of a task.
+type State int
+
+const (
+	// StateNew: created, never enqueued.
+	StateNew State = iota
+	// StateRunnable: on a run queue waiting for a CPU.
+	StateRunnable
+	// StateRunning: currently on a CPU.
+	StateRunning
+	// StateSleeping: blocked (message wait, timer, barrier...).
+	StateSleeping
+	// StateExited: body returned.
+	StateExited
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Policy is a scheduling policy. Policies map onto scheduling classes; the
+// class list order (real-time, then HPC when registered, then fair, then
+// idle) gives the implicit inter-class prioritisation of the framework.
+type Policy int
+
+const (
+	// PolicyNormal is SCHED_NORMAL (previously SCHED_OTHER): the CFS class.
+	PolicyNormal Policy = iota
+	// PolicyBatch is SCHED_BATCH: CFS, batch hint.
+	PolicyBatch
+	// PolicyFIFO is SCHED_FIFO: real-time, run to completion or yield.
+	PolicyFIFO
+	// PolicyRR is SCHED_RR: real-time round robin.
+	PolicyRR
+	// PolicyHPC is the paper's SCHED_HPC policy, served by the HPC class
+	// registered between the real-time and fair classes.
+	PolicyHPC
+	// PolicyIdle is SCHED_IDLE.
+	PolicyIdle
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNormal:
+		return "SCHED_NORMAL"
+	case PolicyBatch:
+		return "SCHED_BATCH"
+	case PolicyFIFO:
+		return "SCHED_FIFO"
+	case PolicyRR:
+		return "SCHED_RR"
+	case PolicyHPC:
+		return "SCHED_HPC"
+	case PolicyIdle:
+		return "SCHED_IDLE"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Task is the kernel's per-process descriptor (the task_struct analogue).
+type Task struct {
+	PID    int
+	Name   string
+	policy Policy
+	state  State
+
+	// CPU is the CPU the task runs on (or last ran on).
+	CPU int
+	// Affinity is a bitmask of CPUs the task may run on; 0 means "all".
+	Affinity uint64
+
+	// Nice is the CFS nice level (-20..19).
+	Nice int
+	// RTPrio is the real-time priority (0..99, higher wins) for
+	// SCHED_FIFO/SCHED_RR tasks.
+	RTPrio int
+
+	// HWPrio is the POWER5 hardware thread priority the kernel programs
+	// into the context whenever this task is dispatched. The HPC class
+	// heuristics drive this field; for every other class it stays at the
+	// default (medium).
+	HWPrio power5.Priority
+
+	class Class
+	proc  *proc.Process
+
+	// Execution engine state: remaining is the work left in the current
+	// compute burst, expressed in nanoseconds at single-thread speed.
+	remaining   float64
+	pendingReq  proc.Request // first request, before it is consumed
+	needsResume bool         // proc is parked in Invoke awaiting a reply
+	finishEv    *sim.Event
+	planAt      sim.Time // when the current burst plan was made
+	planSpeed   float64  // speed assumed by the current plan
+
+	// Accounting (exact, transition-driven).
+	SumExec    sim.Time // total on-CPU time
+	SumWait    sim.Time // total runnable-but-not-running time
+	SumSleep   sim.Time // total sleeping time
+	lastUpdate sim.Time // time of the last accounting update
+	queuedAt   sim.Time // when the task last became runnable (cache-hot check)
+	wakeAt     sim.Time // set while a wakeup latency measurement is open
+	wakeValid  bool
+
+	// Wakeup latency stats (scheduler latency in the paper's §V-D sense).
+	WakeupCount  int64
+	WakeupLatSum sim.Time
+	WakeupLatMax sim.Time
+
+	// Migrations counts placements on a CPU different from the previous
+	// one (wake placement, balancer pulls and active migrations).
+	Migrations int64
+
+	// Per-class embedded state.
+	cfs cfsEntity
+	rt  rtEntity
+
+	// ClassData lets out-of-tree classes (the HPC class) attach state.
+	ClassData any
+
+	// StartedAt/ExitedAt bound the task's lifetime.
+	StartedAt sim.Time
+	ExitedAt  sim.Time
+}
+
+// Policy returns the task's scheduling policy.
+func (t *Task) Policy() Policy { return t.policy }
+
+// SchedState returns the task's lifecycle state.
+func (t *Task) SchedState() State { return t.state }
+
+// Class returns the scheduling class currently serving the task.
+func (t *Task) Class() Class { return t.class }
+
+// Exited reports whether the task has finished.
+func (t *Task) Exited() bool { return t.state == StateExited }
+
+// MayRunOn reports whether the affinity mask allows cpu.
+func (t *Task) MayRunOn(cpu int) bool {
+	return t.Affinity == 0 || t.Affinity&(1<<uint(cpu)) != 0
+}
+
+// CacheHot reports whether the task became runnable more recently than the
+// migration cost (task_hot): the balancer must not move it.
+func (t *Task) CacheHot(now, migrationCost sim.Time) bool {
+	return now-t.queuedAt < migrationCost
+}
+
+// AvgWakeupLatency returns the mean wakeup→dispatch latency observed.
+func (t *Task) AvgWakeupLatency() sim.Time {
+	if t.WakeupCount == 0 {
+		return 0
+	}
+	return t.WakeupLatSum / sim.Time(t.WakeupCount)
+}
+
+// Utilization returns SumExec / (SumExec+SumWait+SumSleep): the task's
+// lifetime CPU utilization, the paper's primary per-process metric
+// ("% Comp" in Tables III-VI).
+func (t *Task) Utilization() float64 {
+	total := t.SumExec + t.SumWait + t.SumSleep
+	if total == 0 {
+		return 0
+	}
+	return float64(t.SumExec) / float64(total)
+}
+
+func (t *Task) String() string {
+	return fmt.Sprintf("%s(pid=%d %s %s cpu=%d hw=%v)",
+		t.Name, t.PID, t.policy, t.state, t.CPU, t.HWPrio)
+}

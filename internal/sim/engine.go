@@ -1,0 +1,240 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// underlying the whole reproduction: a virtual nanosecond clock, a
+// cancellable event heap and a seeded pseudo-random number generator.
+//
+// Determinism contract: two engines constructed with the same seed and fed
+// the same sequence of Schedule calls execute callbacks in exactly the same
+// order. Events that fire at the same virtual instant are ordered by their
+// scheduling sequence number, so "ties" are never resolved by map iteration
+// order or goroutine scheduling.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual time stamp in nanoseconds since the start of the
+// simulation. It is a distinct type so that wall-clock time.Duration values
+// cannot be mixed in accidentally.
+type Time int64
+
+// Common durations, mirroring time.Duration constants but in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. It is used as an
+// "infinitely far in the future" sentinel for deadlines.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts a virtual time stamp to seconds as a float64, primarily
+// for reporting.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts a virtual time stamp to milliseconds as a float64.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time as seconds with microsecond resolution.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a scheduled callback. Events are single-shot; cancelling an event
+// that already fired is a no-op.
+type Event struct {
+	at       Time
+	seq      uint64
+	do       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// At returns the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is the discrete-event simulation core. It is not safe for
+// concurrent use: all interaction must happen from the goroutine driving
+// Run/Step (simulated processes hand control back and forth in lock-step via
+// the proc package, so this is never a limitation in practice).
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *RNG
+	stopped bool
+
+	// Stats counters, exported via Stats.
+	scheduled uint64
+	fired     uint64
+	cancelled uint64
+}
+
+// NewEngine returns an engine with the clock at zero and the RNG seeded with
+// seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Schedule registers do to run at virtual time at. Scheduling in the past
+// (at < Now) panics: it always indicates a model bug, and silently clamping
+// would mask it. Scheduling exactly at Now is allowed and the event runs
+// after all earlier-scheduled events for the same instant.
+func (e *Engine) Schedule(at Time, do func()) *Event {
+	if do == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: at=%v now=%v", at, e.now))
+	}
+	e.seq++
+	e.scheduled++
+	ev := &Event{at: at, seq: e.seq, do: do, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After is shorthand for Schedule(Now()+d, do).
+func (e *Engine) After(d Time, do func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, do)
+}
+
+// Cancel removes a pending event. Returns true if the event was pending and
+// is now guaranteed not to fire.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	e.cancelled++
+	return true
+}
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// PeekNext returns the time of the earliest pending event, or MaxTime if the
+// queue is empty.
+func (e *Engine) PeekNext() Time {
+	if e.queue.Len() == 0 {
+		return MaxTime
+	}
+	return e.queue[0].at
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false if no events are pending.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.at < e.now {
+		panic("sim: event heap corrupted (time went backwards)")
+	}
+	e.now = ev.at
+	e.fired++
+	ev.do()
+	return true
+}
+
+// Run fires events until the queue drains or the next event lies strictly
+// after until; the clock is then advanced to until if it is not MaxTime.
+// It returns the number of events fired.
+func (e *Engine) Run(until Time) int {
+	n := 0
+	e.stopped = false
+	for !e.stopped && e.queue.Len() > 0 && e.queue[0].at <= until {
+		e.Step()
+		n++
+	}
+	if !e.stopped && until != MaxTime && e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// RunUntilIdle fires events until none are pending and returns how many
+// fired. Simulations that schedule periodic timers must use Run with a
+// horizon instead, or Stop from a callback, otherwise this never returns.
+func (e *Engine) RunUntilIdle() int {
+	n := 0
+	e.stopped = false
+	for !e.stopped && e.Step() {
+		n++
+	}
+	return n
+}
+
+// Stop makes the innermost Run/RunUntilIdle return after the current event
+// callback completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stats reports counters about engine activity.
+type Stats struct {
+	Now       Time
+	Scheduled uint64
+	Fired     uint64
+	Cancelled uint64
+	Pending   int
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Now:       e.now,
+		Scheduled: e.scheduled,
+		Fired:     e.fired,
+		Cancelled: e.cancelled,
+		Pending:   e.queue.Len(),
+	}
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

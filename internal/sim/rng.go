@@ -1,0 +1,112 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256** seeded via splitmix64). The standard library's math/rand is
+// avoided so that the generator's sequence is pinned by this repository and
+// can never change underneath the experiments when the Go version moves.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64 (which also
+// handles the all-zero seed safely).
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	// Modulo bias is negligible for the magnitudes used here (n ≪ 2^63),
+	// and determinism matters more than perfect uniformity.
+	return int64(r.Uint64()>>1) % n
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a uniform virtual duration in [0, d). It panics if d <= 0.
+func (r *RNG) Duration(d Time) Time { return Time(r.Int63n(int64(d))) }
+
+// DurationRange returns a uniform virtual duration in [lo, hi]. It panics if
+// hi < lo.
+func (r *RNG) DurationRange(lo, hi Time) Time {
+	if hi < lo {
+		panic("sim: DurationRange with hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + Time(r.Int63n(int64(hi-lo)+1))
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the polar Box-Muller transform. One value of the
+// generated pair is discarded to keep the generator state a pure function of
+// the number of calls.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Jitter returns base scaled by a uniform factor in [1-frac, 1+frac].
+func (r *RNG) Jitter(base Time, frac float64) Time {
+	if frac <= 0 {
+		return base
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	v := Time(float64(base) * f)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Split derives an independent generator from this one. Streams drawn from
+// the parent and child do not overlap for any practical horizon.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1342543de82ef95)
+}

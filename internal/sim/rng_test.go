@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	// splitmix64 must avoid the degenerate all-zero xoshiro state.
+	zero := true
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			zero = false
+		}
+	}
+	if zero {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / 10000
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 20000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("Normal mean = %v, want ≈10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Fatalf("Normal stddev = %v, want ≈2", math.Sqrt(variance))
+	}
+}
+
+func TestDurationRange(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		v := r.DurationRange(100, 200)
+		if v < 100 || v > 200 {
+			t.Fatalf("DurationRange = %v out of [100,200]", v)
+		}
+	}
+	if r.DurationRange(50, 50) != 50 {
+		t.Fatal("degenerate range should return lo")
+	}
+}
+
+func TestJitter(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(1000, 0.1)
+		if v < 900 || v > 1100 {
+			t.Fatalf("Jitter(1000, 0.1) = %v out of ±10%%", v)
+		}
+	}
+	if r.Jitter(1000, 0) != 1000 {
+		t.Fatal("zero-fraction jitter must be identity")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(21)
+	child := parent.Split()
+	a := make([]uint64, 50)
+	for i := range a {
+		a[i] = child.Uint64()
+	}
+	same := 0
+	for i := range a {
+		if parent.Uint64() == a[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("parent and child streams overlap: %d/50", same)
+	}
+}
+
+// Property: Int63n always lands in [0, n).
+func TestPropertyInt63nRange(t *testing.T) {
+	r := NewRNG(23)
+	f := func(n int64) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		v := r.Int63n(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// RenderByCPU draws one row per CPU instead of one per task: each column
+// shows which task occupied the CPU for most of that bucket, labelled by
+// the last character of the task name ('1' for P1, 'M' for the master),
+// or '.' when idle. This is the machine-centric view PARAVER offers next
+// to the per-process one, and it makes placement — who shares a core with
+// whom — visible at a glance.
+func (r *Recorder) RenderByCPU(opt RenderOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 100
+	}
+	if opt.To == 0 {
+		opt.To = r.end
+	}
+	if opt.To <= opt.From {
+		return ""
+	}
+	span := opt.To - opt.From
+
+	// Collect running intervals per CPU.
+	maxCPU := 0
+	type occ struct {
+		from, to sim.Time
+		label    byte
+	}
+	perCPU := map[int][]occ{}
+	for _, tt := range r.order {
+		label := byte('?')
+		if n := tt.Name; n != "" {
+			label = n[len(n)-1]
+		}
+		for _, iv := range tt.Intervals {
+			if iv.State != sched.StateRunning {
+				continue
+			}
+			if iv.CPU > maxCPU {
+				maxCPU = iv.CPU
+			}
+			perCPU[iv.CPU] = append(perCPU[iv.CPU], occ{iv.From, iv.To, label})
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "        time %v .. %v (1 col = %v)\n", opt.From, opt.To,
+		span/sim.Time(opt.Width))
+	cpus := make([]int, 0, len(perCPU))
+	for c := 0; c <= maxCPU; c++ {
+		cpus = append(cpus, c)
+	}
+	sort.Ints(cpus)
+	for _, cpu := range cpus {
+		weights := make([]map[byte]sim.Time, opt.Width)
+		for i := range weights {
+			weights[i] = map[byte]sim.Time{}
+		}
+		for _, o := range perCPU[cpu] {
+			from, to := o.from, o.to
+			if to <= opt.From || from >= opt.To {
+				continue
+			}
+			if from < opt.From {
+				from = opt.From
+			}
+			if to > opt.To {
+				to = opt.To
+			}
+			c0 := int(int64(from-opt.From) * int64(opt.Width) / int64(span))
+			c1 := int(int64(to-opt.From) * int64(opt.Width) / int64(span))
+			if c1 >= opt.Width {
+				c1 = opt.Width - 1
+			}
+			for c := c0; c <= c1; c++ {
+				bFrom := opt.From + span*sim.Time(c)/sim.Time(opt.Width)
+				bTo := opt.From + span*sim.Time(c+1)/sim.Time(opt.Width)
+				ovFrom, ovTo := from, to
+				if ovFrom < bFrom {
+					ovFrom = bFrom
+				}
+				if ovTo > bTo {
+					ovTo = bTo
+				}
+				if ovTo > ovFrom {
+					weights[c][o.label] += ovTo - ovFrom
+				}
+			}
+		}
+		row := make([]byte, opt.Width)
+		for c := range row {
+			best, bestW := byte('.'), sim.Time(0)
+			// Deterministic winner: iterate labels in sorted order.
+			labels := make([]int, 0, len(weights[c]))
+			for l := range weights[c] {
+				labels = append(labels, int(l))
+			}
+			sort.Ints(labels)
+			for _, l := range labels {
+				if w := weights[c][byte(l)]; w > bestW {
+					best, bestW = byte(l), w
+				}
+			}
+			row[c] = best
+		}
+		core := cpu / 2
+		fmt.Fprintf(&b, "cpu%d/c%d |%s|\n", cpu, core, string(row))
+	}
+	b.WriteString("legend: column = dominant task on the CPU ('.' idle); cN = core\n")
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+func TestRenderByCPU(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := sched.NewKernel(e, chip, sched.DefaultOptions())
+	rec := NewRecorder()
+	k.SetTracer(rec)
+	mk := func(name string, cpu int) *sched.Task {
+		task := k.AddProcess(sched.TaskSpec{Name: name, Policy: sched.PolicyNormal,
+			Affinity: 1 << uint(cpu)}, func(env *sched.Env) {
+			env.Compute(20 * sim.Millisecond)
+		})
+		k.Watch(task)
+		return task
+	}
+	mk("P1", 0)
+	mk("P2", 3)
+	k.RunUntilWatchedExit(sim.Second)
+	rec.Finish(k.Now())
+	out := rec.RenderByCPU(RenderOptions{Width: 40})
+	if !strings.Contains(out, "cpu0/c0") || !strings.Contains(out, "cpu3/c1") {
+		t.Fatalf("CPU rows missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var cpu0, cpu1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "cpu0") {
+			cpu0 = l
+		}
+		if strings.HasPrefix(l, "cpu1") {
+			cpu1 = l
+		}
+	}
+	content := func(row string) string {
+		i, j := strings.Index(row, "|"), strings.LastIndex(row, "|")
+		return row[i+1 : j]
+	}
+	if !strings.Contains(content(cpu0), "1") {
+		t.Fatalf("cpu0 row should show task P1: %q", cpu0)
+	}
+	if strings.Trim(content(cpu1), ".") != "" {
+		t.Fatalf("cpu1 should be idle: %q", cpu1)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestRenderByCPUEmptyWindow(t *testing.T) {
+	rec := NewRecorder()
+	if out := rec.RenderByCPU(RenderOptions{Width: 10, From: 5, To: 5}); out != "" {
+		t.Fatalf("degenerate window should render empty, got %q", out)
+	}
+}

@@ -1,0 +1,311 @@
+// Package trace records task state intervals during a simulation and
+// renders them as ASCII timelines (the role PARAVER plays in the paper's
+// Figures 3-6) or exports them in a Paraver-like .prv format.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// Interval is a span of one scheduling state.
+type Interval struct {
+	From, To sim.Time
+	State    sched.State
+	CPU      int
+}
+
+// PrioChange marks a hardware-priority transition.
+type PrioChange struct {
+	At   sim.Time
+	Prio int
+}
+
+// TaskTrace is the recorded history of one task.
+type TaskTrace struct {
+	Task      *sched.Task
+	Name      string
+	Intervals []Interval
+	Prios     []PrioChange
+
+	open      Interval
+	openValid bool
+}
+
+// Recorder implements sched.Tracer.
+type Recorder struct {
+	byTask map[*sched.Task]*TaskTrace
+	order  []*TaskTrace
+	end    sim.Time
+	// Filter limits recording to selected tasks (nil records everything).
+	Filter func(t *sched.Task) bool
+}
+
+// NewRecorder returns an empty recorder. Install it with kernel.SetTracer.
+func NewRecorder() *Recorder {
+	return &Recorder{byTask: map[*sched.Task]*TaskTrace{}}
+}
+
+func (r *Recorder) traceFor(t *sched.Task) *TaskTrace {
+	if tt, ok := r.byTask[t]; ok {
+		return tt
+	}
+	if r.Filter != nil && !r.Filter(t) {
+		return nil
+	}
+	tt := &TaskTrace{Task: t, Name: t.Name}
+	r.byTask[t] = tt
+	r.order = append(r.order, tt)
+	return tt
+}
+
+// TaskState implements sched.Tracer.
+func (r *Recorder) TaskState(now sim.Time, t *sched.Task, s sched.State, cpu int) {
+	tt := r.traceFor(t)
+	if tt == nil {
+		return
+	}
+	if tt.openValid {
+		if tt.open.State == s && tt.open.CPU == cpu {
+			return // coalesce repeated dispatches of the same state
+		}
+		tt.open.To = now
+		if tt.open.To > tt.open.From {
+			tt.Intervals = append(tt.Intervals, tt.open)
+		}
+	}
+	tt.open = Interval{From: now, State: s, CPU: cpu}
+	tt.openValid = s != sched.StateExited
+	if now > r.end {
+		r.end = now
+	}
+}
+
+// TaskHWPrio implements sched.Tracer.
+func (r *Recorder) TaskHWPrio(now sim.Time, t *sched.Task, prio int) {
+	tt := r.traceFor(t)
+	if tt == nil {
+		return
+	}
+	if n := len(tt.Prios); n > 0 && tt.Prios[n-1].Prio == prio {
+		return
+	}
+	tt.Prios = append(tt.Prios, PrioChange{At: now, Prio: prio})
+	if now > r.end {
+		r.end = now
+	}
+}
+
+// Finish closes all open intervals at the given end time.
+func (r *Recorder) Finish(now sim.Time) {
+	for _, tt := range r.order {
+		if tt.openValid {
+			tt.open.To = now
+			if tt.open.To > tt.open.From {
+				tt.Intervals = append(tt.Intervals, tt.open)
+			}
+			tt.openValid = false
+		}
+	}
+	if now > r.end {
+		r.end = now
+	}
+}
+
+// Traces returns the recorded tasks in first-seen order.
+func (r *Recorder) Traces() []*TaskTrace { return r.order }
+
+// End returns the last recorded timestamp.
+func (r *Recorder) End() sim.Time { return r.end }
+
+// stateGlyph maps a state to its timeline character: '#' computing (dark
+// grey in the paper's figures), '.' waiting (light grey), '+' runnable but
+// queued, ' ' not yet started / exited.
+func stateGlyph(s sched.State) byte {
+	switch s {
+	case sched.StateRunning:
+		return '#'
+	case sched.StateRunnable:
+		return '+'
+	case sched.StateSleeping:
+		return '.'
+	default:
+		return ' '
+	}
+}
+
+// RenderOptions controls ASCII rendering.
+type RenderOptions struct {
+	Width    int      // timeline columns (default 100)
+	From, To sim.Time // window (default: full trace)
+	Prios    bool     // append a priority-change annotation per task
+}
+
+// Render draws one row per task. Each column shows the state the task
+// spent the most time in within that bucket.
+func (r *Recorder) Render(opt RenderOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 100
+	}
+	if opt.To == 0 {
+		opt.To = r.end
+	}
+	if opt.To <= opt.From {
+		return ""
+	}
+	span := opt.To - opt.From
+	var b strings.Builder
+	nameW := 0
+	for _, tt := range r.order {
+		if len(tt.Name) > nameW {
+			nameW = len(tt.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%*s  time %v .. %v (1 col = %v)\n", nameW, "", opt.From, opt.To,
+		span/sim.Time(opt.Width))
+	for _, tt := range r.order {
+		row := make([]byte, opt.Width)
+		weights := make([]map[byte]sim.Time, opt.Width)
+		for i := range row {
+			row[i] = ' '
+			weights[i] = map[byte]sim.Time{}
+		}
+		for _, iv := range tt.Intervals {
+			from, to := iv.From, iv.To
+			if to <= opt.From || from >= opt.To {
+				continue
+			}
+			if from < opt.From {
+				from = opt.From
+			}
+			if to > opt.To {
+				to = opt.To
+			}
+			g := stateGlyph(iv.State)
+			c0 := int(int64(from-opt.From) * int64(opt.Width) / int64(span))
+			c1 := int(int64(to-opt.From) * int64(opt.Width) / int64(span))
+			if c1 >= opt.Width {
+				c1 = opt.Width - 1
+			}
+			for c := c0; c <= c1; c++ {
+				// Weight by overlap with the bucket.
+				bFrom := opt.From + span*sim.Time(c)/sim.Time(opt.Width)
+				bTo := opt.From + span*sim.Time(c+1)/sim.Time(opt.Width)
+				ovFrom, ovTo := from, to
+				if ovFrom < bFrom {
+					ovFrom = bFrom
+				}
+				if ovTo > bTo {
+					ovTo = bTo
+				}
+				if ovTo > ovFrom {
+					weights[c][g] += ovTo - ovFrom
+				}
+			}
+		}
+		for c := range row {
+			bestG, bestW := byte(' '), sim.Time(0)
+			// Deterministic order: check glyphs in fixed precedence.
+			for _, g := range []byte{'#', '.', '+'} {
+				if w := weights[c][g]; w > bestW {
+					bestG, bestW = g, w
+				}
+			}
+			row[c] = bestG
+		}
+		fmt.Fprintf(&b, "%*s |%s|\n", nameW, tt.Name, string(row))
+		if opt.Prios && len(tt.Prios) > 0 {
+			var ann []string
+			for _, pc := range tt.Prios {
+				ann = append(ann, fmt.Sprintf("%v→%d", pc.At, pc.Prio))
+			}
+			fmt.Fprintf(&b, "%*s  prio: %s\n", nameW, "", strings.Join(ann, " "))
+		}
+	}
+	b.WriteString(legend())
+	return b.String()
+}
+
+func legend() string {
+	return "legend: '#' computing   '.' waiting   '+' runnable (queued)\n"
+}
+
+// CompPct returns the fraction of the window the task spent computing,
+// in percent — the paper's "% Comp" column derived from the trace.
+func (tt *TaskTrace) CompPct(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	var run sim.Time
+	for _, iv := range tt.Intervals {
+		if iv.State != sched.StateRunning {
+			continue
+		}
+		f, t := iv.From, iv.To
+		if t <= from || f >= to {
+			continue
+		}
+		if f < from {
+			f = from
+		}
+		if t > to {
+			t = to
+		}
+		run += t - f
+	}
+	return 100 * float64(run) / float64(to-from)
+}
+
+// ExportPRV writes a simplified Paraver trace: a header line followed by
+// state records "1:cpu:1:task:1:begin:end:state" with Paraver state codes
+// (1 = running, 2 = not created/idle here unused, 3 = waiting, 7 = ready).
+func (r *Recorder) ExportPRV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#Paraver (hpcsched):%d_ns:1(%d):1:%d\n",
+		int64(r.end), cpusIn(r), len(r.order))
+	for ti, tt := range r.order {
+		for _, iv := range tt.Intervals {
+			code := 0
+			switch iv.State {
+			case sched.StateRunning:
+				code = 1
+			case sched.StateSleeping:
+				code = 3
+			case sched.StateRunnable:
+				code = 7
+			default:
+				continue
+			}
+			fmt.Fprintf(&b, "1:%d:1:%d:1:%d:%d:%d\n",
+				iv.CPU+1, ti+1, int64(iv.From), int64(iv.To), code)
+		}
+	}
+	return b.String()
+}
+
+func cpusIn(r *Recorder) int {
+	max := 0
+	for _, tt := range r.order {
+		for _, iv := range tt.Intervals {
+			if iv.CPU+1 > max {
+				max = iv.CPU + 1
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	return max
+}
+
+// SortByName orders the recorded traces by task name (P1, P2, ...): the
+// paper's figures list processes in rank order regardless of spawn order.
+func (r *Recorder) SortByName() {
+	sort.SliceStable(r.order, func(i, j int) bool {
+		return r.order[i].Name < r.order[j].Name
+	})
+}

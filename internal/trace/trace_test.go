@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+func runTraced(t testing.TB) (*Recorder, *sched.Kernel, *sched.Task) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := sched.NewKernel(e, chip, sched.DefaultOptions())
+	rec := NewRecorder()
+	k.SetTracer(rec)
+	task := k.AddProcess(sched.TaskSpec{Name: "P1", Policy: sched.PolicyNormal, Affinity: 1},
+		func(env *sched.Env) {
+			for i := 0; i < 3; i++ {
+				env.Compute(10 * sim.Millisecond)
+				env.Sleep(5 * sim.Millisecond)
+			}
+		})
+	k.Watch(task)
+	k.RunUntilWatchedExit(sim.Second)
+	rec.Finish(k.Now())
+	return rec, k, task
+}
+
+func TestRecorderIntervals(t *testing.T) {
+	rec, _, task := runTraced(t)
+	traces := rec.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tt := traces[0]
+	if tt.Name != "P1" || tt.Task != task {
+		t.Fatal("trace identity wrong")
+	}
+	// Alternating running/sleeping intervals; contiguous, ordered.
+	var run, slp sim.Time
+	last := sim.Time(0)
+	for _, iv := range tt.Intervals {
+		if iv.From < last {
+			t.Fatalf("intervals overlap: %+v", tt.Intervals)
+		}
+		last = iv.From
+		switch iv.State {
+		case sched.StateRunning:
+			run += iv.To - iv.From
+		case sched.StateSleeping:
+			slp += iv.To - iv.From
+		}
+	}
+	// 30ms of work executes at IdleSibling speed (0.93) ≈ 32.3ms on CPU.
+	if run < 31*sim.Millisecond || run > 34*sim.Millisecond {
+		t.Fatalf("recorded run time = %v, want ≈32ms", run)
+	}
+	if slp < 14*sim.Millisecond || slp > 16*sim.Millisecond {
+		t.Fatalf("recorded sleep time = %v, want ≈15ms", slp)
+	}
+	if got := tt.CompPct(0, rec.End()); got < 62 || got > 74 {
+		t.Fatalf("CompPct = %v, want ≈68", got)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	rec, _, _ := runTraced(t)
+	out := rec.Render(RenderOptions{Width: 45})
+	if !strings.Contains(out, "P1") {
+		t.Fatal("render misses task name")
+	}
+	lines := strings.Split(out, "\n")
+	var row string
+	for _, l := range lines {
+		if strings.Contains(l, "P1 |") {
+			row = l
+		}
+	}
+	if row == "" {
+		t.Fatalf("no row for P1 in:\n%s", out)
+	}
+	if !strings.Contains(row, "#") || !strings.Contains(row, ".") {
+		t.Fatalf("row lacks compute/wait glyphs: %q", row)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestRenderWindow(t *testing.T) {
+	rec, _, _ := runTraced(t)
+	// A window entirely inside the first compute phase: all '#'.
+	out := rec.Render(RenderOptions{Width: 10, From: sim.Millisecond, To: 9 * sim.Millisecond})
+	var row string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "P1 |") {
+			row = l
+		}
+	}
+	inner := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if inner != strings.Repeat("#", 10) {
+		t.Fatalf("window render = %q, want all '#'", inner)
+	}
+}
+
+func TestPrioChangesRecorded(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := sched.NewKernel(e, chip, sched.DefaultOptions())
+	rec := NewRecorder()
+	k.SetTracer(rec)
+	task := k.AddProcess(sched.TaskSpec{Name: "P1", Policy: sched.PolicyNormal},
+		func(env *sched.Env) {
+			env.Compute(sim.Millisecond)
+			env.SetHWPrio(power5.PrioMediumHigh)
+			env.Compute(sim.Millisecond)
+			env.SetHWPrio(power5.PrioHigh)
+			env.Compute(sim.Millisecond)
+		})
+	k.Watch(task)
+	k.RunUntilWatchedExit(sim.Second)
+	rec.Finish(k.Now())
+	tt := rec.Traces()[0]
+	// Initial medium plus two raises; duplicates coalesced.
+	if len(tt.Prios) != 3 {
+		t.Fatalf("prio changes = %+v, want 3 entries", tt.Prios)
+	}
+	if tt.Prios[1].Prio != 5 || tt.Prios[2].Prio != 6 {
+		t.Fatalf("prio sequence wrong: %+v", tt.Prios)
+	}
+	out := rec.Render(RenderOptions{Width: 30, Prios: true})
+	if !strings.Contains(out, "prio:") {
+		t.Fatal("prio annotation missing")
+	}
+}
+
+func TestExportPRV(t *testing.T) {
+	rec, _, _ := runTraced(t)
+	prv := rec.ExportPRV()
+	if !strings.HasPrefix(prv, "#Paraver") {
+		t.Fatalf("prv header missing: %q", prv[:40])
+	}
+	lines := strings.Split(strings.TrimSpace(prv), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("prv too short: %d lines", len(lines))
+	}
+	// Records are 8 colon-separated fields starting with "1:".
+	for _, l := range lines[1:] {
+		parts := strings.Split(l, ":")
+		if len(parts) != 8 || parts[0] != "1" {
+			t.Fatalf("bad prv record %q", l)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	e := sim.NewEngine(1)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := sched.NewKernel(e, chip, sched.DefaultOptions())
+	rec := NewRecorder()
+	rec.Filter = func(t *sched.Task) bool { return t.Name != "noise" }
+	k.SetTracer(rec)
+	a := k.AddProcess(sched.TaskSpec{Name: "P1"}, func(env *sched.Env) {
+		env.Compute(sim.Millisecond)
+	})
+	b := k.AddProcess(sched.TaskSpec{Name: "noise"}, func(env *sched.Env) {
+		env.Compute(sim.Millisecond)
+	})
+	k.Watch(a)
+	k.Watch(b)
+	k.RunUntilWatchedExit(sim.Second)
+	rec.Finish(k.Now())
+	if len(rec.Traces()) != 1 || rec.Traces()[0].Name != "P1" {
+		t.Fatalf("filter failed: %d traces", len(rec.Traces()))
+	}
+}
+
+func TestSortByName(t *testing.T) {
+	rec := NewRecorder()
+	for _, n := range []string{"P3", "P1", "P2"} {
+		rec.TaskState(0, &sched.Task{Name: n}, sched.StateRunnable, 0)
+	}
+	// Hack: traceFor keyed the synthetic tasks already.
+	rec.SortByName()
+	names := []string{}
+	for _, tt := range rec.Traces() {
+		names = append(names, tt.Name)
+	}
+	if names[0] != "P1" || names[1] != "P2" || names[2] != "P3" {
+		t.Fatalf("sorted = %v", names)
+	}
+}
