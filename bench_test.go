@@ -1,5 +1,5 @@
 // Benchmark harness regenerating every table and figure of the paper's
-// evaluation (§V), plus the ablations DESIGN.md calls out.
+// evaluation (§V), plus the ablations docs/ARCHITECTURE.md calls out.
 //
 // Each benchmark iteration executes one complete simulated run; custom
 // metrics report the simulated execution time (sim_s) and, where a
@@ -13,7 +13,9 @@
 package hpcsched_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"hpcsched/internal/core"
@@ -362,6 +364,35 @@ func BenchmarkAblationHybrid(b *testing.B) {
 		b.Run(wl, func(b *testing.B) {
 			benchRun(b, experiments.Config{Workload: wl,
 				Mode: experiments.ModeHybrid, Seed: 42})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batch layer — parallel table reproduction
+// ---------------------------------------------------------------------------
+
+// BenchmarkBatchReproduceTable reproduces Table III over 8 replication
+// seeds at increasing worker counts. Simulations are embarrassingly
+// parallel, so ns/op should fall near-linearly from the workers_1
+// sub-benchmark up to the core count; the aggregates are byte-identical
+// at every width (the batch determinism contract).
+func BenchmarkBatchReproduceTable(b *testing.B) {
+	seeds := experiments.SeedsFrom(42, 8)
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := experiments.RunTableStatsBatch(context.Background(), "metbench",
+					seeds, experiments.BatchOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

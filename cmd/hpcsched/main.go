@@ -6,13 +6,14 @@
 //	hpcsched table1                 # decode-slot allocation (Table I)
 //	hpcsched table2                 # priority privilege levels (Table II)
 //	hpcsched classes                # scheduling class order (Figure 1)
-//	hpcsched table3|table4|table5|table6 [-seed N]
+//	hpcsched table3|table4|table5|table6 [-seed N] [-replicas N] [-parallel W]
 //	hpcsched fig3|fig4|fig5|fig6 [-seed N] [-width N]
 //	hpcsched run -workload metbench -mode uniform [-seed N] [-trace]
 //	hpcsched list                   # available workloads
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -155,12 +156,33 @@ func printClasses() {
 
 func runTable(cmd string, args []string) {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	seed := fs.Uint64("seed", 42, "simulation seed")
-	seeds := fs.Int("seeds", 1, "replication count (>1 prints mean ± stddev)")
+	seed := fs.Uint64("seed", 42, "simulation seed (base seed with -replicas)")
+	seeds := fs.Int("seeds", 1, "replication count over the legacy seed ladder (>1 prints mean ± stddev)")
+	replicas := fs.Int("replicas", 0, "replication count over seeds derived from -seed (prints mean ± stddev and 95% CI)")
+	workers := fs.Int("parallel", 0, "worker pool size (0 = one per CPU)")
+	progress := fs.Bool("progress", false, "report batch progress on stderr")
 	fs.Parse(args)
 	wl := tableWorkload(cmd)
-	if *seeds > 1 {
-		fmt.Print(experiments.RunTableStats(wl, experiments.DefaultSeeds(*seeds)).Format())
+	if *replicas > 1 || *seeds > 1 {
+		repl := experiments.SeedsFrom(*seed, *replicas)
+		if *replicas <= 1 {
+			repl = experiments.DefaultSeeds(*seeds)
+		}
+		opts := experiments.BatchOptions{Workers: *workers}
+		if *progress {
+			opts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		ts, err := experiments.RunTableStatsBatch(context.Background(), wl, repl, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(ts.Format())
 		return
 	}
 	tr := experiments.RunTable(wl, *seed)

@@ -1,20 +1,31 @@
 // Command sweep explores the HPC scheduler's tunables: the Adaptive G/L
-// weights, the utilization thresholds, the explored priority range and the
-// OS noise level — the ablations DESIGN.md calls out.
+// weights, the utilization thresholds, the explored priority range, the
+// OS noise level and the queue discipline — the ablations discussed in
+// docs/ARCHITECTURE.md.
+//
+// Every sweep point can be replicated over several derived seeds
+// (-seeds N), and the whole (point × seed) grid runs on the parallel
+// batch layer (-parallel W, default one worker per CPU). Results are
+// deterministic at any worker count. Output is an aligned table by
+// default; -format json or -format csv emit machine-readable rows.
 //
 // Usage:
 //
-//	sweep -what gl        -workload metbenchvar
-//	sweep -what thresholds -workload metbench
-//	sweep -what priorange -workload metbench
-//	sweep -what noise     -workload siesta
+//	sweep -what gl         -workload metbenchvar
+//	sweep -what thresholds -workload metbench -seeds 5
+//	sweep -what priorange  -workload metbench -seeds 5 -format csv
+//	sweep -what noise      -workload siesta -parallel 4 -format json
 package main
 
 import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"hpcsched/internal/batch"
 	"hpcsched/internal/core"
 	"hpcsched/internal/experiments"
 	"hpcsched/internal/metrics"
@@ -22,50 +33,170 @@ import (
 	"hpcsched/internal/power5"
 )
 
+// point is one sweep cell: a named configuration plus the baseline its
+// improvement is measured against. baseKey groups points that share a
+// baseline so each distinct baseline runs only once per seed.
+type point struct {
+	name    string
+	baseKey string
+	cfg     func(seed uint64) experiments.Config
+	base    func(seed uint64) experiments.Config
+}
+
+// row is one aggregated output line.
+type row struct {
+	Config    string  `json:"config"`
+	Runs      int     `json:"runs"`
+	ExecMeanS float64 `json:"exec_mean_s"`
+	ExecStdS  float64 `json:"exec_std_s"`
+	BaseMeanS float64 `json:"base_exec_mean_s"`
+	ImpMean   float64 `json:"improvement_mean_pct"`
+	ImpCI95   float64 `json:"improvement_ci95_pct"`
+	Imbalance float64 `json:"imbalance_mean"`
+}
+
 func main() {
 	what := flag.String("what", "gl", "gl | thresholds | priorange | noise | policy")
 	wl := flag.String("workload", "metbench", "workload name")
-	seed := flag.Uint64("seed", 42, "simulation seed")
+	seed := flag.Uint64("seed", 42, "base simulation seed")
+	nseeds := flag.Int("seeds", 1, "replicas per sweep point, over seeds derived from -seed")
+	workers := flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
+	format := flag.String("format", "table", "table | json | csv")
+	progress := flag.Bool("progress", false, "report batch progress on stderr")
 	flag.Parse()
 
-	base := experiments.Run(experiments.Config{Workload: *wl, Mode: experiments.ModeBaseline, Seed: *seed})
-	fmt.Printf("%s baseline: %.2fs\n\n", *wl, base.ExecTime.Seconds())
-
-	header := []string{"Config", "Exec", "vs base", "Imbalance"}
-	var rows [][]string
-	add := func(name string, r experiments.Result) {
-		rows = append(rows, []string{
-			name,
-			fmt.Sprintf("%.2fs", r.ExecTime.Seconds()),
-			fmt.Sprintf("%+.1f%%", 100*metrics.Improvement(base.ExecTime, r.ExecTime)),
-			fmt.Sprintf("%.3f", r.Imbalance),
-		})
+	points := buildPoints(*what, *wl)
+	if points == nil {
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *what)
+		os.Exit(2)
+	}
+	switch *format {
+	case "table", "json", "csv":
+	default:
+		// Reject before the batch runs: a bad format should not cost a
+		// full sweep's worth of simulation first.
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
 	}
 
-	switch *what {
+	seeds := []uint64{*seed}
+	if *nseeds > 1 {
+		seeds = experiments.SeedsFrom(*seed, *nseeds)
+	}
+
+	// Flatten the grid in a fixed order — distinct baselines first, then
+	// the sweep points, each seed-major — so the batch's ordered results
+	// map back by index arithmetic alone.
+	var cfgs []experiments.Config
+	baseAt := map[string]int{} // baseKey → index of its first seed's run
+	for _, p := range points {
+		if _, ok := baseAt[p.baseKey]; ok {
+			continue
+		}
+		baseAt[p.baseKey] = len(cfgs)
+		for _, s := range seeds {
+			cfgs = append(cfgs, p.base(s))
+		}
+	}
+	pointAt := make([]int, len(points))
+	for i, p := range points {
+		pointAt[i] = len(cfgs)
+		for _, s := range seeds {
+			cfgs = append(cfgs, p.cfg(s))
+		}
+	}
+
+	opts := experiments.BatchOptions{Workers: *workers}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	br, err := experiments.RunBatch(context.Background(), cfgs, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rows := make([]row, len(points))
+	for i, p := range points {
+		execs := make([]float64, len(seeds))
+		bases := make([]float64, len(seeds))
+		imps := make([]float64, len(seeds))
+		imbs := make([]float64, len(seeds))
+		for j := range seeds {
+			r := br.Results[pointAt[i]+j]
+			b := br.Results[baseAt[p.baseKey]+j]
+			execs[j] = r.ExecTime.Seconds()
+			bases[j] = b.ExecTime.Seconds()
+			imps[j] = 100 * metrics.Improvement(b.ExecTime, r.ExecTime)
+			imbs[j] = r.Imbalance
+		}
+		e, b := batch.Summarize(execs), batch.Summarize(bases)
+		imp, imb := batch.Summarize(imps), batch.Summarize(imbs)
+		rows[i] = row{
+			Config: p.name, Runs: e.N,
+			ExecMeanS: e.Mean, ExecStdS: e.Std, BaseMeanS: b.Mean,
+			ImpMean: imp.Mean, ImpCI95: imp.CI95,
+			Imbalance: imb.Mean,
+		}
+	}
+
+	if err := emit(os.Stdout, *format, rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// buildPoints enumerates the sweep grid; nil means an unknown sweep.
+func buildPoints(what, wl string) []point {
+	mk := func(mode experiments.Mode, mut func(*experiments.Config)) func(uint64) experiments.Config {
+		return func(seed uint64) experiments.Config {
+			c := experiments.Config{Workload: wl, Mode: mode, Seed: seed}
+			if mut != nil {
+				mut(&c)
+			}
+			return c
+		}
+	}
+	defaultBase := mk(experiments.ModeBaseline, nil)
+	var points []point
+	add := func(name string, cfg func(uint64) experiments.Config) {
+		points = append(points, point{name: name, baseKey: "default", cfg: cfg, base: defaultBase})
+	}
+	switch what {
 	case "gl":
 		for _, l := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
-			p := core.DefaultParams()
-			p.L, p.G = l, 1-l
-			r := experiments.Run(experiments.Config{Workload: *wl,
-				Mode: experiments.ModeAdaptive, Seed: *seed, Params: p})
-			add(fmt.Sprintf("adaptive L=%.2f G=%.2f", l, 1-l), r)
+			l := l
+			add(fmt.Sprintf("adaptive L=%.2f G=%.2f", l, 1-l),
+				mk(experiments.ModeAdaptive, func(c *experiments.Config) {
+					p := core.DefaultParams()
+					p.L, p.G = l, 1-l
+					c.Params = p
+				}))
 		}
 	case "thresholds":
 		for _, th := range [][2]float64{{50, 70}, {60, 80}, {65, 85}, {70, 90}, {75, 95}} {
-			p := core.DefaultParams()
-			p.LowUtil, p.HighUtil = th[0], th[1]
-			r := experiments.Run(experiments.Config{Workload: *wl,
-				Mode: experiments.ModeUniform, Seed: *seed, Params: p})
-			add(fmt.Sprintf("uniform low=%g high=%g", th[0], th[1]), r)
+			th := th
+			add(fmt.Sprintf("uniform low=%g high=%g", th[0], th[1]),
+				mk(experiments.ModeUniform, func(c *experiments.Config) {
+					p := core.DefaultParams()
+					p.LowUtil, p.HighUtil = th[0], th[1]
+					c.Params = p
+				}))
 		}
 	case "priorange":
 		for _, pr := range [][2]power5.Priority{{4, 4}, {4, 5}, {4, 6}, {3, 6}, {2, 6}, {1, 6}} {
-			p := core.DefaultParams()
-			p.MinPrio, p.MaxPrio = pr[0], pr[1]
-			r := experiments.Run(experiments.Config{Workload: *wl,
-				Mode: experiments.ModeUniform, Seed: *seed, Params: p})
-			add(fmt.Sprintf("uniform prio [%d,%d]", pr[0], pr[1]), r)
+			pr := pr
+			add(fmt.Sprintf("uniform prio [%d,%d]", pr[0], pr[1]),
+				mk(experiments.ModeUniform, func(c *experiments.Config) {
+					p := core.DefaultParams()
+					p.MinPrio, p.MaxPrio = pr[0], pr[1]
+					c.Params = p
+				}))
 		}
 	case "noise":
 		for _, duty := range []float64{0, 0.0025, 0.005, 0.01, 0.02, 0.04} {
@@ -75,26 +206,66 @@ func main() {
 			} else {
 				nz.Duty = duty
 			}
-			b := experiments.Run(experiments.Config{Workload: *wl,
-				Mode: experiments.ModeBaseline, Seed: *seed, Noise: &nz})
-			u := experiments.Run(experiments.Config{Workload: *wl,
-				Mode: experiments.ModeUniform, Seed: *seed, Noise: &nz})
-			rows = append(rows, []string{
-				fmt.Sprintf("duty=%.2f%%/daemon", 100*duty),
-				fmt.Sprintf("base %.2fs / hpc %.2fs", b.ExecTime.Seconds(), u.ExecTime.Seconds()),
-				fmt.Sprintf("%+.1f%%", 100*metrics.Improvement(b.ExecTime, u.ExecTime)),
-				fmt.Sprintf("%.3f", u.Imbalance),
+			withNoise := func(c *experiments.Config) { c.Noise = &nz }
+			points = append(points, point{
+				name:    fmt.Sprintf("uniform duty=%.2f%%/daemon", 100*duty),
+				baseKey: fmt.Sprintf("duty=%g", duty),
+				cfg:     mk(experiments.ModeUniform, withNoise),
+				base:    mk(experiments.ModeBaseline, withNoise),
 			})
 		}
 	case "policy":
 		for _, d := range []core.Discipline{core.DisciplineRR, core.DisciplineFIFO} {
-			r := experiments.Run(experiments.Config{Workload: *wl,
-				Mode: experiments.ModeUniform, Seed: *seed, Discipline: d})
-			add(fmt.Sprintf("uniform %v", d), r)
+			d := d
+			add(fmt.Sprintf("uniform %v", d),
+				mk(experiments.ModeUniform, func(c *experiments.Config) { c.Discipline = d }))
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *what)
-		os.Exit(2)
+		return nil
 	}
-	fmt.Print(metrics.Table(header, rows))
+	return points
+}
+
+func emit(out *os.File, format string, rows []row) error {
+	switch format {
+	case "table":
+		header := []string{"Config", "Exec", "Base", "vs base", "Imbalance"}
+		tbl := make([][]string, len(rows))
+		for i, r := range rows {
+			vs := fmt.Sprintf("%+.1f%%", r.ImpMean)
+			if r.Runs > 1 {
+				vs = fmt.Sprintf("%+.1f%% ± %.1f", r.ImpMean, r.ImpCI95)
+			}
+			tbl[i] = []string{
+				r.Config,
+				fmt.Sprintf("%.2fs ± %.2f", r.ExecMeanS, r.ExecStdS),
+				fmt.Sprintf("%.2fs", r.BaseMeanS),
+				vs,
+				fmt.Sprintf("%.3f", r.Imbalance),
+			}
+		}
+		fmt.Fprint(out, metrics.Table(header, tbl))
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	case "csv":
+		w := csv.NewWriter(out)
+		w.Write([]string{"config", "runs", "exec_mean_s", "exec_std_s",
+			"base_exec_mean_s", "improvement_mean_pct", "improvement_ci95_pct", "imbalance_mean"})
+		for _, r := range rows {
+			w.Write([]string{
+				r.Config, fmt.Sprintf("%d", r.Runs),
+				fmt.Sprintf("%.6f", r.ExecMeanS), fmt.Sprintf("%.6f", r.ExecStdS),
+				fmt.Sprintf("%.6f", r.BaseMeanS),
+				fmt.Sprintf("%.4f", r.ImpMean), fmt.Sprintf("%.4f", r.ImpCI95),
+				fmt.Sprintf("%.6f", r.Imbalance),
+			})
+		}
+		w.Flush()
+		return w.Error()
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
 }

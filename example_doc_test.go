@@ -1,6 +1,7 @@
 package hpcsched_test
 
 import (
+	"context"
 	"fmt"
 
 	"hpcsched"
@@ -50,6 +51,34 @@ func ExampleNewMachine() {
 	// Output:
 	// P1: hw priority 4
 	// P2: hw priority 6
+}
+
+// ExampleRunBatch fans four experiment runs out across the CPU cores
+// and reads the ordered results back. Same configs, same output at any
+// worker count — the batch layer's determinism contract — so replicated
+// evaluations are safe to parallelize.
+func ExampleRunBatch() {
+	var cfgs []hpcsched.ExperimentConfig
+	for _, seed := range hpcsched.ReplicaSeeds(42, 2) {
+		for _, mode := range []hpcsched.Mode{hpcsched.ModeBaseline, hpcsched.ModeUniform} {
+			cfgs = append(cfgs, hpcsched.ExperimentConfig{
+				Workload: "metbench", Mode: mode, Seed: seed,
+			})
+		}
+	}
+	br, err := hpcsched.RunBatch(context.Background(), cfgs, hpcsched.BatchOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 0; i < len(br.Results); i += 2 {
+		base, uni := br.Results[i], br.Results[i+1]
+		fmt.Printf("replica %d: uniform beats baseline: %v\n",
+			i/2, uni.ExecTime < base.ExecTime)
+	}
+	// Output:
+	// replica 0: uniform beats baseline: true
+	// replica 1: uniform beats baseline: true
 }
 
 // ExampleDecodeWindow shows the paper's Table I arbitration for the worked

@@ -1,0 +1,3 @@
+module hpcsched
+
+go 1.24

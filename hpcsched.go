@@ -27,6 +27,8 @@
 package hpcsched
 
 import (
+	"context"
+
 	"hpcsched/internal/core"
 	"hpcsched/internal/experiments"
 	"hpcsched/internal/metrics"
@@ -90,8 +92,14 @@ type (
 	ExperimentResult = experiments.Result
 	// TableResult is a reproduced paper table.
 	TableResult = experiments.TableResult
+	// TableStats is a multi-seed, CI-quality reproduction of a table.
+	TableStats = experiments.TableStats
 	// Mode selects the scheduler configuration of an experiment.
 	Mode = experiments.Mode
+	// BatchOptions tunes the parallel batch runner (workers, progress).
+	BatchOptions = experiments.BatchOptions
+	// BatchResult holds a batch's results in submission order.
+	BatchResult = experiments.BatchResult
 )
 
 // Time units.
@@ -242,6 +250,26 @@ func RunExperiment(cfg ExperimentConfig) ExperimentResult { return experiments.R
 func ReproduceTable(workload string, seed uint64) TableResult {
 	return experiments.RunTable(workload, seed)
 }
+
+// RunBatch executes a slice of experiment configs on a worker pool
+// (default: one worker per CPU). Results come back in submission order,
+// and the determinism contract holds: same configs → identical results
+// at any worker count. Cancel ctx to stop early; see BatchOptions for
+// workers and progress reporting.
+func RunBatch(ctx context.Context, cfgs []ExperimentConfig, opts BatchOptions) (BatchResult, error) {
+	return experiments.RunBatch(ctx, cfgs, opts)
+}
+
+// ReproduceTableStats regenerates a paper table over several replication
+// seeds in parallel and aggregates mean, spread and 95% confidence
+// intervals per mode.
+func ReproduceTableStats(ctx context.Context, workload string, seeds []uint64, opts BatchOptions) (TableStats, error) {
+	return experiments.RunTableStatsBatch(ctx, workload, seeds, opts)
+}
+
+// ReplicaSeeds returns n independent replication seeds derived from
+// base; the prefix is stable when n grows.
+func ReplicaSeeds(base uint64, n int) []uint64 { return experiments.SeedsFrom(base, n) }
 
 // Workloads lists the available workload names.
 func Workloads() []string { return workloads.Names() }

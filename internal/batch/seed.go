@@ -1,0 +1,26 @@
+package batch
+
+// DeriveSeed maps a base seed and a job index to an independent
+// per-job seed via a splitmix64 step. The derivation is a pure function
+// of (base, index): it does not depend on worker count, completion order
+// or anything else about how the batch executes — the cornerstone of the
+// determinism contract. The golden-ratio increment keeps consecutive
+// indices far apart in the output space, and distinct indices never
+// collide for a fixed base (splitmix64 is a bijection on uint64).
+func DeriveSeed(base, index uint64) uint64 {
+	z := base + (index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seeds returns n replication seeds derived from base: the seed list a
+// multi-replica batch should use so that adding replicas never perturbs
+// the earlier ones.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = DeriveSeed(base, uint64(i))
+	}
+	return out
+}

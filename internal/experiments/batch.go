@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+
+	"hpcsched/internal/batch"
+)
+
+// BatchOptions controls the parallel execution of a batch of experiment
+// runs. The zero value runs on runtime.NumCPU() workers with no progress
+// reporting — determinism never depends on these knobs.
+type BatchOptions struct {
+	// Workers is the pool size; <= 0 means runtime.NumCPU().
+	Workers int
+	// Progress, when non-nil, is called after each run completes with the
+	// number of completed runs and the total (serialized, strictly
+	// increasing).
+	Progress func(done, total int)
+}
+
+// BatchResult carries the results of a batch in submission order:
+// Results[i] is the run of the i-th submitted Config, regardless of
+// which worker finished first.
+type BatchResult struct {
+	Results []Result
+}
+
+// RunBatch executes every config on a worker pool. Each simulation is
+// self-contained and seed-driven, so runs are embarrassingly parallel;
+// the ordering contract makes the parallelism invisible: same configs →
+// identical BatchResult at any worker count.
+//
+// On cancellation it stops submitting new runs, waits for the in-flight
+// ones, and returns ctx.Err(); entries whose run never started are zero
+// Results.
+func RunBatch(ctx context.Context, cfgs []Config, opts BatchOptions) (BatchResult, error) {
+	res, err := batch.Map(ctx, batch.Options{Workers: opts.Workers, Progress: opts.Progress}, cfgs,
+		func(_ context.Context, _ int, cfg Config) Result {
+			return Run(cfg)
+		})
+	return BatchResult{Results: res}, err
+}
+
+// ReplicaConfigs builds the (seed × mode) grid for a workload's table in
+// the canonical seed-major order RunTableStats aggregates in: all modes
+// of seeds[0], then all modes of seeds[1], and so on.
+func ReplicaConfigs(workload string, seeds []uint64) []Config {
+	modes := TableModes(workload)
+	cfgs := make([]Config, 0, len(seeds)*len(modes))
+	for _, seed := range seeds {
+		for _, m := range modes {
+			cfgs = append(cfgs, Config{Workload: workload, Mode: m, Seed: seed})
+		}
+	}
+	return cfgs
+}
+
+// SeedsFrom returns n replication seeds derived from base with
+// batch.DeriveSeed: independent streams whose prefix never changes when
+// n grows. DefaultSeeds remains the legacy arithmetic ladder.
+func SeedsFrom(base uint64, n int) []uint64 {
+	return batch.Seeds(base, n)
+}

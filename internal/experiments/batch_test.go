@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestRunBatchOrderedAndDeterministic checks the headline contract on
+// real simulations: the same configs produce identical, submission-
+// ordered results at any worker count.
+func TestRunBatchOrderedAndDeterministic(t *testing.T) {
+	cfgs := ReplicaConfigs("metbench", DefaultSeeds(2))
+	var want []Result
+	for _, w := range []int{1, 4} {
+		br, err := RunBatch(context.Background(), cfgs, BatchOptions{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, r := range br.Results {
+			if r.Config.Mode != cfgs[i].Mode || r.Config.Seed != cfgs[i].Seed {
+				t.Fatalf("workers=%d: result %d is for %v/seed %d, want %v/seed %d",
+					w, i, r.Config.Mode, r.Config.Seed, cfgs[i].Mode, cfgs[i].Seed)
+			}
+		}
+		if want == nil {
+			want = br.Results
+			continue
+		}
+		for i := range want {
+			if br.Results[i].ExecTime != want[i].ExecTime ||
+				br.Results[i].Imbalance != want[i].Imbalance {
+				t.Fatalf("workers=%d: result %d differs from serial run", w, i)
+			}
+		}
+	}
+}
+
+// TestRunTableStatsWorkerInvariant is the determinism acceptance test:
+// a multi-seed RunTableStats run must produce byte-identical formatted
+// aggregates at 1, 4 and 8 workers.
+func TestRunTableStatsWorkerInvariant(t *testing.T) {
+	seeds := DefaultSeeds(3)
+	var want string
+	var wantStats []ModeStats
+	for _, w := range []int{1, 4, 8} {
+		ts, err := RunTableStatsBatch(context.Background(), "metbench", seeds, BatchOptions{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		out := ts.Format()
+		if want == "" {
+			want, wantStats = out, ts.Stats
+			continue
+		}
+		if out != want {
+			t.Fatalf("workers=%d: formatted aggregate differs from workers=1:\n%s\n---\n%s", w, out, want)
+		}
+		if !reflect.DeepEqual(ts.Stats, wantStats) {
+			t.Fatalf("workers=%d: aggregate stats differ from workers=1", w)
+		}
+	}
+}
+
+func TestRunBatchProgressAndCancellation(t *testing.T) {
+	cfgs := ReplicaConfigs("metbench", DefaultSeeds(1))
+	var calls []int
+	br, err := RunBatch(context.Background(), cfgs, BatchOptions{
+		Workers:  2,
+		Progress: func(done, total int) { calls = append(calls, done*100+total) },
+	})
+	if err != nil || len(br.Results) != len(cfgs) {
+		t.Fatalf("batch: %d results, err %v", len(br.Results), err)
+	}
+	for i, c := range calls {
+		if c != (i+1)*100+len(cfgs) {
+			t.Fatalf("progress calls = %v: not strictly increasing to total", calls)
+		}
+	}
+	if len(calls) != len(cfgs) {
+		t.Fatalf("progress calls = %d, want %d", len(calls), len(cfgs))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunBatch(ctx, cfgs, BatchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled batch err = %v", err)
+	}
+	if ts, err := RunTableStatsBatch(ctx, "metbench", DefaultSeeds(2), BatchOptions{}); err == nil || len(ts.Stats) != 0 {
+		t.Fatalf("cancelled stats returned %v, err %v", ts.Stats, err)
+	}
+}
+
+func TestReplicaConfigsAndSeedsFrom(t *testing.T) {
+	cfgs := ReplicaConfigs("siesta", []uint64{1, 2})
+	modes := TableModes("siesta")
+	if len(cfgs) != 2*len(modes) {
+		t.Fatalf("grid size = %d", len(cfgs))
+	}
+	for s := 0; s < 2; s++ {
+		for i, m := range modes {
+			c := cfgs[s*len(modes)+i]
+			if c.Mode != m || c.Seed != uint64(s+1) || c.Workload != "siesta" {
+				t.Fatalf("cell (%d,%d) = %+v", s, i, c)
+			}
+		}
+	}
+	if cfgs[0].Mode != ModeBaseline {
+		t.Fatal("baseline must lead each seed block")
+	}
+
+	a, b := SeedsFrom(42, 3), SeedsFrom(42, 8)
+	if len(a) != 3 || !reflect.DeepEqual(a, b[:3]) {
+		t.Fatal("SeedsFrom prefix not stable")
+	}
+	if reflect.DeepEqual(a, SeedsFrom(43, 3)) {
+		t.Fatal("SeedsFrom ignores base")
+	}
+}

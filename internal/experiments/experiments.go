@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hpcsched/internal/core"
@@ -255,13 +256,17 @@ type TableResult struct {
 	Rows     []Result
 }
 
-// RunTable reproduces one of Tables III-VI.
+// RunTable reproduces one of Tables III-VI. The mode rows run as a
+// parallel batch; the row order (and therefore the rendered table) is
+// identical to a serial run.
 func RunTable(workload string, seed uint64) TableResult {
-	tr := TableResult{Workload: workload}
-	for _, m := range TableModes(workload) {
-		tr.Rows = append(tr.Rows, Run(Config{Workload: workload, Mode: m, Seed: seed}))
+	modes := TableModes(workload)
+	cfgs := make([]Config, len(modes))
+	for i, m := range modes {
+		cfgs[i] = Config{Workload: workload, Mode: m, Seed: seed}
 	}
-	return tr
+	br, _ := RunBatch(context.Background(), cfgs, BatchOptions{})
+	return TableResult{Workload: workload, Rows: br.Results}
 }
 
 // Baseline returns the table's baseline row.

@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math"
 
+	"hpcsched/internal/batch"
 	"hpcsched/internal/metrics"
 )
 
@@ -14,10 +15,14 @@ type ModeStats struct {
 	Runs      int
 	MeanExecS float64
 	StdExecS  float64
-	// MeanImp/StdImp are the improvement percentages versus the
+	// CIExecS is the half-width of the 95% confidence interval of the
+	// mean execution time (Student's t, sample variance).
+	CIExecS float64
+	// MeanImp/StdImp/CIImp are the improvement percentages versus the
 	// same-seed baseline runs.
 	MeanImp float64
 	StdImp  float64
+	CIImp   float64
 }
 
 // TableStats is a multi-seed reproduction of one table.
@@ -28,63 +33,67 @@ type TableStats struct {
 }
 
 // RunTableStats reproduces the workload's table once per seed and
-// aggregates.
+// aggregates. It is RunTableStatsBatch with a background context and
+// default (NumCPU-worker) parallelism.
 func RunTableStats(workload string, seeds []uint64) TableStats {
+	ts, _ := RunTableStatsBatch(context.Background(), workload, seeds, BatchOptions{})
+	return ts
+}
+
+// RunTableStatsBatch fans the workload's (seed × mode) grid out on the
+// batch layer and aggregates per mode. The aggregation reads the batch's
+// ordered results seed-major, exactly as the serial loop did, so the
+// output — down to the formatted bytes — is independent of the worker
+// count. On cancellation the partial aggregate is discarded and ctx's
+// error returned.
+func RunTableStatsBatch(ctx context.Context, workload string, seeds []uint64, opts BatchOptions) (TableStats, error) {
 	ts := TableStats{Workload: workload, Seeds: seeds}
 	modes := TableModes(workload)
+	br, err := RunBatch(ctx, ReplicaConfigs(workload, seeds), opts)
+	if err != nil {
+		return ts, err
+	}
 	execs := make(map[Mode][]float64, len(modes))
 	imps := make(map[Mode][]float64, len(modes))
-	for _, seed := range seeds {
-		tr := RunTable(workload, seed)
-		base := tr.Baseline().ExecTime
-		for _, r := range tr.Rows {
+	for s := range seeds {
+		rows := br.Results[s*len(modes) : (s+1)*len(modes)]
+		base := rows[0].ExecTime // ReplicaConfigs puts the baseline first
+		for _, r := range rows {
 			m := r.Config.Mode
 			execs[m] = append(execs[m], r.ExecTime.Seconds())
 			imps[m] = append(imps[m], 100*metrics.Improvement(base, r.ExecTime))
 		}
 	}
 	for _, m := range modes {
-		me, se := meanStd(execs[m])
-		mi, si := meanStd(imps[m])
+		e := batch.Summarize(execs[m])
+		i := batch.Summarize(imps[m])
 		ts.Stats = append(ts.Stats, ModeStats{
-			Mode: m, Runs: len(execs[m]),
-			MeanExecS: me, StdExecS: se,
-			MeanImp: mi, StdImp: si,
+			Mode: m, Runs: e.N,
+			MeanExecS: e.Mean, StdExecS: e.Std, CIExecS: e.CI95,
+			MeanImp: i.Mean, StdImp: i.Std, CIImp: i.CI95,
 		})
 	}
-	return ts
+	return ts, nil
 }
 
-func meanStd(xs []float64) (mean, std float64) {
-	if len(xs) == 0 {
-		return 0, 0
-	}
-	for _, x := range xs {
-		mean += x
-	}
-	mean /= float64(len(xs))
-	for _, x := range xs {
-		std += (x - mean) * (x - mean)
-	}
-	return mean, math.Sqrt(std / float64(len(xs)))
-}
-
-// Format renders the aggregate table.
+// Format renders the aggregate table with 95% confidence intervals.
 func (ts TableStats) Format() string {
 	rows := make([][]string, 0, len(ts.Stats))
 	for _, s := range ts.Stats {
-		imp := "—"
+		imp, ci := "—", "—"
 		if s.Mode != ModeBaseline {
 			imp = fmt.Sprintf("%+.1f%% ± %.1f", s.MeanImp, s.StdImp)
+			ci = fmt.Sprintf("[%+.1f, %+.1f]", s.MeanImp-s.CIImp, s.MeanImp+s.CIImp)
 		}
 		rows = append(rows, []string{
 			s.Mode.String(),
 			fmt.Sprintf("%.2fs ± %.2f", s.MeanExecS, s.StdExecS),
 			imp,
+			ci,
 		})
 	}
 	return fmt.Sprintf("%s over %d seeds\n%s", ts.Workload, len(ts.Seeds),
-		metrics.Table([]string{"Test", "Exec. Time", "vs base"}, rows))
+		metrics.Table([]string{"Test", "Exec. Time", "vs base", "95% CI"}, rows))
 }
 
 // DefaultSeeds returns n deterministic replication seeds.

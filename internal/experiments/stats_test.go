@@ -49,13 +49,3 @@ func TestDefaultSeeds(t *testing.T) {
 		seen[v] = true
 	}
 }
-
-func TestMeanStd(t *testing.T) {
-	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
-	if m != 5 || s != 2 {
-		t.Fatalf("meanStd = %v, %v; want 5, 2", m, s)
-	}
-	if m, s := meanStd(nil); m != 0 || s != 0 {
-		t.Fatal("empty meanStd should be zero")
-	}
-}
