@@ -1,0 +1,87 @@
+// Command bench runs the repository's fixed performance scenario suite and
+// emits a BENCH_<label>.json report (events/sec, ns/event, allocs/event,
+// wall time) — the perf trajectory every optimisation PR extends. See
+// docs/PERFORMANCE.md for how to read and compare the reports.
+//
+// Usage:
+//
+//	bench -label zero-alloc-core            # full suite, 3 runs each
+//	bench -quick -label ci                  # smoke subset, 1 run each
+//	bench -scenario table3 -runs 5          # filter by substring
+//	bench -list                             # print the suite
+//	bench -label after -compare BENCH_base.json   # print speedups vs a report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpcsched/internal/perf"
+)
+
+func main() {
+	var (
+		label   = flag.String("label", "dev", "report label; output file is BENCH_<label>.json")
+		out     = flag.String("out", ".", "directory for the report")
+		runs    = flag.Int("runs", 3, "repetitions per scenario (best wall time wins)")
+		quick   = flag.Bool("quick", false, "run only the quick smoke subset, one repetition")
+		filter  = flag.String("scenario", "", "run only scenarios whose name contains this substring")
+		list    = flag.Bool("list", false, "list scenarios and exit")
+		compare = flag.String("compare", "", "existing BENCH_*.json to report speedups against")
+		noEmit  = flag.Bool("n", false, "measure and print, but do not write the report file")
+	)
+	flag.Parse()
+
+	suite := perf.Suite()
+	if *quick {
+		suite = perf.QuickSuite()
+		*runs = 1
+	}
+	if *filter != "" {
+		var kept []perf.Scenario
+		for _, s := range suite {
+			if strings.Contains(s.Name, *filter) {
+				kept = append(kept, s)
+			}
+		}
+		suite = kept
+	}
+	if *list {
+		for _, s := range suite {
+			fmt.Printf("%-24s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
+	if len(suite) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no scenarios selected")
+		os.Exit(2)
+	}
+
+	report := perf.RunSuite(suite, *runs, *label)
+	fmt.Print(report.Format())
+
+	if *compare != "" {
+		base, err := perf.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: cannot read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nspeedup vs %q:\n", base.Label)
+		for _, m := range report.Measurements {
+			if sp, ok := perf.Speedup(base, report, m.Scenario); ok {
+				fmt.Printf("  %-24s %.2fx events/sec\n", m.Scenario, sp)
+			}
+		}
+	}
+
+	if !*noEmit {
+		path, err := report.WriteFile(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+}

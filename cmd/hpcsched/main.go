@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hpcsched/internal/calibrate"
@@ -28,7 +30,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hpcsched <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hpcsched [-cpuprofile f] [-memprofile f] <command> [flags]
 
 commands:
   table1            POWER5 decode cycles per priority difference (paper Table I)
@@ -40,14 +42,72 @@ commands:
   validate          compare every table against the published values
   calibrate         show the chip-model derivation from the paper's anchors
   list              list workloads`)
-	os.Exit(2)
+	exit(2)
+}
+
+// profileCleanup holds the flush actions of active profiles. Commands must
+// leave through exit(), never os.Exit directly: os.Exit skips defers, which
+// would truncate the CPU profile (no trailer → unreadable by pprof) and
+// drop the heap profile on precisely the runs worth profiling.
+var profileCleanup []func()
+
+// parseFlags parses a sub-command flag set, leaving through exit() on a
+// bad flag so active profiles are still flushed (ContinueOnError already
+// printed the error and usage).
+func parseFlags(fs *flag.FlagSet, args []string) {
+	if fs.Parse(args) != nil {
+		exit(2)
+	}
+}
+
+func exit(code int) {
+	for _, f := range profileCleanup {
+		f()
+	}
+	os.Exit(code)
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	// Global profiling flags precede the command:
+	// hpcsched -cpuprofile cpu.out table3. Flag parsing stops at the first
+	// non-flag argument, so per-command flags are untouched.
+	top := flag.NewFlagSet("hpcsched", flag.ExitOnError)
+	top.Usage = usage
+	cpuProfile := top.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := top.String("memprofile", "", "write a heap profile to this file on exit")
+	top.Parse(os.Args[1:])
+	if top.NArg() < 1 {
 		usage()
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profileCleanup = append(profileCleanup, pprof.StopCPUProfile)
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		profileCleanup = append(profileCleanup, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		})
+	}
+
+	cmd, args := top.Arg(0), top.Args()[1:]
 	switch cmd {
 	case "table1":
 		printTable1()
@@ -72,16 +132,17 @@ func main() {
 	default:
 		usage()
 	}
+	exit(0)
 }
 
 func runValidate(args []string) {
-	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "simulation seed")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	checks := experiments.Validate(*seed)
 	fmt.Print(experiments.FormatValidation(checks))
 	if experiments.ValidationPassRate(checks) < 0.85 {
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -90,7 +151,7 @@ func runCalibrate() {
 	s, err := calibrate.Solve(a)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Print(s.Describe(a))
 	m := s.BuildModel()
@@ -155,13 +216,13 @@ func printClasses() {
 }
 
 func runTable(cmd string, args []string) {
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "simulation seed (base seed with -replicas)")
 	seeds := fs.Int("seeds", 1, "replication count over the legacy seed ladder (>1 prints mean ± stddev)")
 	replicas := fs.Int("replicas", 0, "replication count over seeds derived from -seed (prints mean ± stddev and 95% CI)")
 	workers := fs.Int("parallel", 0, "worker pool size (0 = one per CPU)")
 	progress := fs.Bool("progress", false, "report batch progress on stderr")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	wl := tableWorkload(cmd)
 	if *replicas > 1 || *seeds > 1 {
 		repl := experiments.SeedsFrom(*seed, *replicas)
@@ -180,7 +241,7 @@ func runTable(cmd string, args []string) {
 		ts, err := experiments.RunTableStatsBatch(context.Background(), wl, repl, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Print(ts.Format())
 		return
@@ -190,11 +251,11 @@ func runTable(cmd string, args []string) {
 }
 
 func runFigure(cmd string, args []string) {
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	width := fs.Int("width", 100, "timeline columns")
 	prv := fs.Bool("prv", false, "emit Paraver-style .prv instead of ASCII")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	wl := tableWorkload(cmd)
 	for _, mode := range experiments.TableModes(wl) {
 		r := experiments.Run(experiments.Config{
@@ -230,17 +291,17 @@ func modeFromName(s string) (experiments.Mode, error) {
 }
 
 func runOne(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	wl := fs.String("workload", "metbench", "workload name")
 	modeName := fs.String("mode", "uniform", "baseline|static|uniform|adaptive|hybrid|policy-only")
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	doTrace := fs.Bool("trace", false, "render the execution trace")
 	width := fs.Int("width", 100, "timeline columns")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	mode, err := modeFromName(*modeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 	r := experiments.Run(experiments.Config{
 		Workload: *wl, Mode: mode, Seed: *seed, Trace: *doTrace,

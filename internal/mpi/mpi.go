@@ -356,7 +356,6 @@ func (r *Rank) Barrier() {
 	w.barrierWaiters = nil
 	delay := w.opts.BarrierLatency
 	for _, waiter := range waiters {
-		wt, wk := waiter.task, waiter.kernel
-		w.engine.After(delay, func() { wk.Wake(wt) })
+		waiter.kernel.WakeAfter(waiter.task, delay)
 	}
 }

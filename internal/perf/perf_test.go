@@ -1,0 +1,79 @@
+package perf
+
+import (
+	"testing"
+
+	"hpcsched/internal/sim"
+)
+
+func engineScenario(events int) Scenario {
+	return Scenario{
+		Name: "engine-spin",
+		Run: func() uint64 {
+			e := sim.NewEngine(1)
+			var ev *sim.Event
+			n := 0
+			ev = e.Schedule(1, func() {
+				n++
+				if n < events {
+					e.Reschedule(ev, e.Now()+1)
+				}
+			})
+			e.RunUntilIdle()
+			return e.Stats().Fired
+		},
+	}
+}
+
+func TestMeasureDeterministicScenario(t *testing.T) {
+	m := Measure(engineScenario(1000), 2)
+	if m.Events != 1000 {
+		t.Fatalf("Events = %d, want 1000", m.Events)
+	}
+	if m.EventsPerSec <= 0 || m.NsPerEvent <= 0 {
+		t.Fatalf("throughput not computed: %+v", m)
+	}
+	if m.AllocsPerEvent > 1 {
+		t.Fatalf("engine spin allocates %.3f/event, want ≤1", m.AllocsPerEvent)
+	}
+}
+
+func TestMeasurePanicsOnNondeterminism(t *testing.T) {
+	n := uint64(0)
+	s := Scenario{Name: "bad", Run: func() uint64 { n++; return n }}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nondeterministic scenario did not panic")
+		}
+	}()
+	Measure(s, 2)
+}
+
+func TestReportRoundTripAndSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	base := RunSuite([]Scenario{engineScenario(500)}, 1, "base label/x")
+	path, err := base.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Label != "base label/x" || len(loaded.Measurements) != 1 {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+	after := RunSuite([]Scenario{engineScenario(500)}, 1, "after")
+	if sp, ok := Speedup(loaded, after, "engine-spin"); !ok || sp <= 0 {
+		t.Fatalf("Speedup = %v, %v", sp, ok)
+	}
+	if _, ok := Speedup(loaded, after, "missing"); ok {
+		t.Fatal("Speedup reported ok for a missing scenario")
+	}
+	if got := FileName("base label/x"); got != "BENCH_base-label-x.json" {
+		t.Fatalf("FileName = %q", got)
+	}
+	if len(base.Format()) == 0 {
+		t.Fatal("empty Format")
+	}
+}

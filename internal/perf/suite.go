@@ -1,0 +1,87 @@
+package perf
+
+import (
+	"context"
+
+	"hpcsched/internal/experiments"
+	"hpcsched/internal/trace"
+)
+
+// Suite returns the fixed scenario suite cmd/bench runs. The scenarios
+// cover the hot paths every table and figure of the reproduction exercises:
+// the serial per-mode runs behind Tables III/IV, the trace-recording run
+// behind Figure 5, and the parallel multi-seed replication added in PR 1.
+func Suite() []Scenario {
+	return []Scenario{
+		{
+			Name:  "table3-metbench",
+			Desc:  "Table III: MetBench under all scheduler modes, seed 42, serial",
+			Quick: true,
+			Run:   runTableSerial("metbench"),
+		},
+		{
+			Name: "table4-metbenchvar",
+			Desc: "Table IV: MetBenchVar under all scheduler modes, seed 42, serial",
+			Run:  runTableSerial("metbenchvar"),
+		},
+		{
+			Name: "btmz-trace",
+			Desc: "Table V workload (BT-MZ) under Uniform with trace recording",
+			Run:  runBTMZTrace,
+		},
+		{
+			Name: "batch-metbench-8seeds",
+			Desc: "Table III stats over 8 derived seeds on the parallel batch layer",
+			Run:  runBatchMetBench,
+		},
+	}
+}
+
+// QuickSuite returns only the scenarios marked Quick (the CI smoke run).
+func QuickSuite() []Scenario {
+	var out []Scenario
+	for _, s := range Suite() {
+		if s.Quick {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runTableSerial runs every mode row of a table scenario back to back on
+// one goroutine — the cleanest view of simulation-core throughput.
+func runTableSerial(workload string) func() uint64 {
+	return func() uint64 {
+		var events uint64
+		for _, mode := range experiments.TableModes(workload) {
+			r := experiments.Run(experiments.Config{
+				Workload: workload, Mode: mode, Seed: 42,
+			})
+			events += r.Kernel.Engine.Stats().Fired
+		}
+		return events
+	}
+}
+
+func runBTMZTrace() uint64 {
+	r := experiments.Run(experiments.Config{
+		Workload: "btmz", Mode: experiments.ModeUniform, Seed: 42, Trace: true,
+	})
+	if r.Recorder == nil || len(r.Recorder.Render(trace.RenderOptions{Width: 80})) == 0 {
+		panic("perf: btmz trace scenario produced no trace")
+	}
+	return r.Kernel.Engine.Stats().Fired
+}
+
+func runBatchMetBench() uint64 {
+	cfgs := experiments.ReplicaConfigs("metbench", experiments.SeedsFrom(42, 8))
+	br, err := experiments.RunBatch(context.Background(), cfgs, experiments.BatchOptions{})
+	if err != nil {
+		panic(err)
+	}
+	var events uint64
+	for _, r := range br.Results {
+		events += r.Kernel.Engine.Stats().Fired
+	}
+	return events
+}

@@ -4,11 +4,18 @@
 //
 // Each Process runs its body on a dedicated goroutine, but the goroutine is
 // only ever runnable while the engine is blocked waiting for the process's
-// next request: control passes back and forth over unbuffered channels in
-// strict lock-step, so at any instant at most one goroutine in the whole
-// simulation makes progress. The result behaves like hand-written
-// coroutines — no data races, no scheduling nondeterminism — with none of
-// the pain of writing workloads as explicit state machines.
+// next request: control passes back and forth over a single unbuffered
+// rendezvous channel in strict lock-step, so at any instant at most one
+// goroutine in the whole simulation makes progress. The result behaves like
+// hand-written coroutines — no data races, no scheduling nondeterminism —
+// with none of the pain of writing workloads as explicit state machines.
+//
+// The channel carries a tagged message in both directions (request, reply,
+// exit, panic). Because the protocol is a strict ping-pong, one channel
+// suffices: a send is always matched by the peer's receive before the
+// sender issues its own receive, so a goroutine can never rendezvous with
+// itself. One channel instead of two halves the per-process channel state
+// and keeps both directions on the same hot cache lines.
 //
 // Protocol: the engine calls Start to obtain the body's first request, then
 // repeatedly answers requests via Resume, which returns the next request.
@@ -24,16 +31,32 @@ import (
 
 // Request is an opaque service request from a process body to the engine.
 // The kernel layer defines the concrete request types (compute bursts,
-// blocking receives, ...).
+// blocking receives, ...). Hot request types should be pointers to reusable
+// per-process scratch values: boxing a pointer into the interface does not
+// allocate, while boxing a value struct does — see sched.Env.
 type Request any
 
 // errKilled unwinds a killed process body. It is deliberately unexported:
 // bodies must not recover from it.
 var errKilled = errors.New("proc: process killed")
 
-type exitMsg struct{}
+// msgKind tags a message on the rendezvous channel.
+type msgKind uint8
 
-type panicMsg struct{ value any }
+const (
+	msgRequest msgKind = iota // body → engine: service request
+	msgReply                  // engine → body: answer to the pending request
+	msgExit                   // body → engine: body returned
+	msgPanic                  // body → engine: body panicked (val holds the value)
+)
+
+// message is the rendezvous payload. It is passed by value: no allocation
+// per exchange.
+type message struct {
+	kind msgKind
+	req  Request
+	val  any // reply (msgReply) or panic value (msgPanic)
+}
 
 // PanicError wraps a panic raised inside a process body so the engine can
 // attribute it.
@@ -51,8 +74,7 @@ type Process struct {
 	id      int
 	name    string
 	body    func(*Handle)
-	req     chan Request
-	reply   chan any
+	ch      chan message // single rendezvous channel, both directions
 	kill    chan struct{}
 	started bool
 	done    bool
@@ -66,12 +88,11 @@ func New(id int, name string, body func(*Handle)) *Process {
 		panic("proc: nil body")
 	}
 	return &Process{
-		id:    id,
-		name:  name,
-		body:  body,
-		req:   make(chan Request),
-		reply: make(chan any),
-		kill:  make(chan struct{}),
+		id:   id,
+		name: name,
+		body: body,
+		ch:   make(chan message),
+		kill: make(chan struct{}),
 	}
 }
 
@@ -98,13 +119,13 @@ func (h *Handle) Process() *Process { return h.p }
 func (h *Handle) Invoke(req Request) any {
 	p := h.p
 	select {
-	case p.req <- req:
+	case p.ch <- message{kind: msgRequest, req: req}:
 	case <-p.kill:
 		panic(errKilled)
 	}
 	select {
-	case r := <-p.reply:
-		return r
+	case m := <-p.ch:
+		return m.val
 	case <-p.kill:
 		panic(errKilled)
 	}
@@ -131,7 +152,7 @@ func (p *Process) Resume(reply any) (req Request, done bool) {
 	if p.done {
 		panic(fmt.Sprintf("proc: Resume on finished process %q", p.name))
 	}
-	p.reply <- reply
+	p.ch <- message{kind: msgReply, val: reply}
 	return p.next()
 }
 
@@ -148,25 +169,27 @@ func (p *Process) Kill() {
 	close(p.kill)
 	if p.started {
 		// Drain the final message the unwinding goroutine may emit if it
-		// was between "send request" and "receive reply".
+		// had already committed to the channel send when kill closed.
 		select {
-		case <-p.req:
+		case <-p.ch:
 		default:
 		}
 	}
 }
 
 func (p *Process) next() (Request, bool) {
-	r := <-p.req
-	switch m := r.(type) {
-	case exitMsg:
+	m := <-p.ch
+	switch m.kind {
+	case msgExit:
 		p.done = true
 		return nil, true
-	case panicMsg:
+	case msgPanic:
 		p.done = true
-		panic(&PanicError{Process: p.name, Value: m.value})
+		panic(&PanicError{Process: p.name, Value: m.val})
+	case msgRequest:
+		return m.req, false
 	default:
-		return r, false
+		panic(fmt.Sprintf("proc: protocol violation: engine received %d", m.kind))
 	}
 }
 
@@ -177,13 +200,13 @@ func (p *Process) run() {
 				return // silent unwind; engine already moved on
 			}
 			select {
-			case p.req <- panicMsg{v}:
+			case p.ch <- message{kind: msgPanic, val: v}:
 			case <-p.kill:
 			}
 			return
 		}
 		select {
-		case p.req <- exitMsg{}:
+		case p.ch <- message{kind: msgExit}:
 		case <-p.kill:
 		}
 	}()

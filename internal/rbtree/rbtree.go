@@ -12,10 +12,14 @@ const (
 )
 
 // Node is a tree node holding one item. Callers keep the *Node returned by
-// Insert to delete the item later without a lookup.
+// Insert to delete the item later without a lookup. Deleted nodes are
+// recycled through a per-tree free list, so steady-state churn (the CFS
+// enqueue/dequeue cycle) allocates nothing; a deleted handle must therefore
+// be dropped, never reused.
 type Node[T any] struct {
 	Item                T
 	parent, left, right *Node[T]
+	nextFree            *Node[T] // free-list link while recycled
 	color               color
 }
 
@@ -27,6 +31,7 @@ type Tree[T any] struct {
 	root     *Node[T]
 	nilNode  *Node[T] // sentinel: all leaves and the root's parent
 	leftmost *Node[T]
+	free     *Node[T] // recycled nodes (see Node)
 	less     func(a, b T) bool
 	size     int
 }
@@ -56,7 +61,16 @@ func (t *Tree[T]) Min() *Node[T] {
 
 // Insert adds item and returns its node handle.
 func (t *Tree[T]) Insert(item T) *Node[T] {
-	n := &Node[T]{Item: item, left: t.nilNode, right: t.nilNode, color: red}
+	n := t.free
+	if n != nil {
+		t.free = n.nextFree
+		n.nextFree = nil
+		n.Item = item
+		n.left, n.right, n.parent = t.nilNode, t.nilNode, nil
+		n.color = red
+	} else {
+		n = &Node[T]{Item: item, left: t.nilNode, right: t.nilNode, color: red}
+	}
 	parent := t.nilNode
 	cur := t.root
 	isLeftmostPath := true
@@ -134,6 +148,10 @@ func (t *Tree[T]) Delete(n *Node[T]) {
 		t.leftmost = t.nilNode
 	}
 	n.left, n.right, n.parent = nil, nil, nil // poison the handle
+	var zero T
+	n.Item = zero // drop the item reference while pooled
+	n.nextFree = t.free
+	t.free = n
 }
 
 // PopMin removes and returns the smallest item. ok is false on an empty

@@ -6,7 +6,10 @@ import (
 	"hpcsched/internal/sim"
 )
 
-// Request types exchanged between process bodies and the kernel pump.
+// Request types exchanged between process bodies and the kernel pump. They
+// travel as pointers into the Env's scratch fields: boxing a pointer into
+// the proc.Request interface does not allocate, while boxing a value struct
+// would cost one heap allocation per simulated request.
 type (
 	computeReq  struct{ d sim.Time }
 	sleepReq    struct{ d sim.Time }
@@ -26,11 +29,24 @@ type (
 // Lock-step discipline: while the body runs, the simulation engine is
 // parked, so Env methods (and higher layers such as the MPI runtime, which
 // call Kernel methods directly from the body goroutine) never race with
-// engine-side code.
+// engine-side code. The same discipline makes the scratch requests below
+// safe: the kernel consumes a request before Invoke returns control to the
+// body, so each scratch value is reused only after its previous use is
+// fully processed.
 type Env struct {
 	h      *proc.Handle
 	kernel *Kernel
 	task   *Task
+
+	// Reusable request scratch, one per request type (zero allocations per
+	// system call in steady state).
+	creq    computeReq
+	sreq    sleepReq
+	breq    blockReq
+	yreq    yieldReq
+	schedRq setSchedReq
+	niceRq  setNiceReq
+	hwRq    setHWPrioReq
 }
 
 // Task returns the kernel task backing this process.
@@ -51,7 +67,8 @@ func (e *Env) Compute(d sim.Time) {
 	if d < 0 {
 		panic("sched: Compute with negative duration")
 	}
-	e.h.Invoke(computeReq{d})
+	e.creq.d = d
+	e.h.Invoke(&e.creq)
 }
 
 // Sleep blocks the process for d of virtual time.
@@ -59,18 +76,20 @@ func (e *Env) Sleep(d sim.Time) {
 	if d < 0 {
 		panic("sched: Sleep with negative duration")
 	}
-	e.h.Invoke(sleepReq{d})
+	e.sreq.d = d
+	e.h.Invoke(&e.sreq)
 }
 
 // Block parks the process until some other party calls Kernel.Wake on its
 // task. reason is for diagnostics only.
 func (e *Env) Block(reason string) {
-	e.h.Invoke(blockReq{reason})
+	e.breq.reason = reason
+	e.h.Invoke(&e.breq)
 }
 
 // Yield releases the CPU, staying runnable (sched_yield).
 func (e *Env) Yield() {
-	e.h.Invoke(yieldReq{})
+	e.h.Invoke(&e.yreq)
 }
 
 // SetScheduler switches the process to another scheduling policy — the
@@ -78,12 +97,14 @@ func (e *Env) Yield() {
 // (sched_setscheduler(SCHED_HPC)). rtPrio is only meaningful for the
 // real-time policies.
 func (e *Env) SetScheduler(p Policy, rtPrio int) {
-	e.h.Invoke(setSchedReq{policy: p, rtPrio: rtPrio})
+	e.schedRq = setSchedReq{policy: p, rtPrio: rtPrio}
+	e.h.Invoke(&e.schedRq)
 }
 
 // SetNice adjusts the CFS nice level.
 func (e *Env) SetNice(nice int) {
-	e.h.Invoke(setNiceReq{nice})
+	e.niceRq.nice = nice
+	e.h.Invoke(&e.niceRq)
 }
 
 // SetHWPrio sets the process's own hardware priority, as a user-level
@@ -94,5 +115,6 @@ func (e *Env) SetHWPrio(p power5.Priority) {
 	if !p.Valid() {
 		panic("sched: invalid hardware priority")
 	}
-	e.h.Invoke(setHWPrioReq{p})
+	e.hwRq.prio = p
+	e.h.Invoke(&e.hwRq)
 }

@@ -27,6 +27,7 @@ type RunQueue struct {
 
 	reschedPending bool
 	needResched    bool
+	reschedFn      func()   // pre-bound scheduling-pass callback (see Resched)
 	switchPenalty  sim.Time // one-shot dispatch delay after a context switch
 	idleSince      sim.Time // when the CPU last went idle (MaxTime when busy)
 	loadAvg        float64  // tick-sampled occupancy, ~100 ms horizon
@@ -76,7 +77,7 @@ type Kernel struct {
 
 	tracer Tracer
 
-	watch     map[*Task]bool
+	// watchLeft counts watched tasks (Task.watched) that have not exited.
 	watchLeft int
 
 	// Migration counters by source (diagnostics).
@@ -98,7 +99,6 @@ func NewKernel(engine *sim.Engine, chip *power5.Chip, opts Options) *Kernel {
 		Chip:    chip,
 		Opts:    opts.withDefaults(),
 		nextPID: 1,
-		watch:   make(map[*Task]bool),
 	}
 	k.classes = []Class{newRTClass(), newFairClass(), newIdleClass()}
 	k.buildRQs()
@@ -115,6 +115,16 @@ func (k *Kernel) buildRQs() {
 		rq := &RunQueue{CPU: cpu, kernel: k}
 		for _, c := range k.classes {
 			rq.classRQ = append(rq.classRQ, c.NewRQ(k, cpu))
+		}
+		// One scheduling-pass closure per run queue for its whole lifetime:
+		// Resched re-arms pooled events with this callback instead of
+		// allocating a closure per pass.
+		rq.reschedFn = func() {
+			rq.reschedPending = false
+			if rq.needResched {
+				rq.needResched = false
+				k.schedule(rq.CPU)
+			}
 		}
 		k.rqs[cpu] = rq
 	}
@@ -136,8 +146,13 @@ func (k *Kernel) RegisterClassBefore(name string, c Class) {
 	panic(fmt.Sprintf("sched: no class named %q", name))
 }
 
-// Classes returns the class list in priority order.
-func (k *Kernel) Classes() []Class { return k.classes }
+// Classes returns a copy of the class list in priority order (a copy for
+// the same aliasing reason as Tasks: the internal order is load-bearing).
+func (k *Kernel) Classes() []Class {
+	out := make([]Class, len(k.classes))
+	copy(out, k.classes)
+	return out
+}
 
 // ClassFor returns the class serving the given policy.
 func (k *Kernel) ClassFor(p Policy) Class {
@@ -153,7 +168,15 @@ func (k *Kernel) ClassFor(p Policy) Class {
 
 // classRQFor returns the class run queue currently responsible for t.
 func (k *Kernel) classRQFor(t *Task) ClassRQ {
-	return k.rqs[t.CPU].classRQ[k.classIndex(t.class)]
+	return k.rqs[t.CPU].classRQ[t.classIdx]
+}
+
+// setClass assigns a class to a task, caching its index so the hot paths
+// never scan the class list. Classes are registered before any task exists
+// (RegisterClassBefore enforces this), so a cached index never goes stale.
+func (k *Kernel) setClass(t *Task, c Class) {
+	t.class = c
+	t.classIdx = k.classIndex(c)
 }
 
 func (k *Kernel) classIndex(c Class) int {
@@ -171,8 +194,14 @@ func (k *Kernel) RQ(cpu int) *RunQueue { return k.rqs[cpu] }
 // NumCPUs returns the number of CPUs.
 func (k *Kernel) NumCPUs() int { return len(k.rqs) }
 
-// Tasks returns all tasks ever created.
-func (k *Kernel) Tasks() []*Task { return k.tasks }
+// Tasks returns a copy of the list of all tasks ever created. The copy is
+// deliberate: handing out the internal slice would let callers corrupt
+// kernel state by mutating or truncating it.
+func (k *Kernel) Tasks() []*Task {
+	out := make([]*Task, len(k.tasks))
+	copy(out, k.tasks)
+	return out
+}
 
 // SetTracer installs a trace sink (may be nil).
 func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
@@ -222,8 +251,10 @@ func (k *Kernel) AddProcess(spec TaskSpec, body func(*Env)) *Task {
 	if !t.HWPrio.Valid() {
 		panic(fmt.Sprintf("sched: invalid hardware priority %d", t.HWPrio))
 	}
-	t.class = k.ClassFor(t.policy)
+	k.setClass(t, k.ClassFor(t.policy))
 	t.cfs.init(t)
+	t.burstFn = func() { k.burstDone(t) }
+	t.wakeFn = func() { k.Wake(t) }
 	k.nextPID++
 	k.tasks = append(k.tasks, t)
 
@@ -245,8 +276,8 @@ func (k *Kernel) AddProcess(spec TaskSpec, body func(*Env)) *Task {
 // Watch registers t so RunUntilWatchedExit stops once every watched task
 // has exited.
 func (k *Kernel) Watch(t *Task) {
-	if !k.watch[t] && !t.Exited() {
-		k.watch[t] = true
+	if !t.watched && !t.Exited() {
+		t.watched = true
 		k.watchLeft++
 	}
 }
@@ -303,7 +334,7 @@ func (k *Kernel) activate(t *Task, wakeup bool) {
 	t.state = StateRunnable
 	t.queuedAt = k.Now()
 	rq := k.rqs[cpu]
-	crq := rq.classRQ[k.classIndex(t.class)]
+	crq := rq.classRQ[t.classIdx]
 	crq.Enqueue(t, wakeup)
 	k.traceState(t, StateRunnable, cpu)
 	k.checkPreempt(rq, t)
@@ -317,7 +348,7 @@ func (k *Kernel) checkPreempt(rq *RunQueue, woken *Task) {
 		k.Resched(rq.CPU)
 		return
 	}
-	ci, wi := k.classIndex(cur.class), k.classIndex(woken.class)
+	ci, wi := cur.classIdx, woken.classIdx
 	switch {
 	case wi < ci:
 		// Higher class always preempts: this is the implicit class
@@ -367,8 +398,8 @@ func (k *Kernel) exit(t *Task) {
 	t.state = StateExited
 	t.ExitedAt = k.Now()
 	k.traceState(t, StateExited, t.CPU)
-	if k.watch[t] {
-		delete(k.watch, t)
+	if t.watched {
+		t.watched = false
 		k.watchLeft--
 		if k.watchLeft == 0 {
 			k.Engine.Stop()
@@ -411,13 +442,7 @@ func (k *Kernel) Resched(cpu int) {
 		return
 	}
 	rq.reschedPending = true
-	k.Engine.Schedule(k.Now(), func() {
-		rq.reschedPending = false
-		if rq.needResched {
-			rq.needResched = false
-			k.schedule(cpu)
-		}
-	})
+	k.Engine.Schedule(k.Now(), rq.reschedFn)
 }
 
 // schedule is __schedule(): put back the preempted task, pick the next one
@@ -433,7 +458,7 @@ func (k *Kernel) schedule(cpu int) {
 		prev.state = StateRunnable
 		prev.queuedAt = k.Now()
 		rq.current = nil
-		rq.classRQ[k.classIndex(prev.class)].Enqueue(prev, false)
+		rq.classRQ[prev.classIdx].Enqueue(prev, false)
 	}
 
 	var next *Task
@@ -563,37 +588,36 @@ func (k *Kernel) pump(cpu int) {
 // issue further requests at this instant).
 func (k *Kernel) handleRequest(rq *RunQueue, t *Task, req proc.Request) bool {
 	switch r := req.(type) {
-	case computeReq:
+	case *computeReq:
 		if r.d < 0 {
 			panic("sched: negative compute duration")
 		}
 		t.remaining += float64(r.d)
 		t.needsResume = true
 		return true
-	case sleepReq:
+	case *sleepReq:
 		t.needsResume = true
 		k.deactivate(t)
-		tt := t
-		k.Engine.After(r.d, func() { k.Wake(tt) })
+		k.Engine.After(r.d, t.wakeFn)
 		return false
-	case blockReq:
+	case *blockReq:
 		t.needsResume = true
 		k.deactivate(t)
 		return false
-	case yieldReq:
+	case *yieldReq:
 		t.needsResume = true
 		k.Resched(rq.CPU)
 		return false
-	case setSchedReq:
+	case *setSchedReq:
 		k.setSchedulerRunning(t, r.policy, r.rtPrio)
 		t.needsResume = true
 		return true
-	case setNiceReq:
+	case *setNiceReq:
 		t.Nice = r.nice
 		t.cfs.init(t)
 		t.needsResume = true
 		return true
-	case setHWPrioReq:
+	case *setHWPrioReq:
 		t.HWPrio = r.prio
 		k.ApplyHWPrio(t)
 		t.needsResume = true
@@ -603,13 +627,21 @@ func (k *Kernel) handleRequest(rq *RunQueue, t *Task, req proc.Request) bool {
 	}
 }
 
+// WakeAfter schedules a Wake of t after delay d, reusing the task's
+// pre-bound wake callback (a pooled event, no closure allocation). Higher
+// layers (the MPI barrier release, timer-driven waits) use it on the hot
+// path.
+func (k *Kernel) WakeAfter(t *Task, d sim.Time) {
+	k.Engine.After(d, t.wakeFn)
+}
+
 // setSchedulerRunning switches the class of the *running* task t.
 func (k *Kernel) setSchedulerRunning(t *Task, p Policy, rtPrio int) {
 	t.policy = p
 	t.RTPrio = rtPrio
 	newClass := k.ClassFor(p)
 	if newClass != t.class {
-		t.class = newClass
+		k.setClass(t, newClass)
 		// Re-evaluate: a lower class current may now be preemptable.
 		k.Resched(t.CPU)
 	}
@@ -625,16 +657,16 @@ func (k *Kernel) SetScheduler(t *Task, p Policy, rtPrio int) {
 	case StateRunnable:
 		k.account(t) // settle the Runnable window under the old class
 		rq := k.rqs[t.CPU]
-		rq.classRQ[k.classIndex(t.class)].Dequeue(t)
+		rq.classRQ[t.classIdx].Dequeue(t)
 		t.policy = p
 		t.RTPrio = rtPrio
-		t.class = k.ClassFor(p)
+		k.setClass(t, k.ClassFor(p))
 		t.state = StateSleeping // transient, for activate's sanity check
 		k.activate(t, false)
 	default:
 		t.policy = p
 		t.RTPrio = rtPrio
-		t.class = k.ClassFor(p)
+		k.setClass(t, k.ClassFor(p))
 	}
 }
 
@@ -659,8 +691,7 @@ func (k *Kernel) planBurst(rq *RunQueue, t *Task) {
 	delay := sim.Time(t.remaining/speed) + 1 // +1ns: never round to "done" early
 	delay += rq.switchPenalty
 	rq.switchPenalty = 0
-	tt := t
-	t.finishEv = k.Engine.After(delay, func() { k.burstDone(tt) })
+	t.finishEv = k.Engine.After(delay, t.burstFn)
 }
 
 // unplanBurst settles the work done so far and cancels the completion
@@ -710,8 +741,7 @@ func (k *Kernel) coreSpeedChanged(co *power5.Core) {
 			k.planBurst(rq, t)
 		} else {
 			// The change lands exactly at completion; finish now.
-			tt := t
-			t.finishEv = k.Engine.Schedule(k.Now(), func() { k.burstDone(tt) })
+			t.finishEv = k.Engine.Schedule(k.Now(), t.burstFn)
 		}
 	}
 }
@@ -721,16 +751,18 @@ func (k *Kernel) coreSpeedChanged(co *power5.Core) {
 // ---------------------------------------------------------------------------
 
 // startTicker arms the periodic scheduler tick for cpu. Ticks are staggered
-// across CPUs as on real SMP kernels.
+// across CPUs as on real SMP kernels. Each CPU owns exactly one ticker
+// event and one callback for the kernel's lifetime: the callback re-arms
+// the event via Reschedule, so the periodic tick never allocates.
 func (k *Kernel) startTicker(cpu int) {
 	period := k.Opts.TickPeriod
 	offset := period * sim.Time(cpu) / sim.Time(k.Chip.NumCPUs())
-	var tick func()
-	tick = func() {
+	var ev *sim.Event
+	tick := func() {
 		k.tick(cpu)
-		k.Engine.After(period, tick)
+		k.Engine.Reschedule(ev, k.Now()+period)
 	}
-	k.Engine.Schedule(k.Engine.Now()+offset, tick)
+	ev = k.Engine.Schedule(k.Engine.Now()+offset, tick)
 }
 
 // tick performs the per-CPU periodic work: settle accounting, let the
@@ -748,7 +780,7 @@ func (k *Kernel) tick(cpu int) {
 	rq.loadAvg += alpha * (sample - rq.loadAvg)
 	if t := rq.current; t != nil {
 		k.account(t)
-		rq.classRQ[k.classIndex(t.class)].Tick(t)
+		rq.classRQ[t.classIdx].Tick(t)
 	} else if rq.NrQueued() == 0 {
 		// Idle CPU: periodically retry the balance pull, including the
 		// SMT-domain active migration (a fully idle core pulls a running

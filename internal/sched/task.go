@@ -106,7 +106,23 @@ type Task struct {
 	HWPrio power5.Priority
 
 	class Class
-	proc  *proc.Process
+	// classIdx caches the index of class in the kernel's class list; it is
+	// maintained by Kernel.setClass so the hot paths (activate, schedule,
+	// tick, preemption checks) index rq.classRQ directly instead of
+	// linearly scanning the class list.
+	classIdx int
+	proc     *proc.Process
+
+	// watched marks the task as registered via Kernel.Watch (coalesced
+	// from the former per-kernel watch map; the kernel keeps only the
+	// outstanding count).
+	watched bool
+
+	// Pre-bound engine callbacks, allocated once at task creation so the
+	// per-burst and per-sleep paths schedule pooled events without
+	// allocating a closure each time.
+	burstFn func() // k.burstDone(t)
+	wakeFn  func() // k.Wake(t)
 
 	// Execution engine state: remaining is the work left in the current
 	// compute burst, expressed in nanoseconds at single-thread speed.

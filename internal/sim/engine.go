@@ -1,16 +1,24 @@
 // Package sim provides the deterministic discrete-event simulation engine
 // underlying the whole reproduction: a virtual nanosecond clock, a
-// cancellable event heap and a seeded pseudo-random number generator.
+// cancellable event queue and a seeded pseudo-random number generator.
 //
 // Determinism contract: two engines constructed with the same seed and fed
 // the same sequence of Schedule calls execute callbacks in exactly the same
 // order. Events that fire at the same virtual instant are ordered by their
 // scheduling sequence number, so "ties" are never resolved by map iteration
 // order or goroutine scheduling.
+//
+// Performance contract: the hot path is allocation-free in steady state.
+// Events are engine-owned and recycled through a free list — an event that
+// has fired (and was not re-armed from its own callback via Reschedule) or
+// has been cancelled returns to the pool and may back a later Schedule
+// call. Holders must therefore treat an *Event as dead once it fired or was
+// cancelled: clear the reference and never pass it to Cancel again, or an
+// unrelated recycled event may be cancelled in its place. Every holder in
+// this repository follows that discipline (see sched.Task.finishEv).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -42,21 +50,33 @@ func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) 
 // String formats the time as seconds with microsecond resolution.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-// Event is a scheduled callback. Events are single-shot; cancelling an event
-// that already fired is a no-op.
+// Event is a scheduled callback. Events are single-shot unless re-armed
+// with Reschedule from their own callback; a fired or cancelled event is
+// recycled by the engine and must not be touched afterwards.
 type Event struct {
 	at       Time
 	seq      uint64
 	do       func()
-	index    int // heap index, -1 when not queued
+	index    int32 // position in the 4-ary heap, -1 when not queued
 	canceled bool
+	pooled   bool   // on the free list (dead until reacquired)
+	next     *Event // free-list link while pooled
 }
 
 // At returns the virtual time the event is (or was) scheduled for.
 func (e *Event) At() Time { return e.at }
 
-// Canceled reports whether Cancel was called on the event.
+// Canceled reports whether Cancel was called on the event. Only meaningful
+// until the engine recycles the event for a later Schedule.
 func (e *Event) Canceled() bool { return e.canceled }
+
+// initialQueueCapacity pre-sizes the event heap so steady-state simulations
+// never grow it; poolChunk is how many events each pool refill allocates in
+// one contiguous block (good locality, amortised allocation).
+const (
+	initialQueueCapacity = 512
+	poolChunk            = 128
+)
 
 // Engine is the discrete-event simulation core. It is not safe for
 // concurrent use: all interaction must happen from the goroutine driving
@@ -64,21 +84,56 @@ func (e *Event) Canceled() bool { return e.canceled }
 // the proc package, so this is never a limitation in practice).
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   eventQueue
 	seq     uint64
 	rng     *RNG
 	stopped bool
+	free    *Event // event free list (recycled events)
 
 	// Stats counters, exported via Stats.
 	scheduled uint64
 	fired     uint64
 	cancelled uint64
+	recycled  uint64
 }
 
 // NewEngine returns an engine with the clock at zero and the RNG seeded with
-// seed.
+// seed. The event queue and pool are pre-sized so typical simulations never
+// allocate on the scheduling hot path.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	e := &Engine{rng: NewRNG(seed)}
+	e.queue.items = make([]*Event, 0, initialQueueCapacity)
+	return e
+}
+
+// acquire takes an event from the free list, refilling it with a contiguous
+// chunk when empty.
+func (e *Engine) acquire() *Event {
+	if e.free == nil {
+		chunk := make([]Event, poolChunk)
+		for i := range chunk {
+			chunk[i].index = -1
+			chunk[i].pooled = true
+			chunk[i].next = e.free
+			e.free = &chunk[i]
+		}
+	}
+	ev := e.free
+	e.free = ev.next
+	ev.next = nil
+	ev.pooled = false
+	ev.canceled = false
+	ev.index = -1
+	return ev
+}
+
+// release returns a dead event to the free list.
+func (e *Engine) release(ev *Event) {
+	ev.do = nil // drop the callback reference
+	ev.pooled = true
+	ev.next = e.free
+	e.free = ev
+	e.recycled++
 }
 
 // Now returns the current virtual time.
@@ -100,8 +155,11 @@ func (e *Engine) Schedule(at Time, do func()) *Event {
 	}
 	e.seq++
 	e.scheduled++
-	ev := &Event{at: at, seq: e.seq, do: do, index: -1}
-	heap.Push(&e.queue, ev)
+	ev := e.acquire()
+	ev.at = at
+	ev.seq = e.seq
+	ev.do = do
+	e.queue.push(ev)
 	return ev
 }
 
@@ -113,43 +171,85 @@ func (e *Engine) After(d Time, do func()) *Event {
 	return e.Schedule(e.now+d, do)
 }
 
+// Reschedule re-arms ev — keeping its callback — to fire at at, as if it
+// had just been passed to Schedule: it receives a fresh sequence number, so
+// it orders after everything already scheduled for the same instant.
+// Periodic work (scheduler ticks, load-balance timers) re-arms one event
+// from its own callback instead of allocating an event and a closure per
+// period.
+//
+// ev may be pending (it is moved) or mid-fire (its callback is running: it
+// is re-queued and will not be recycled when the callback returns). It must
+// not be dead — fired without re-arming, or cancelled — since dead events
+// are recycled and may already back an unrelated Schedule.
+func (e *Engine) Reschedule(ev *Event, at Time) {
+	if ev == nil || ev.pooled || ev.do == nil {
+		panic("sim: Reschedule of a dead (fired or cancelled) event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: rescheduling in the past: at=%v now=%v", at, e.now))
+	}
+	e.seq++
+	e.scheduled++
+	ev.at = at
+	ev.seq = e.seq
+	if ev.index >= 0 {
+		// Still pending: reposition in place. The sequence number grew, but
+		// at compares first, so the event may move either way (rescheduling
+		// a pending timer to an earlier deadline must sift up).
+		if i := int(ev.index); !e.queue.siftDown(i) {
+			e.queue.siftUp(i)
+		}
+	} else {
+		e.queue.push(ev)
+	}
+}
+
 // Cancel removes a pending event. Returns true if the event was pending and
-// is now guaranteed not to fire.
+// is now guaranteed not to fire. The event is recycled: the caller must
+// clear its reference.
 func (e *Engine) Cancel(ev *Event) bool {
 	if ev == nil || ev.canceled || ev.index < 0 {
 		return false
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	e.queue.remove(int(ev.index))
 	e.cancelled++
+	e.release(ev)
 	return true
 }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue.items) }
 
 // PeekNext returns the time of the earliest pending event, or MaxTime if the
 // queue is empty.
 func (e *Engine) PeekNext() Time {
-	if e.queue.Len() == 0 {
+	if len(e.queue.items) == 0 {
 		return MaxTime
 	}
-	return e.queue[0].at
+	return e.queue.items[0].at
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports false if no events are pending.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue.items) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.queue.pop()
 	if ev.at < e.now {
 		panic("sim: event heap corrupted (time went backwards)")
 	}
 	e.now = ev.at
 	e.fired++
 	ev.do()
+	// The callback may have re-armed the event (Reschedule: index >= 0) or,
+	// in principle, raced it back through the pool; only a still-dead event
+	// is recycled.
+	if ev.index < 0 && !ev.pooled {
+		e.release(ev)
+	}
 	return true
 }
 
@@ -159,7 +259,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until Time) int {
 	n := 0
 	e.stopped = false
-	for !e.stopped && e.queue.Len() > 0 && e.queue[0].at <= until {
+	for !e.stopped && len(e.queue.items) > 0 && e.queue.items[0].at <= until {
 		e.Step()
 		n++
 	}
@@ -191,6 +291,7 @@ type Stats struct {
 	Scheduled uint64
 	Fired     uint64
 	Cancelled uint64
+	Recycled  uint64
 	Pending   int
 }
 
@@ -201,40 +302,126 @@ func (e *Engine) Stats() Stats {
 		Scheduled: e.scheduled,
 		Fired:     e.fired,
 		Cancelled: e.cancelled,
-		Pending:   e.queue.Len(),
+		Recycled:  e.recycled,
+		Pending:   len(e.queue.items),
 	}
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*Event
+// ---------------------------------------------------------------------------
+// Flat 4-ary indexed min-heap
+// ---------------------------------------------------------------------------
 
-func (h eventHeap) Len() int { return len(h) }
+// eventQueue is a hand-rolled 4-ary min-heap over (at, seq), replacing
+// container/heap: no interface dispatch per sift, no boxing through any,
+// and a branching factor of 4 halves the tree depth — sift paths touch
+// fewer cache lines, and the four children of a node share at most two.
+// The heap is indexed (each event knows its slot) so Cancel removes in
+// O(log₄ n) without a search.
+type eventQueue struct {
+	items []*Event
+}
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders by (at, seq): earlier deadline first, scheduling order
+// breaking ties — the engine's determinism contract.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (q *eventQueue) push(ev *Event) {
+	ev.index = int32(len(q.items))
+	q.items = append(q.items, ev)
+	q.siftUp(len(q.items) - 1)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+func (q *eventQueue) pop() *Event {
+	items := q.items
+	ev := items[0]
+	last := len(items) - 1
+	items[0] = items[last]
+	items[0].index = 0
+	items[last] = nil
+	q.items = items[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
 	ev.index = -1
-	*h = old[:n-1]
 	return ev
+}
+
+// remove deletes the event at slot i (Cancel path).
+func (q *eventQueue) remove(i int) {
+	items := q.items
+	ev := items[i]
+	last := len(items) - 1
+	if i != last {
+		moved := items[last]
+		items[i] = moved
+		moved.index = int32(i)
+		items[last] = nil
+		q.items = items[:last]
+		// The replacement came from the bottom; restore the heap in
+		// whichever direction it violates the invariant.
+		if !q.siftDown(i) {
+			q.siftUp(i)
+		}
+	} else {
+		items[last] = nil
+		q.items = items[:last]
+	}
+	ev.index = -1
+}
+
+func (q *eventQueue) siftUp(i int) {
+	items := q.items
+	ev := items[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := items[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		items[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	items[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown restores the heap below slot i; it reports whether the event
+// moved.
+func (q *eventQueue) siftDown(i int) bool {
+	items := q.items
+	n := len(items)
+	ev := items[i]
+	start := i
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(items[c], items[min]) {
+				min = c
+			}
+		}
+		if !eventLess(items[min], ev) {
+			break
+		}
+		items[i] = items[min]
+		items[i].index = int32(i)
+		i = min
+	}
+	items[i] = ev
+	ev.index = int32(i)
+	return i != start
 }
