@@ -10,6 +10,7 @@
 //	bench -scenario table3 -runs 5          # filter by substring
 //	bench -list                             # print the suite
 //	bench -label after -compare BENCH_base.json   # print speedups vs a report
+//	bench -quick -n -gate BENCH_base.json   # CI perf gate: exit 1 on >15% regression
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 		list    = flag.Bool("list", false, "list scenarios and exit")
 		compare = flag.String("compare", "", "existing BENCH_*.json to report speedups against")
 		noEmit  = flag.Bool("n", false, "measure and print, but do not write the report file")
+		gate    = flag.String("gate", "", "baseline BENCH_*.json to gate against: exit 1 when any shared scenario regresses")
+		gateTol = flag.Float64("gate-tolerance", 0.15, "allowed events/sec drop before -gate fails (0.15 = 15%)")
 	)
 	flag.Parse()
 
@@ -83,5 +86,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", path)
+	}
+
+	if *gate != "" {
+		base, err := perf.ReadFile(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: cannot read gate baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s", perf.FormatGate(base, report, *gateTol))
+		if regs := perf.Gate(base, report, *gateTol); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: perf gate failed (%d regression(s)):\n", len(regs))
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("perf gate passed")
 	}
 }

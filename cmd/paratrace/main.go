@@ -2,6 +2,11 @@
 // Paraver-style .prv file (or an ASCII timeline) to stdout or a file —
 // the role PARAVER's trace collection plays in the paper.
 //
+// When writing .prv to a file, the trace is streamed: records go to disk
+// as intervals close (trace.PRVSink), so nothing is retained in memory and
+// arbitrarily long runs can be traced. ASCII rendering and stdout output
+// need the full history and use the in-memory recorder.
+//
 // Usage:
 //
 //	paratrace -workload metbench -mode baseline -o trace.prv
@@ -48,6 +53,33 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
 		os.Exit(2)
+	}
+
+	if !*ascii && !*byCPU && *out != "" {
+		// Stream the .prv straight to the output file.
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sink := trace.NewPRVSink(f)
+		experiments.Run(experiments.Config{
+			Workload: *wl, Mode: mode, Seed: *seed, Trace: true, TraceSink: sink,
+		})
+		if err := sink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		size := int64(-1)
+		if info, err := f.Stat(); err == nil {
+			size = info.Size()
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes, streamed)\n", *out, size)
+		return
 	}
 
 	r := experiments.Run(experiments.Config{

@@ -28,6 +28,7 @@ package hpcsched
 
 import (
 	"context"
+	"io"
 
 	"hpcsched/internal/core"
 	"hpcsched/internal/experiments"
@@ -80,6 +81,12 @@ type (
 	Rank = mpi.Rank
 	// Recorder captures scheduling traces.
 	Recorder = trace.Recorder
+	// TraceSink consumes trace records as they are produced.
+	TraceSink = trace.Sink
+	// PRVSink streams Paraver .prv records to a seekable writer.
+	PRVSink = trace.PRVSink
+	// NullTraceSink discards trace records (overhead measurement).
+	NullTraceSink = trace.NullSink
 	// RenderOptions controls ASCII trace rendering.
 	RenderOptions = trace.RenderOptions
 	// TaskSummary is one row of the per-process report.
@@ -224,6 +231,14 @@ func Summaries(tasks []*Task, end Time) []TaskSummary {
 
 // NewRecorder returns a trace recorder to pass in MachineConfig.Tracer.
 func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// NewStreamRecorder returns a trace recorder that hands every record to
+// sink without retaining history (see trace.NewRecorderWithSink).
+func NewStreamRecorder(sink TraceSink) *Recorder { return trace.NewRecorderWithSink(sink) }
+
+// NewPRVSink returns a streaming .prv sink over w (an *os.File works; the
+// header is patched in place when the recorder finishes).
+func NewPRVSink(w io.WriteSeeker) *PRVSink { return trace.NewPRVSink(w) }
 
 // DefaultHPCParams returns the paper's tunables (HIGH_UTIL=85, LOW_UTIL=65,
 // priorities [4,6], G=0.10/L=0.90).

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"hpcsched/internal/sched"
-	"hpcsched/internal/sim"
 )
 
 // Discipline selects the HPC class's queueing algorithm. The paper
@@ -116,7 +115,7 @@ func (c *HPCClass) Policies() []sched.Policy { return []sched.Policy{sched.Polic
 
 // NewRQ implements sched.Class.
 func (c *HPCClass) NewRQ(k *sched.Kernel, cpu int) sched.ClassRQ {
-	rq := &hpcRQ{class: c, k: k, cpu: cpu}
+	rq := &hpcRQ{class: c, k: k, cpu: cpu, ring: make([]*sched.Task, initialRingCap)}
 	for len(c.rqs) <= cpu {
 		c.rqs = append(c.rqs, nil)
 	}
@@ -243,52 +242,121 @@ func (c *HPCClass) String() string {
 
 // hpcRQ is the per-CPU HPC run queue: a plain round-robin list — "with
 // this small number of processes in the run queue list, a simple
-// round-robin list is as good as a more complex red-black tree" (§IV-A).
+// round-robin list is as good as a more complex red-black tree" (§IV-A) —
+// kept as a flat power-of-two ring, so enqueue/pick never shift or
+// reallocate in steady state. The RR quantum lives on the task's LIDState
+// (tagged with the owning queue), replacing the old per-queue map.
 type hpcRQ struct {
 	class *HPCClass
 	k     *sched.Kernel
 	cpu   int
-	queue []*sched.Task
-	slice map[*sched.Task]sim.Time // remaining RR quantum
+	ring  []*sched.Task // power-of-two capacity circular buffer
+	head  int
+	n     int
+}
+
+// initialRingCap pre-sizes each per-CPU ring for the paper's workloads
+// (one rank per context plus stragglers) without growth.
+const initialRingCap = 8
+
+// at returns the i-th queued task (0 = head).
+func (rq *hpcRQ) at(i int) *sched.Task {
+	return rq.ring[(rq.head+i)&(len(rq.ring)-1)]
+}
+
+// set stores t at logical position i.
+func (rq *hpcRQ) set(i int, t *sched.Task) {
+	rq.ring[(rq.head+i)&(len(rq.ring)-1)] = t
+}
+
+// grow doubles the ring, re-laying the queue from the head.
+func (rq *hpcRQ) grow() {
+	capNow := len(rq.ring)
+	if capNow == 0 {
+		capNow = initialRingCap / 2
+	}
+	nr := make([]*sched.Task, capNow*2)
+	for i := 0; i < rq.n; i++ {
+		nr[i] = rq.at(i)
+	}
+	rq.ring = nr
+	rq.head = 0
+}
+
+// removeAt deletes the task at logical position i, shifting the shorter
+// side of the ring to close the gap (queue order preserved).
+func (rq *hpcRQ) removeAt(i int) {
+	if i < rq.n-i-1 {
+		// Shift the head side forward.
+		for j := i; j > 0; j-- {
+			rq.set(j, rq.at(j-1))
+		}
+		rq.set(0, nil)
+		rq.head = (rq.head + 1) & (len(rq.ring) - 1)
+	} else {
+		// Shift the tail side back.
+		for j := i; j < rq.n-1; j++ {
+			rq.set(j, rq.at(j+1))
+		}
+		rq.set(rq.n-1, nil)
+	}
+	rq.n--
 }
 
 // Enqueue implements sched.ClassRQ. Both wakeups and requeues go to the
 // tail (the paper's RR semantics: an expired task is placed at the end).
 func (rq *hpcRQ) Enqueue(t *sched.Task, wakeup bool) {
-	for _, q := range rq.queue {
-		if q == t {
+	for i := 0; i < rq.n; i++ {
+		if rq.at(i) == t {
 			panic("core: HPC double enqueue")
 		}
 	}
-	rq.queue = append(rq.queue, t)
+	if rq.n == len(rq.ring) {
+		rq.grow()
+	}
+	rq.set(rq.n, t)
+	rq.n++
 	// The very first enqueue opens the detector's tracking window.
 	lidStateOf(t).beginTracking(rq.k.Now(), t.SumExec)
 }
 
 // Dequeue implements sched.ClassRQ.
 func (rq *hpcRQ) Dequeue(t *sched.Task) {
-	for i, q := range rq.queue {
-		if q == t {
-			rq.queue = append(rq.queue[:i], rq.queue[i+1:]...)
+	for i := 0; i < rq.n; i++ {
+		if rq.at(i) == t {
+			rq.removeAt(i)
 			return
 		}
 	}
 	panic("core: HPC dequeue of unqueued task")
 }
 
+// rrStateFor returns the task's RR bookkeeping, claiming it for this queue
+// (with an implicit zero quantum, as a fresh map entry had) if another
+// queue owned it. Unlike the old map, a residual quantum left on a
+// previously-owned queue is dropped rather than resumed (see LIDState).
+func (rq *hpcRQ) rrStateFor(t *sched.Task) *LIDState {
+	s := lidStateOf(t)
+	if s.rrOwner != rq {
+		s.rrOwner = rq
+		s.rrSlice = 0
+	}
+	return s
+}
+
 // PickNext implements sched.ClassRQ.
 func (rq *hpcRQ) PickNext() *sched.Task {
-	if len(rq.queue) == 0 {
+	if rq.n == 0 {
 		return nil
 	}
-	t := rq.queue[0]
-	rq.queue = rq.queue[1:]
+	t := rq.ring[rq.head]
+	rq.ring[rq.head] = nil
+	rq.head = (rq.head + 1) & (len(rq.ring) - 1)
+	rq.n--
 	if rq.class.disc == DisciplineRR {
-		if rq.slice == nil {
-			rq.slice = make(map[*sched.Task]sim.Time)
-		}
-		if rq.slice[t] <= 0 {
-			rq.slice[t] = rq.class.params.Timeslice
+		s := rq.rrStateFor(t)
+		if s.rrSlice <= 0 {
+			s.rrSlice = rq.class.params.Timeslice
 		}
 	}
 	return t
@@ -300,9 +368,10 @@ func (rq *hpcRQ) Tick(t *sched.Task) {
 	if rq.class.disc != DisciplineRR {
 		return
 	}
-	rq.slice[t] -= rq.k.Opts.TickPeriod
-	if rq.slice[t] <= 0 && len(rq.queue) > 0 {
-		rq.slice[t] = 0
+	s := rq.rrStateFor(t)
+	s.rrSlice -= rq.k.Opts.TickPeriod
+	if s.rrSlice <= 0 && rq.n > 0 {
+		s.rrSlice = 0
 		rq.k.Resched(rq.cpu)
 	}
 }
@@ -313,7 +382,7 @@ func (rq *hpcRQ) Tick(t *sched.Task) {
 func (rq *hpcRQ) CheckPreempt(curr, woken *sched.Task) bool { return false }
 
 // Len implements sched.ClassRQ.
-func (rq *hpcRQ) Len() int { return len(rq.queue) }
+func (rq *hpcRQ) Len() int { return rq.n }
 
 // Steal implements sched.ClassRQ: the HPC workload balancer's pull path —
 // an idle (or HPC-empty) CPU pulls a queued, non-cache-hot HPC task,
@@ -321,9 +390,10 @@ func (rq *hpcRQ) Len() int { return len(rq.queue) }
 func (rq *hpcRQ) Steal(dstCPU int) *sched.Task {
 	now := rq.k.Now()
 	cost := rq.k.Opts.MigrationCost
-	for i, t := range rq.queue {
+	for i := 0; i < rq.n; i++ {
+		t := rq.at(i)
 		if t.MayRunOn(dstCPU) && !t.CacheHot(now, cost) {
-			rq.queue = append(rq.queue[:i], rq.queue[i+1:]...)
+			rq.removeAt(i)
 			return t
 		}
 	}

@@ -48,6 +48,16 @@ type LIDState struct {
 	// Decisions is a bounded log of heuristic decisions (for tests,
 	// traces and the CLI's per-task report).
 	Decisions []Decision
+
+	// rrSlice is the task's remaining round-robin quantum on the run
+	// queue rrOwner. As with the old per-queue map, a task arriving on a
+	// different CPU starts from an (implicitly zero) fresh quantum there.
+	// One deliberate divergence: the map kept stale residuals forever, so
+	// a task returning to a queue it had left mid-quantum resumed the old
+	// leftover; the single owner tag drops that stale state and grants a
+	// fresh quantum instead.
+	rrSlice sim.Time
+	rrOwner *hpcRQ
 }
 
 // Decision records one heuristic invocation.

@@ -81,6 +81,12 @@ type Config struct {
 	KernelOpts sched.Options
 	// Trace enables interval recording (needed for the figures).
 	Trace bool
+	// TraceSink, when non-nil (with Trace set), streams the trace through
+	// the given sink instead of retaining history in memory: the run can
+	// be traced to a .prv file (trace.PRVSink) or measured without
+	// retention (trace.NullSink). Result.Recorder then has task identities
+	// but no renderable intervals.
+	TraceSink trace.Sink
 	// Horizon bounds the run (0 → 1 simulated hour).
 	Horizon sim.Time
 
@@ -158,7 +164,11 @@ func Run(cfg Config) Result {
 
 	var rec *trace.Recorder
 	if cfg.Trace {
-		rec = trace.NewRecorder()
+		if cfg.TraceSink != nil {
+			rec = trace.NewRecorderWithSink(cfg.TraceSink)
+		} else {
+			rec = trace.NewRecorder()
+		}
 		rec.Filter = func(t *sched.Task) bool { return t.Name[0] == 'P' }
 		kernel.SetTracer(rec)
 	}

@@ -8,6 +8,11 @@
 // and the paper's Load Imbalance Detector, which feeds on sleep/wake
 // transitions — observes exactly the pattern a real MPI application
 // produces (Figure 2: compute phase tR, wait phase tW).
+//
+// The transport is allocation-free in steady state: in-flight deliveries
+// are world-owned pooled objects with a pre-bound engine callback (no
+// closure per send), and each rank buffers undelivered messages in a
+// preallocated ring instead of a map of slices.
 package mpi
 
 import (
@@ -65,6 +70,21 @@ type message struct {
 	size     int64
 }
 
+// delivery is one in-flight message. Deliveries are world-owned and
+// pooled: fire is bound once, at allocation, so a send schedules a pooled
+// engine event with a pre-existing callback — no closure, no message
+// allocation per send.
+type delivery struct {
+	target *Rank
+	m      message
+	next   *delivery // free-list link
+	fire   func()
+}
+
+// initialInboxCap pre-sizes each rank's message ring; exchange patterns
+// with deeper backlogs grow it by doubling.
+const initialInboxCap = 16
+
 // World is one MPI job: a set of ranks over one kernel (the common case)
 // or spread over the kernels of a simulated cluster sharing one engine.
 type World struct {
@@ -72,6 +92,8 @@ type World struct {
 	defaultKernel *sched.Kernel
 	opts          Options
 	ranks         []*Rank
+
+	freeDeliv *delivery
 
 	barrierGen     int
 	barrierArrived int
@@ -90,11 +112,42 @@ func NewWorld(k *sched.Kernel, size int, opts Options) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{engine: k.Engine, defaultKernel: k, opts: opts}
+	w := &World{
+		engine:         k.Engine,
+		defaultKernel:  k,
+		opts:           opts,
+		barrierWaiters: make([]*Rank, 0, size),
+	}
 	for i := 0; i < size; i++ {
-		w.ranks = append(w.ranks, &Rank{world: w, id: i, inbox: map[msgKey][]message{}})
+		w.ranks = append(w.ranks, &Rank{
+			world: w,
+			id:    i,
+			inbox: make([]message, initialInboxCap),
+		})
 	}
 	return w
+}
+
+// post schedules the delivery of m to target after delay, drawing a pooled
+// delivery object.
+func (w *World) post(target *Rank, m message, delay sim.Time) {
+	d := w.freeDeliv
+	if d == nil {
+		d = &delivery{}
+		d.fire = func() {
+			t, msg := d.target, d.m
+			d.target = nil
+			d.next = w.freeDeliv
+			w.freeDeliv = d
+			t.deliver(msg)
+		}
+	} else {
+		w.freeDeliv = d.next
+		d.next = nil
+	}
+	d.target = target
+	d.m = m
+	w.engine.After(delay, d.fire)
 }
 
 // Size returns the number of ranks.
@@ -157,9 +210,18 @@ type Rank struct {
 	kernel *sched.Kernel
 	node   int
 
-	inbox   map[msgKey][]message
-	waiting []msgKey // non-empty while blocked in Recv/Waitall
-	seq     collSeq  // per-collective invocation counters
+	// inbox is a ring of undelivered messages in arrival order.
+	inbox  []message
+	ibHead int
+	ibLen  int
+
+	// waiting holds the keys the rank is blocked on in Recv/Waitall
+	// (empty when not blocked); pending is Waitall's scratch. Both reuse
+	// their backing arrays across calls.
+	waiting []msgKey
+	pending []msgKey
+
+	seq collSeq // per-collective invocation counters
 }
 
 // Node returns the cluster node the rank was placed on (0 for single-node
@@ -206,8 +268,7 @@ func (r *Rank) Send(dst, tag int, size int64) {
 		w.RemoteMsgCount++
 		delay = w.opts.RemoteLatency + sim.Time(float64(size)*w.opts.RemoteByteCost)
 	}
-	m := message{src: r.id, tag: tag, size: size}
-	w.engine.After(delay, func() { target.deliver(m) })
+	w.post(target, message{src: r.id, tag: tag, size: size}, delay)
 }
 
 // Isend is Send: eager buffered sends complete immediately, so the
@@ -218,51 +279,85 @@ func (r *Rank) Isend(dst, tag int, size int64) Request {
 	return Request{done: true}
 }
 
+// ibAt returns the i-th buffered message (0 = oldest).
+func (r *Rank) ibAt(i int) *message {
+	return &r.inbox[(r.ibHead+i)&(len(r.inbox)-1)]
+}
+
+// ibPush appends m to the inbox ring, doubling it when full.
+func (r *Rank) ibPush(m message) {
+	if r.ibLen == len(r.inbox) {
+		nb := make([]message, len(r.inbox)*2)
+		for i := 0; i < r.ibLen; i++ {
+			nb[i] = *r.ibAt(i)
+		}
+		r.inbox = nb
+		r.ibHead = 0
+	}
+	*r.ibAt(r.ibLen) = m
+	r.ibLen++
+}
+
+// ibRemove deletes the message at logical position i, shifting the
+// shorter side of the ring (arrival order preserved).
+func (r *Rank) ibRemove(i int) {
+	if i < r.ibLen-i-1 {
+		for j := i; j > 0; j-- {
+			*r.ibAt(j) = *r.ibAt(j - 1)
+		}
+		r.ibHead = (r.ibHead + 1) & (len(r.inbox) - 1)
+	} else {
+		for j := i; j < r.ibLen-1; j++ {
+			*r.ibAt(j) = *r.ibAt(j + 1)
+		}
+	}
+	r.ibLen--
+}
+
 // deliver runs on the engine side when a message arrives.
 func (r *Rank) deliver(m message) {
-	key := msgKey{m.src, m.tag}
-	r.inbox[key] = append(r.inbox[key], m)
+	r.ibPush(m)
 	if len(r.waiting) == 0 {
 		return
 	}
 	for _, wk := range r.waiting {
 		if wk.src == m.src && (wk.tag == AnyTag || wk.tag == m.tag) {
-			r.waiting = nil
+			r.waiting = r.waiting[:0]
 			r.kernel.Wake(r.task)
 			return
 		}
 	}
 }
 
-// take consumes a matching message from the inbox.
+// take consumes a matching message from the inbox: the oldest message from
+// src with the given tag, or — for AnyTag — the oldest message bearing the
+// lowest tag buffered from src (the deterministic order the map-of-queues
+// implementation used).
 func (r *Rank) take(src, tag int) (message, bool) {
 	if tag != AnyTag {
-		key := msgKey{src, tag}
-		q := r.inbox[key]
-		if len(q) == 0 {
-			return message{}, false
+		for i := 0; i < r.ibLen; i++ {
+			m := r.ibAt(i)
+			if m.src == src && m.tag == tag {
+				taken := *m
+				r.ibRemove(i)
+				return taken, true
+			}
 		}
-		m := q[0]
-		if len(q) == 1 {
-			delete(r.inbox, key)
-		} else {
-			r.inbox[key] = q[1:]
-		}
-		return m, true
-	}
-	// AnyTag: scan deterministically by tag order is unnecessary — take
-	// the match with the lowest tag for reproducibility.
-	bestTag := int(^uint(0) >> 1)
-	found := false
-	for key := range r.inbox {
-		if key.src == src && len(r.inbox[key]) > 0 && key.tag < bestTag {
-			bestTag, found = key.tag, true
-		}
-	}
-	if !found {
 		return message{}, false
 	}
-	return r.take(src, bestTag)
+	best := -1
+	for i := 0; i < r.ibLen; i++ {
+		m := r.ibAt(i)
+		if m.src == src && (best < 0 || m.tag < r.ibAt(best).tag) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return message{}, false
+	}
+	taken := *r.ibAt(best)
+	r.ibRemove(best)
+	return taken, true
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -278,14 +373,15 @@ func (r *Rank) Recv(src, tag int) int64 {
 			}
 			return m.size
 		}
-		r.waiting = []msgKey{{src, tag}}
+		r.waiting = append(r.waiting[:0], msgKey{src, tag})
 		r.env.Block("mpi-recv")
 	}
 }
 
 // Request is a handle for a non-blocking operation.
 type Request struct {
-	recv *msgKey // nil for completed sends
+	key  msgKey
+	recv bool // an Irecv awaiting its message
 	done bool
 }
 
@@ -295,7 +391,7 @@ func (r *Rank) Irecv(src, tag int) Request {
 	if src < 0 || src >= r.Size() || src == r.id {
 		panic(fmt.Sprintf("mpi: Irecv from invalid rank %d", src))
 	}
-	return Request{recv: &msgKey{src, tag}}
+	return Request{key: msgKey{src, tag}, recv: true}
 }
 
 // Wait blocks until the request completes.
@@ -304,12 +400,13 @@ func (r *Rank) Wait(req Request) { r.Waitall([]Request{req}) }
 // Waitall blocks until every request completes (mpi_waitall). Completed
 // receives consume their messages.
 func (r *Rank) Waitall(reqs []Request) {
-	pending := make([]msgKey, 0, len(reqs))
+	pending := r.pending[:0]
 	for _, q := range reqs {
-		if q.recv != nil && !q.done {
-			pending = append(pending, *q.recv)
+		if q.recv && !q.done {
+			pending = append(pending, q.key)
 		}
 	}
+	r.pending = pending
 	for len(pending) > 0 {
 		// Consume everything already here.
 		remaining := pending[:0]
@@ -325,11 +422,12 @@ func (r *Rank) Waitall(reqs []Request) {
 			}
 		}
 		pending = remaining
+		r.pending = pending
 		if len(pending) == 0 {
 			return
 		}
 		if !progress {
-			r.waiting = append([]msgKey(nil), pending...)
+			r.waiting = append(r.waiting[:0], pending...)
 			r.env.Block("mpi-waitall")
 		}
 	}
@@ -349,11 +447,12 @@ func (r *Rank) Barrier() {
 		}
 		return
 	}
-	// Last arrival: release everyone.
+	// Last arrival: release everyone. The waiter list is reset by length
+	// only — the next generation reuses its backing array.
 	w.barrierGen++
 	w.barrierArrived = 0
 	waiters := w.barrierWaiters
-	w.barrierWaiters = nil
+	w.barrierWaiters = w.barrierWaiters[:0]
 	delay := w.opts.BarrierLatency
 	for _, waiter := range waiters {
 		waiter.kernel.WakeAfter(waiter.task, delay)

@@ -1,0 +1,32 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedReportsPassGate pins the repository's perf trajectory: the
+// committed after-report of the latest perf PR must pass the 15% gate
+// against its own committed baseline (it should in fact be faster on
+// every scenario). This is the machine-independent half of the CI
+// perf-gate job; the live half re-measures the quick suite on the runner.
+func TestCommittedReportsPassGate(t *testing.T) {
+	root := filepath.Join("..", "..")
+	base, err := ReadFile(filepath.Join(root, "BENCH_pre-hotpath.json"))
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	after, err := ReadFile(filepath.Join(root, "BENCH_zero-alloc-hotpaths.json"))
+	if err != nil {
+		t.Fatalf("committed after-report missing: %v", err)
+	}
+	if regs := Gate(base, after, 0.15); len(regs) > 0 {
+		t.Fatalf("committed reports fail the gate:\n%s", FormatGate(base, after, 0.15))
+	}
+	// The headline of the hot-path PR: traced BT-MZ at ≥1.3x its paired
+	// baseline. Guards against committing a mismatched report pair.
+	sp, ok := Speedup(base, after, "btmz-trace")
+	if !ok || sp < 1.3 {
+		t.Fatalf("btmz-trace speedup = %.2f (ok=%v), want ≥1.3", sp, ok)
+	}
+}

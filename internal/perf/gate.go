@@ -1,0 +1,99 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Regression is one scenario that fell below the perf gate.
+type Regression struct {
+	Scenario     string
+	BaseRate     float64 // baseline events/sec
+	Rate         float64 // measured events/sec
+	Ratio        float64 // Rate / BaseRate
+	AllowedRatio float64 // the gate floor (1 - tolerance)
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f events/sec vs baseline %.0f (%.2fx, gate %.2fx)",
+		r.Scenario, r.Rate, r.BaseRate, r.Ratio, r.AllowedRatio)
+}
+
+// comparison is one shared scenario's verdict; matchReports is the single
+// source of truth Gate and FormatGate both render from.
+type comparison struct {
+	Regression
+	regressed bool
+}
+
+// matchReports pairs every scenario present in both reports and computes
+// its ratio against the gate floor. Scenarios only one report knows (new
+// benchmarks, retired ones) cannot regress and are skipped, as are
+// zero-rate baselines, so the suite can grow without invalidating old
+// baselines.
+func matchReports(base, after Report, tolerance float64) []comparison {
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	floor := 1 - tolerance
+	var out []comparison
+	for _, bm := range base.Measurements {
+		for _, am := range after.Measurements {
+			if am.Scenario != bm.Scenario || bm.EventsPerSec <= 0 {
+				continue
+			}
+			ratio := am.EventsPerSec / bm.EventsPerSec
+			out = append(out, comparison{
+				Regression: Regression{
+					Scenario:     bm.Scenario,
+					BaseRate:     bm.EventsPerSec,
+					Rate:         am.EventsPerSec,
+					Ratio:        ratio,
+					AllowedRatio: floor,
+				},
+				regressed: ratio < floor,
+			})
+		}
+	}
+	return out
+}
+
+// Gate compares a fresh report against a committed baseline: every
+// scenario present in both whose events/sec dropped below (1 - tolerance)
+// of the baseline is returned as a regression. A tolerance of 0.15 is the
+// CI default: wide enough for same-machine noise, tight enough that a
+// lost optimisation (the smallest committed win is ~1.2x) cannot hide
+// inside it.
+func Gate(base, after Report, tolerance float64) []Regression {
+	var out []Regression
+	for _, c := range matchReports(base, after, tolerance) {
+		if c.regressed {
+			out = append(out, c.Regression)
+		}
+	}
+	return out
+}
+
+// FormatGate renders a gate verdict for CI logs: every shared scenario
+// with its ratio, regressions marked. It renders the same comparison pass
+// Gate decides from, so the printed verdict and the exit code cannot
+// disagree.
+func FormatGate(base, after Report, tolerance float64) string {
+	var b strings.Builder
+	cs := matchReports(base, after, tolerance)
+	floor := 1 - tolerance
+	if len(cs) > 0 {
+		floor = cs[0].AllowedRatio
+	}
+	fmt.Fprintf(&b, "perf gate: %q vs baseline %q (floor %.2fx)\n",
+		after.Label, base.Label, floor)
+	for _, c := range cs {
+		verdict := "ok"
+		if c.regressed {
+			verdict = "REGRESSION"
+		}
+		fmt.Fprintf(&b, "  %-24s %12.0f → %12.0f events/sec  %.2fx  %s\n",
+			c.Scenario, c.BaseRate, c.Rate, c.Ratio, verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func reportOf(label string, rates map[string]float64) Report {
+	r := Report{Label: label}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if rate, ok := rates[name]; ok {
+			r.Measurements = append(r.Measurements, Measurement{
+				Scenario: name, EventsPerSec: rate,
+			})
+		}
+	}
+	return r
+}
+
+func TestGatePasses(t *testing.T) {
+	base := reportOf("base", map[string]float64{"a": 1000, "b": 2000})
+	// 10% down and 20% up: both inside a 15% gate.
+	after := reportOf("after", map[string]float64{"a": 900, "b": 2400})
+	if regs := Gate(base, after, 0.15); len(regs) != 0 {
+		t.Fatalf("gate failed unexpectedly: %v", regs)
+	}
+}
+
+func TestGateCatchesRegression(t *testing.T) {
+	base := reportOf("base", map[string]float64{"a": 1000, "b": 2000})
+	after := reportOf("after", map[string]float64{"a": 1000, "b": 1600}) // -20%
+	regs := Gate(base, after, 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the b drop", regs)
+	}
+	r := regs[0]
+	if r.Scenario != "b" || r.Ratio > 0.85 || r.AllowedRatio != 0.85 {
+		t.Fatalf("regression misreported: %+v", r)
+	}
+	if !strings.Contains(r.String(), "b:") {
+		t.Fatalf("unhelpful message: %q", r.String())
+	}
+}
+
+func TestGateBoundaryIsExclusive(t *testing.T) {
+	base := reportOf("base", map[string]float64{"a": 1000})
+	// Exactly at the floor: not a regression (the gate is >15%, not ≥).
+	after := reportOf("after", map[string]float64{"a": 850})
+	if regs := Gate(base, after, 0.15); len(regs) != 0 {
+		t.Fatalf("boundary flagged: %v", regs)
+	}
+}
+
+func TestGateIgnoresUnsharedScenarios(t *testing.T) {
+	base := reportOf("base", map[string]float64{"a": 1000, "c": 500})
+	// "c" retired, "d" is new and slow: neither can regress.
+	after := reportOf("after", map[string]float64{"a": 1000, "d": 1})
+	if regs := Gate(base, after, 0.15); len(regs) != 0 {
+		t.Fatalf("unshared scenarios flagged: %v", regs)
+	}
+}
+
+func TestGateIgnoresZeroBaseline(t *testing.T) {
+	base := reportOf("base", map[string]float64{"a": 0})
+	after := reportOf("after", map[string]float64{"a": 0})
+	if regs := Gate(base, after, 0.15); len(regs) != 0 {
+		t.Fatalf("zero-rate baseline flagged: %v", regs)
+	}
+}
+
+func TestGateNegativeToleranceClamped(t *testing.T) {
+	base := reportOf("base", map[string]float64{"a": 1000})
+	after := reportOf("after", map[string]float64{"a": 999})
+	regs := Gate(base, after, -1)
+	if len(regs) != 1 || regs[0].AllowedRatio != 1 {
+		t.Fatalf("clamped gate = %v, want the 0-tolerance floor", regs)
+	}
+}
+
+func TestFormatGateMarksRegressions(t *testing.T) {
+	base := reportOf("base", map[string]float64{"a": 1000, "b": 2000})
+	after := reportOf("after", map[string]float64{"a": 1000, "b": 1000})
+	out := FormatGate(base, after, 0.15)
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "0.50x") {
+		t.Fatalf("verdict unreadable:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || strings.Count(out, "ok") != 1 {
+		t.Fatalf("passing scenario missing:\n%s", out)
+	}
+}

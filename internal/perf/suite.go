@@ -25,9 +25,15 @@ func Suite() []Scenario {
 			Run:  runTableSerial("metbenchvar"),
 		},
 		{
-			Name: "btmz-trace",
-			Desc: "Table V workload (BT-MZ) under Uniform with trace recording",
-			Run:  runBTMZTrace,
+			Name:  "btmz-trace",
+			Desc:  "Table V workload (BT-MZ) under Uniform with trace recording",
+			Quick: true,
+			Run:   runBTMZTrace,
+		},
+		{
+			Name: "btmz-trace-null",
+			Desc: "BT-MZ traced through the null sink (recording overhead, no retention)",
+			Run:  runBTMZTraceNull,
 		},
 		{
 			Name: "batch-metbench-8seeds",
@@ -69,6 +75,17 @@ func runBTMZTrace() uint64 {
 	})
 	if r.Recorder == nil || len(r.Recorder.Render(trace.RenderOptions{Width: 80})) == 0 {
 		panic("perf: btmz trace scenario produced no trace")
+	}
+	return r.Kernel.Engine.Stats().Fired
+}
+
+func runBTMZTraceNull() uint64 {
+	r := experiments.Run(experiments.Config{
+		Workload: "btmz", Mode: experiments.ModeUniform, Seed: 42, Trace: true,
+		TraceSink: trace.NullSink{},
+	})
+	if r.Recorder == nil || len(r.Recorder.Traces()) == 0 {
+		panic("perf: null-sink btmz scenario admitted no tasks")
 	}
 	return r.Kernel.Engine.Stats().Fired
 }

@@ -1,0 +1,18 @@
+package perf
+
+import "testing"
+
+// benchScenario runs one named suite scenario per iteration — the handle
+// profiling sessions hook -cpuprofile/-memprofile onto, e.g.:
+//
+//	go test -bench 'Scenario/btmz-trace$' -benchtime 30x -cpuprofile cpu.out ./internal/perf/
+func BenchmarkScenario(b *testing.B) {
+	for _, s := range Suite() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Run()
+			}
+		})
+	}
+}

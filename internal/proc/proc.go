@@ -48,6 +48,7 @@ const (
 	msgReply                  // engine → body: answer to the pending request
 	msgExit                   // body → engine: body returned
 	msgPanic                  // body → engine: body panicked (val holds the value)
+	msgKill                   // engine → body: unwind (Kill of a parked process)
 )
 
 // message is the rendezvous payload. It is passed by value: no allocation
@@ -75,7 +76,6 @@ type Process struct {
 	name    string
 	body    func(*Handle)
 	ch      chan message // single rendezvous channel, both directions
-	kill    chan struct{}
 	started bool
 	done    bool
 	killed  bool
@@ -92,7 +92,6 @@ func New(id int, name string, body func(*Handle)) *Process {
 		name: name,
 		body: body,
 		ch:   make(chan message),
-		kill: make(chan struct{}),
 	}
 }
 
@@ -116,19 +115,20 @@ func (h *Handle) Process() *Process { return h.p }
 
 // Invoke submits a request to the engine and blocks the body until the
 // engine answers via Resume. It returns the engine's reply.
+//
+// Both legs are bare channel operations — no select. The lock-step
+// protocol makes this safe: the body only runs while the engine is parked
+// in next(), so the request send always finds a waiting receiver, and a
+// Kill can only ever find the body parked in the receive leg, where it is
+// unblocked by a msgKill rendezvous instead of a second channel.
 func (h *Handle) Invoke(req Request) any {
 	p := h.p
-	select {
-	case p.ch <- message{kind: msgRequest, req: req}:
-	case <-p.kill:
+	p.ch <- message{kind: msgRequest, req: req}
+	m := <-p.ch
+	if m.kind == msgKill {
 		panic(errKilled)
 	}
-	select {
-	case m := <-p.ch:
-		return m.val
-	case <-p.kill:
-		panic(errKilled)
-	}
+	return m.val
 }
 
 // Start launches the body goroutine and returns its first request.
@@ -159,6 +159,11 @@ func (p *Process) Resume(reply any) (req Request, done bool) {
 // Kill releases a process that is blocked inside Invoke, unwinding its
 // goroutine. It is idempotent. Killing a process that already finished is a
 // no-op.
+//
+// It must only be called while the process is parked in Invoke's receive
+// leg (the only place a live process can be parked while the engine runs),
+// so the kill message rendezvouses directly with the body; the unwinding
+// goroutine exits without emitting anything further.
 func (p *Process) Kill() {
 	if p.killed || p.done {
 		p.done = true
@@ -166,14 +171,8 @@ func (p *Process) Kill() {
 	}
 	p.killed = true
 	p.done = true
-	close(p.kill)
 	if p.started {
-		// Drain the final message the unwinding goroutine may emit if it
-		// had already committed to the channel send when kill closed.
-		select {
-		case <-p.ch:
-		default:
-		}
+		p.ch <- message{kind: msgKill}
 	}
 }
 
@@ -199,16 +198,10 @@ func (p *Process) run() {
 			if err, ok := v.(error); ok && errors.Is(err, errKilled) {
 				return // silent unwind; engine already moved on
 			}
-			select {
-			case p.ch <- message{kind: msgPanic, val: v}:
-			case <-p.kill:
-			}
+			p.ch <- message{kind: msgPanic, val: v}
 			return
 		}
-		select {
-		case p.ch <- message{kind: msgExit}:
-		case <-p.kill:
-		}
+		p.ch <- message{kind: msgExit}
 	}()
 	h := &Handle{p: p}
 	p.body(h)

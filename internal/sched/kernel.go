@@ -27,6 +27,7 @@ type RunQueue struct {
 
 	reschedPending bool
 	needResched    bool
+	nrQueued       int      // queued (not running) tasks, cached (see noteEnqueued)
 	reschedFn      func()   // pre-bound scheduling-pass callback (see Resched)
 	switchPenalty  sim.Time // one-shot dispatch delay after a context switch
 	idleSince      sim.Time // when the CPU last went idle (MaxTime when busy)
@@ -44,10 +45,7 @@ func (rq *RunQueue) Current() *Task { return rq.current }
 // NrRunning returns the number of runnable tasks on this CPU including the
 // running one.
 func (rq *RunQueue) NrRunning() int {
-	n := 0
-	for _, crq := range rq.classRQ {
-		n += crq.Len()
-	}
+	n := rq.nrQueued
 	if rq.current != nil {
 		n++
 	}
@@ -55,13 +53,7 @@ func (rq *RunQueue) NrRunning() int {
 }
 
 // NrQueued returns the number of queued (not running) tasks.
-func (rq *RunQueue) NrQueued() int {
-	n := 0
-	for _, crq := range rq.classRQ {
-		n += crq.Len()
-	}
-	return n
-}
+func (rq *RunQueue) NrQueued() int { return rq.nrQueued }
 
 // Kernel is the Scheduler Core plus the machinery that executes simulated
 // processes on the simulated chip.
@@ -79,6 +71,15 @@ type Kernel struct {
 
 	// watchLeft counts watched tasks (Task.watched) that have not exited.
 	watchLeft int
+
+	// nrQueued counts queued (runnable, not running) tasks machine-wide;
+	// nrQueuedClass breaks it down per class index. Every class-queue
+	// mutation flows through this file (noteEnqueued/noteDequeued), so the
+	// counters are exact; idleBalance uses them to skip busiest-scans that
+	// cannot find anything — the common case between compute phases —
+	// without changing which task any balance pass would pick.
+	nrQueued      int
+	nrQueuedClass []int
 
 	// Migration counters by source (diagnostics).
 	MigWake, MigSteal, MigActive int64
@@ -110,6 +111,10 @@ func NewKernel(engine *sim.Engine, chip *power5.Chip, opts Options) *Kernel {
 }
 
 func (k *Kernel) buildRQs() {
+	// Classes are only (re)registered before any task exists, so all the
+	// queued-task counters restart from their true value: zero.
+	k.nrQueued = 0
+	k.nrQueuedClass = make([]int, len(k.classes))
 	k.rqs = make([]*RunQueue, k.Chip.NumCPUs())
 	for cpu := range k.rqs {
 		rq := &RunQueue{CPU: cpu, kernel: k}
@@ -336,6 +341,7 @@ func (k *Kernel) activate(t *Task, wakeup bool) {
 	rq := k.rqs[cpu]
 	crq := rq.classRQ[t.classIdx]
 	crq.Enqueue(t, wakeup)
+	k.noteEnqueued(rq, t)
 	k.traceState(t, StateRunnable, cpu)
 	k.checkPreempt(rq, t)
 }
@@ -411,6 +417,21 @@ func (k *Kernel) exit(t *Task) {
 	k.Resched(t.CPU)
 }
 
+// noteEnqueued/noteDequeued maintain the cached queued-task counters.
+// They must bracket every class-queue membership change; all such changes
+// happen in this file, right next to a call to one of them.
+func (k *Kernel) noteEnqueued(rq *RunQueue, t *Task) {
+	k.nrQueued++
+	k.nrQueuedClass[t.classIdx]++
+	rq.nrQueued++
+}
+
+func (k *Kernel) noteDequeued(rq *RunQueue, t *Task) {
+	k.nrQueued--
+	k.nrQueuedClass[t.classIdx]--
+	rq.nrQueued--
+}
+
 // account settles the task's time counters up to now.
 func (k *Kernel) account(t *Task) {
 	now := k.Now()
@@ -459,12 +480,14 @@ func (k *Kernel) schedule(cpu int) {
 		prev.queuedAt = k.Now()
 		rq.current = nil
 		rq.classRQ[prev.classIdx].Enqueue(prev, false)
+		k.noteEnqueued(rq, prev)
 	}
 
 	var next *Task
 	for _, crq := range rq.classRQ {
 		if t := crq.PickNext(); t != nil {
 			next = t
+			k.noteDequeued(rq, t)
 			break
 		}
 	}
@@ -658,6 +681,7 @@ func (k *Kernel) SetScheduler(t *Task, p Policy, rtPrio int) {
 		k.account(t) // settle the Runnable window under the old class
 		rq := k.rqs[t.CPU]
 		rq.classRQ[t.classIdx].Dequeue(t)
+		k.noteDequeued(rq, t)
 		t.policy = p
 		t.RTPrio = rtPrio
 		k.setClass(t, k.ClassFor(p))
@@ -777,15 +801,30 @@ func (k *Kernel) tick(cpu int) {
 	if rq.current != nil {
 		sample = 1
 	}
-	rq.loadAvg += alpha * (sample - rq.loadAvg)
+	if rq.loadAvg != sample {
+		rq.loadAvg += alpha * (sample - rq.loadAvg)
+		// Snap once the decay is within 1e-9 of the sample: the only
+		// consumer (activeBalance) compares against 0.35/0.75 thresholds,
+		// so the snap is invisible, and converged CPUs skip the float
+		// update entirely.
+		if d := rq.loadAvg - sample; d < 1e-9 && d > -1e-9 {
+			rq.loadAvg = sample
+		}
+	}
 	if t := rq.current; t != nil {
 		k.account(t)
 		rq.classRQ[t.classIdx].Tick(t)
 	} else if rq.NrQueued() == 0 {
 		// Idle CPU: periodically retry the balance pull, including the
 		// SMT-domain active migration (a fully idle core pulls a running
-		// task from a core running two).
-		k.schedule(cpu)
+		// task from a core running two). When nothing is queued anywhere
+		// and the CPU has not yet been idle long enough for the active
+		// balance to even consider firing (its first gate), the whole
+		// pass is provably a no-op — skip it.
+		if k.nrQueued != 0 || rq.idleSince == sim.MaxTime ||
+			k.Now()-rq.idleSince >= 4*k.Opts.TickPeriod {
+			k.schedule(cpu)
+		}
 		// Still idle after the balance attempt: enter SMT snooze once the
 		// configured delay has passed, handing decode slots to the
 		// sibling (smt_snooze_delay).
@@ -810,7 +849,15 @@ func (k *Kernel) tick(cpu int) {
 // task exists anywhere, the SMT-domain active balance may migrate a
 // *running* task from a doubly-busy core to a fully idle one.
 func (k *Kernel) idleBalance(rq *RunQueue) *Task {
+	if k.nrQueued == 0 {
+		// Nothing queued anywhere: every busiest-scan below would come up
+		// empty, so go straight to the SMT-domain active balance.
+		return k.activeBalance(rq)
+	}
 	for ci := range k.classes {
+		if k.nrQueuedClass[ci] == 0 {
+			continue // no queued task of this class anywhere
+		}
 		// Find the busiest CPU for this class.
 		busiest, best := -1, 0
 		for other := 0; other < len(k.rqs); other++ {
@@ -825,6 +872,7 @@ func (k *Kernel) idleBalance(rq *RunQueue) *Task {
 			continue
 		}
 		if t := k.rqs[busiest].classRQ[ci].Steal(rq.CPU); t != nil {
+			k.noteDequeued(k.rqs[busiest], t)
 			t.CPU = rq.CPU
 			t.Migrations++
 			k.MigSteal++

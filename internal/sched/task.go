@@ -158,6 +158,11 @@ type Task struct {
 	// ClassData lets out-of-tree classes (the HPC class) attach state.
 	ClassData any
 
+	// TraceData lets a tracer (trace.Recorder) attach per-task state, so
+	// the per-event trace lookup is a type assertion instead of a map
+	// access — the same trick ClassData plays for the HPC class.
+	TraceData any
+
 	// StartedAt/ExitedAt bound the task's lifetime.
 	StartedAt sim.Time
 	ExitedAt  sim.Time

@@ -39,15 +39,15 @@ func (r *Recorder) RenderByCPU(opt RenderOptions) string {
 		if n := tt.Name; n != "" {
 			label = n[len(n)-1]
 		}
-		for _, iv := range tt.Intervals {
+		tt.Each(func(iv Interval) {
 			if iv.State != sched.StateRunning {
-				continue
+				return
 			}
 			if iv.CPU > maxCPU {
 				maxCPU = iv.CPU
 			}
 			perCPU[iv.CPU] = append(perCPU[iv.CPU], occ{iv.From, iv.To, label})
-		}
+		})
 	}
 
 	var b strings.Builder

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// Sink consumes trace records as the Recorder produces them. The in-memory
+// sink (NewRecorder) retains history for rendering; PRVSink streams Paraver
+// records to a writer; NullSink discards everything. All methods are called
+// on the simulation goroutine, in event order.
+type Sink interface {
+	// BeginTask announces a newly admitted task (its ID is assigned).
+	BeginTask(tt *TaskTrace)
+	// Interval consumes one closed interval of tt.
+	Interval(tt *TaskTrace, iv Interval)
+	// PrioChange consumes one hardware-priority transition of tt.
+	PrioChange(tt *TaskTrace, pc PrioChange)
+	// Finish marks the end of the trace at the given time.
+	Finish(end sim.Time)
+}
+
+// memorySink is the retaining sink behind NewRecorder: intervals go into
+// the task's chunk chain (drawn from the recorder-owned free list); prio
+// changes are already stored on the TaskTrace by the recorder.
+type memorySink struct{ r *Recorder }
+
+func (m memorySink) BeginTask(*TaskTrace) {}
+func (m memorySink) Interval(tt *TaskTrace, iv Interval) {
+	tt.appendInterval(iv, m.r.seq)
+}
+func (m memorySink) PrioChange(*TaskTrace, PrioChange) {}
+func (m memorySink) Finish(sim.Time)                   {}
+
+// NullSink drops every record: tracing runs at full fidelity (state
+// coalescing, filter, end-time tracking) with zero retention. The perf
+// suite uses it to measure recording overhead alone.
+type NullSink struct{}
+
+func (NullSink) BeginTask(*TaskTrace)              {}
+func (NullSink) Interval(*TaskTrace, Interval)     {}
+func (NullSink) PrioChange(*TaskTrace, PrioChange) {}
+func (NullSink) Finish(sim.Time)                   {}
+
+// prvHeaderFmt is the fixed-width .prv header. The totals it carries (end
+// time, CPU count, task count) are only known once the run ends, so the
+// streaming sink reserves the line up front and patches it in Finish —
+// fixed-width fields keep the byte length constant.
+const prvHeaderFmt = "#Paraver (hpcsched):%020d_ns:1(%04d):1:%06d\n"
+
+// prvHeader renders the header for the given totals.
+func prvHeader(end sim.Time, cpus, tasks int) string {
+	if cpus <= 0 {
+		cpus = 1
+	}
+	return fmt.Sprintf(prvHeaderFmt, int64(end), cpus, tasks)
+}
+
+// PRVSink streams simplified Paraver state records to w as intervals
+// close, so a run can be traced to disk without retaining history. The
+// header is reserved at construction and patched in Finish, which is why w
+// must support Seek (an *os.File does; seekBuffer serves in-memory use).
+// Output is byte-identical to Recorder.ExportPRV over the same run.
+type PRVSink struct {
+	w        io.WriteSeeker
+	bw       *bufio.Writer
+	scratch  []byte
+	maxCPU   int
+	nTasks   int
+	finished bool
+	err      error
+}
+
+// NewPRVSink returns a streaming .prv sink over w, writing the reserved
+// header immediately.
+func NewPRVSink(w io.WriteSeeker) *PRVSink {
+	p := &PRVSink{w: w, bw: bufio.NewWriterSize(w, 1<<16), scratch: make([]byte, 0, 64)}
+	_, p.err = p.bw.WriteString(prvHeader(0, 1, 0))
+	return p
+}
+
+// Err returns the first write or seek error the sink hit (records after an
+// error are dropped).
+func (p *PRVSink) Err() error { return p.err }
+
+// BeginTask implements Sink.
+func (p *PRVSink) BeginTask(tt *TaskTrace) {
+	if tt.ID > p.nTasks {
+		p.nTasks = tt.ID
+	}
+}
+
+// prvCode maps a scheduling state to its Paraver state code (0 = not
+// exported).
+func prvCode(s sched.State) int {
+	switch s {
+	case sched.StateRunning:
+		return 1
+	case sched.StateSleeping:
+		return 3
+	case sched.StateRunnable:
+		return 7
+	default:
+		return 0
+	}
+}
+
+// Interval implements Sink: one "1:cpu:1:task:1:begin:end:state" record.
+func (p *PRVSink) Interval(tt *TaskTrace, iv Interval) {
+	if iv.CPU+1 > p.maxCPU {
+		p.maxCPU = iv.CPU + 1
+	}
+	code := prvCode(iv.State)
+	if code == 0 || p.err != nil {
+		return
+	}
+	b := append(p.scratch[:0], '1', ':')
+	b = strconv.AppendInt(b, int64(iv.CPU+1), 10)
+	b = append(b, ':', '1', ':')
+	b = strconv.AppendInt(b, int64(tt.ID), 10)
+	b = append(b, ':', '1', ':')
+	b = strconv.AppendInt(b, int64(iv.From), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(iv.To), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(code), 10)
+	b = append(b, '\n')
+	p.scratch = b[:0]
+	_, p.err = p.bw.Write(b)
+}
+
+// PrioChange implements Sink (priority transitions are not part of the
+// simplified .prv state stream).
+func (p *PRVSink) PrioChange(*TaskTrace, PrioChange) {}
+
+// Finish implements Sink: flush the records and patch the reserved header
+// with the final totals.
+func (p *PRVSink) Finish(end sim.Time) {
+	if p.finished {
+		return
+	}
+	p.finished = true
+	if p.err == nil {
+		p.err = p.bw.Flush()
+	}
+	if p.err != nil {
+		return
+	}
+	header := prvHeader(end, p.maxCPU, p.nTasks)
+	if len(header) != len(prvHeader(0, 1, 0)) {
+		// Totals overflowed the reserved fixed-width fields; patching
+		// would overwrite the first record. Report instead of corrupting.
+		p.err = fmt.Errorf("trace: .prv header overflow (end=%d cpus=%d tasks=%d)",
+			int64(end), p.maxCPU, p.nTasks)
+		return
+	}
+	if _, p.err = p.w.Seek(0, io.SeekStart); p.err != nil {
+		return
+	}
+	if _, p.err = io.WriteString(p.w, header); p.err != nil {
+		return
+	}
+	_, p.err = p.w.Seek(0, io.SeekEnd)
+}
+
+// seekBuffer is a minimal in-memory io.WriteSeeker backing ExportPRV and
+// the sink-equivalence tests.
+type seekBuffer struct {
+	b   []byte
+	off int
+}
+
+func (s *seekBuffer) Write(p []byte) (int, error) {
+	if need := s.off + len(p); need > len(s.b) {
+		if need <= cap(s.b) {
+			s.b = s.b[:need]
+		} else {
+			nb := make([]byte, need, need*2)
+			copy(nb, s.b)
+			s.b = nb
+		}
+	}
+	copy(s.b[s.off:], p)
+	s.off += len(p)
+	return len(p), nil
+}
+
+func (s *seekBuffer) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = int64(s.off) + offset
+	case io.SeekEnd:
+		abs = int64(len(s.b)) + offset
+	default:
+		return 0, fmt.Errorf("trace: bad seek whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("trace: negative seek offset")
+	}
+	s.off = int(abs)
+	return abs, nil
+}
+
+func (s *seekBuffer) String() string { return string(s.b) }

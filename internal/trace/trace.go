@@ -1,6 +1,14 @@
 // Package trace records task state intervals during a simulation and
 // renders them as ASCII timelines (the role PARAVER plays in the paper's
 // Figures 3-6) or exports them in a Paraver-like .prv format.
+//
+// Recording is a pipeline: the Recorder (a sched.Tracer) turns raw state
+// transitions into closed Intervals and hands each one to a Sink the moment
+// it closes. The default sink retains history in per-task chunk chains
+// drawn from a recorder-owned free list (allocation-free in steady state,
+// reclaimable with Reset); the alternatives stream Paraver records straight
+// to disk (PRVSink) or discard everything (NullSink), so high-volume runs
+// can trace without retaining history.
 package trace
 
 import (
@@ -25,42 +33,156 @@ type PrioChange struct {
 	Prio int
 }
 
+// chunkCap is how many intervals one storage chunk holds. Chunks are the
+// unit of pooling: the in-memory sink appends into the task's tail chunk
+// and draws a fresh one from the recorder's free list every chunkCap
+// intervals, so recording costs one allocation per chunkCap events at
+// worst — and none at all once Reset has stocked the free list.
+const chunkCap = 256
+
+// chunk is one block of a task's interval history. seq holds the global
+// close order (assigned by the recorder), which Replay uses to merge the
+// per-task chains back into the exact order the sink saw live.
+type chunk struct {
+	iv   [chunkCap]Interval
+	seq  [chunkCap]uint64
+	n    int
+	next *chunk
+}
+
 // TaskTrace is the recorded history of one task.
 type TaskTrace struct {
-	Task      *sched.Task
-	Name      string
-	Intervals []Interval
-	Prios     []PrioChange
+	Task *sched.Task
+	Name string
+	// ID is the 1-based task identifier used in .prv records. It is
+	// assigned in first-seen order and is stable under SortByName, so the
+	// in-memory export and a live streaming sink agree on it.
+	ID int
+
+	Prios []PrioChange
+
+	head, tail *chunk
+	count      int
 
 	open      Interval
 	openValid bool
+	rec       *Recorder
 }
 
-// Recorder implements sched.Tracer.
-type Recorder struct {
-	byTask map[*sched.Task]*TaskTrace
-	order  []*TaskTrace
-	end    sim.Time
-	// Filter limits recording to selected tasks (nil records everything).
-	Filter func(t *sched.Task) bool
-}
+// Len returns the number of closed intervals retained for the task.
+func (tt *TaskTrace) Len() int { return tt.count }
 
-// NewRecorder returns an empty recorder. Install it with kernel.SetTracer.
-func NewRecorder() *Recorder {
-	return &Recorder{byTask: map[*sched.Task]*TaskTrace{}}
-}
-
-func (r *Recorder) traceFor(t *sched.Task) *TaskTrace {
-	if tt, ok := r.byTask[t]; ok {
-		return tt
+// Each calls f for every retained interval in recording order.
+func (tt *TaskTrace) Each(f func(Interval)) {
+	for c := tt.head; c != nil; c = c.next {
+		for i := 0; i < c.n; i++ {
+			f(c.iv[i])
+		}
 	}
+}
+
+// Intervals returns a flattened copy of the retained history (convenience
+// for tests and cold-path consumers; Each avoids the copy).
+func (tt *TaskTrace) Intervals() []Interval {
+	out := make([]Interval, 0, tt.count)
+	tt.Each(func(iv Interval) { out = append(out, iv) })
+	return out
+}
+
+// appendInterval stores iv in the task's chunk chain, drawing a chunk from
+// the recorder's free list when the tail is full.
+func (tt *TaskTrace) appendInterval(iv Interval, seq uint64) {
+	c := tt.tail
+	if c == nil || c.n == chunkCap {
+		nc := tt.rec.newChunk()
+		if c == nil {
+			tt.head = nc
+		} else {
+			c.next = nc
+		}
+		tt.tail = nc
+		c = nc
+	}
+	c.iv[c.n] = iv
+	c.seq[c.n] = seq
+	c.n++
+	tt.count++
+}
+
+// Recorder implements sched.Tracer: it closes intervals on state changes
+// and feeds them to its sink.
+type Recorder struct {
+	order []*TaskTrace
+	end   sim.Time
+	// Filter limits recording to selected tasks (nil records everything).
+	// It is consulted on every event, so installing a filter mid-run stops
+	// the recording of already-admitted tasks that no longer pass.
+	Filter func(t *sched.Task) bool
+
+	sink   Sink
+	retain bool // sink is the built-in in-memory store
+
+	free *chunk // chunk free list (stocked by Reset)
+	seq  uint64 // global interval close counter
+}
+
+// NewRecorder returns a recorder that retains history in memory (Render,
+// ExportPRV and Traces-with-intervals all work). Install it with
+// kernel.SetTracer.
+func NewRecorder() *Recorder {
+	r := &Recorder{retain: true}
+	r.sink = memorySink{r}
+	return r
+}
+
+// NewRecorderWithSink returns a recorder that hands every closed interval
+// to s and retains nothing: Traces still lists the tasks (names, prio
+// history), but Render and ExportPRV are unavailable. Use it with PRVSink
+// to stream a trace to disk, or NullSink to measure tracing overhead.
+func NewRecorderWithSink(s Sink) *Recorder {
+	if s == nil {
+		panic("trace: NewRecorderWithSink with nil sink")
+	}
+	return &Recorder{sink: s}
+}
+
+// Retains reports whether the recorder keeps interval history in memory.
+func (r *Recorder) Retains() bool { return r.retain }
+
+// newChunk takes a chunk from the free list, allocating when it is empty.
+func (r *Recorder) newChunk() *chunk {
+	c := r.free
+	if c == nil {
+		return &chunk{}
+	}
+	r.free = c.next
+	c.next = nil
+	c.n = 0
+	return c
+}
+
+// traceFor returns the task's trace, admitting it on first sight. The
+// filter is checked on every call — not only on the first miss — so a task
+// admitted before a filter was installed stops recording the moment the
+// filter rejects it.
+func (r *Recorder) traceFor(t *sched.Task) *TaskTrace {
 	if r.Filter != nil && !r.Filter(t) {
 		return nil
 	}
-	tt := &TaskTrace{Task: t, Name: t.Name}
-	r.byTask[t] = tt
+	if tt, ok := t.TraceData.(*TaskTrace); ok && tt.rec == r {
+		return tt
+	}
+	tt := &TaskTrace{Task: t, Name: t.Name, rec: r, ID: len(r.order) + 1}
+	t.TraceData = tt
 	r.order = append(r.order, tt)
+	r.sink.BeginTask(tt)
 	return tt
+}
+
+// emit closes tt.open into the sink, stamping the global close order.
+func (r *Recorder) emit(tt *TaskTrace) {
+	r.seq++
+	r.sink.Interval(tt, tt.open)
 }
 
 // TaskState implements sched.Tracer.
@@ -75,7 +197,7 @@ func (r *Recorder) TaskState(now sim.Time, t *sched.Task, s sched.State, cpu int
 		}
 		tt.open.To = now
 		if tt.open.To > tt.open.From {
-			tt.Intervals = append(tt.Intervals, tt.open)
+			r.emit(tt)
 		}
 	}
 	tt.open = Interval{From: now, State: s, CPU: cpu}
@@ -94,19 +216,22 @@ func (r *Recorder) TaskHWPrio(now sim.Time, t *sched.Task, prio int) {
 	if n := len(tt.Prios); n > 0 && tt.Prios[n-1].Prio == prio {
 		return
 	}
-	tt.Prios = append(tt.Prios, PrioChange{At: now, Prio: prio})
+	pc := PrioChange{At: now, Prio: prio}
+	tt.Prios = append(tt.Prios, pc)
+	r.sink.PrioChange(tt, pc)
 	if now > r.end {
 		r.end = now
 	}
 }
 
-// Finish closes all open intervals at the given end time.
+// Finish closes all open intervals at the given end time and finishes the
+// sink.
 func (r *Recorder) Finish(now sim.Time) {
 	for _, tt := range r.order {
 		if tt.openValid {
 			tt.open.To = now
 			if tt.open.To > tt.open.From {
-				tt.Intervals = append(tt.Intervals, tt.open)
+				r.emit(tt)
 			}
 			tt.openValid = false
 		}
@@ -114,13 +239,82 @@ func (r *Recorder) Finish(now sim.Time) {
 	if now > r.end {
 		r.end = now
 	}
+	r.sink.Finish(r.end)
 }
 
-// Traces returns the recorded tasks in first-seen order.
+// Reset forgets every recorded task and returns all interval chunks to the
+// recorder's free list, so a recorder can be reused across runs without
+// reallocating its storage.
+func (r *Recorder) Reset() {
+	for _, tt := range r.order {
+		if tt.Task != nil && tt.Task.TraceData == tt {
+			tt.Task.TraceData = nil
+		}
+		if tt.head != nil {
+			tt.tail.next = r.free
+			r.free = tt.head
+			tt.head, tt.tail = nil, nil
+		}
+	}
+	r.order = r.order[:0]
+	r.end = 0
+	r.seq = 0
+}
+
+// Traces returns the recorded tasks in first-seen order (or the order set
+// by SortByName).
 func (r *Recorder) Traces() []*TaskTrace { return r.order }
 
 // End returns the last recorded timestamp.
 func (r *Recorder) End() sim.Time { return r.end }
+
+// Replay feeds the retained history through s: BeginTask for every task in
+// first-seen ID order, then every closed interval in the exact global
+// order the live sink saw them, then Finish at End(). Priority changes are
+// not replayed (the in-memory store keeps them on the TaskTrace).
+func (r *Recorder) Replay(s Sink) {
+	if !r.retain {
+		panic("trace: Replay requires the in-memory recorder")
+	}
+	byID := make([]*TaskTrace, len(r.order))
+	copy(byID, r.order)
+	sort.Slice(byID, func(i, j int) bool { return byID[i].ID < byID[j].ID })
+	for _, tt := range byID {
+		s.BeginTask(tt)
+	}
+	// Merge the per-task chains by global close order.
+	type cursor struct {
+		c *chunk
+		i int
+	}
+	curs := make([]cursor, len(byID))
+	for i, tt := range byID {
+		curs[i] = cursor{tt.head, 0}
+	}
+	for {
+		best := -1
+		var bestSeq uint64
+		for i := range curs {
+			cu := &curs[i]
+			for cu.c != nil && cu.i >= cu.c.n {
+				cu.c, cu.i = cu.c.next, 0
+			}
+			if cu.c == nil {
+				continue
+			}
+			if s := cu.c.seq[cu.i]; best < 0 || s < bestSeq {
+				best, bestSeq = i, s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cu := &curs[best]
+		s.Interval(byID[best], cu.c.iv[cu.i])
+		cu.i++
+	}
+	s.Finish(r.end)
+}
 
 // stateGlyph maps a state to its timeline character: '#' computing (dark
 // grey in the paper's figures), '.' waiting (light grey), '+' runnable but
@@ -138,6 +332,21 @@ func stateGlyph(s sched.State) byte {
 	}
 }
 
+// glyphIdx indexes the fixed glyph precedence '#', '.', '+' used when
+// picking a bucket's dominant state; -1 for anything else.
+func glyphIdx(g byte) int {
+	switch g {
+	case '#':
+		return 0
+	case '.':
+		return 1
+	case '+':
+		return 2
+	default:
+		return -1
+	}
+}
+
 // RenderOptions controls ASCII rendering.
 type RenderOptions struct {
 	Width    int      // timeline columns (default 100)
@@ -146,7 +355,8 @@ type RenderOptions struct {
 }
 
 // Render draws one row per task. Each column shows the state the task
-// spent the most time in within that bucket.
+// spent the most time in within that bucket. It requires the in-memory
+// recorder (streaming recorders retain no history to draw).
 func (r *Recorder) Render(opt RenderOptions) string {
 	if opt.Width <= 0 {
 		opt.Width = 100
@@ -167,17 +377,16 @@ func (r *Recorder) Render(opt RenderOptions) string {
 	}
 	fmt.Fprintf(&b, "%*s  time %v .. %v (1 col = %v)\n", nameW, "", opt.From, opt.To,
 		span/sim.Time(opt.Width))
+	row := make([]byte, opt.Width)
+	weights := make([][3]sim.Time, opt.Width)
 	for _, tt := range r.order {
-		row := make([]byte, opt.Width)
-		weights := make([]map[byte]sim.Time, opt.Width)
-		for i := range row {
-			row[i] = ' '
-			weights[i] = map[byte]sim.Time{}
+		for i := range weights {
+			weights[i] = [3]sim.Time{}
 		}
-		for _, iv := range tt.Intervals {
+		tt.Each(func(iv Interval) {
 			from, to := iv.From, iv.To
 			if to <= opt.From || from >= opt.To {
-				continue
+				return
 			}
 			if from < opt.From {
 				from = opt.From
@@ -185,7 +394,10 @@ func (r *Recorder) Render(opt RenderOptions) string {
 			if to > opt.To {
 				to = opt.To
 			}
-			g := stateGlyph(iv.State)
+			g := glyphIdx(stateGlyph(iv.State))
+			if g < 0 {
+				return
+			}
 			c0 := int(int64(from-opt.From) * int64(opt.Width) / int64(span))
 			c1 := int(int64(to-opt.From) * int64(opt.Width) / int64(span))
 			if c1 >= opt.Width {
@@ -206,12 +418,12 @@ func (r *Recorder) Render(opt RenderOptions) string {
 					weights[c][g] += ovTo - ovFrom
 				}
 			}
-		}
+		})
 		for c := range row {
 			bestG, bestW := byte(' '), sim.Time(0)
 			// Deterministic order: check glyphs in fixed precedence.
-			for _, g := range []byte{'#', '.', '+'} {
-				if w := weights[c][g]; w > bestW {
+			for gi, g := range []byte{'#', '.', '+'} {
+				if w := weights[c][gi]; w > bestW {
 					bestG, bestW = g, w
 				}
 			}
@@ -241,13 +453,13 @@ func (tt *TaskTrace) CompPct(from, to sim.Time) float64 {
 		return 0
 	}
 	var run sim.Time
-	for _, iv := range tt.Intervals {
+	tt.Each(func(iv Interval) {
 		if iv.State != sched.StateRunning {
-			continue
+			return
 		}
 		f, t := iv.From, iv.To
 		if t <= from || f >= to {
-			continue
+			return
 		}
 		if f < from {
 			f = from
@@ -256,54 +468,26 @@ func (tt *TaskTrace) CompPct(from, to sim.Time) float64 {
 			t = to
 		}
 		run += t - f
-	}
+	})
 	return 100 * float64(run) / float64(to-from)
 }
 
-// ExportPRV writes a simplified Paraver trace: a header line followed by
-// state records "1:cpu:1:task:1:begin:end:state" with Paraver state codes
-// (1 = running, 2 = not created/idle here unused, 3 = waiting, 7 = ready).
+// ExportPRV renders the retained history as a simplified Paraver trace by
+// replaying it through a PRVSink: a fixed-width header line followed by
+// state records "1:cpu:1:task:1:begin:end:state" in the global order the
+// intervals closed, with Paraver state codes (1 = running, 3 = waiting,
+// 7 = ready). The output is byte-identical to what a live PRVSink streamed
+// during the same run.
 func (r *Recorder) ExportPRV() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "#Paraver (hpcsched):%d_ns:1(%d):1:%d\n",
-		int64(r.end), cpusIn(r), len(r.order))
-	for ti, tt := range r.order {
-		for _, iv := range tt.Intervals {
-			code := 0
-			switch iv.State {
-			case sched.StateRunning:
-				code = 1
-			case sched.StateSleeping:
-				code = 3
-			case sched.StateRunnable:
-				code = 7
-			default:
-				continue
-			}
-			fmt.Fprintf(&b, "1:%d:1:%d:1:%d:%d:%d\n",
-				iv.CPU+1, ti+1, int64(iv.From), int64(iv.To), code)
-		}
-	}
-	return b.String()
-}
-
-func cpusIn(r *Recorder) int {
-	max := 0
-	for _, tt := range r.order {
-		for _, iv := range tt.Intervals {
-			if iv.CPU+1 > max {
-				max = iv.CPU + 1
-			}
-		}
-	}
-	if max == 0 {
-		max = 1
-	}
-	return max
+	var buf seekBuffer
+	r.Replay(NewPRVSink(&buf))
+	return buf.String()
 }
 
 // SortByName orders the recorded traces by task name (P1, P2, ...): the
 // paper's figures list processes in rank order regardless of spawn order.
+// Only the presentation order changes; .prv task IDs are fixed at
+// first-seen time.
 func (r *Recorder) SortByName() {
 	sort.SliceStable(r.order, func(i, j int) bool {
 		return r.order[i].Name < r.order[j].Name

@@ -41,9 +41,9 @@ func TestRecorderIntervals(t *testing.T) {
 	// Alternating running/sleeping intervals; contiguous, ordered.
 	var run, slp sim.Time
 	last := sim.Time(0)
-	for _, iv := range tt.Intervals {
+	for _, iv := range tt.Intervals() {
 		if iv.From < last {
-			t.Fatalf("intervals overlap: %+v", tt.Intervals)
+			t.Fatalf("intervals overlap: %+v", tt.Intervals())
 		}
 		last = iv.From
 		switch iv.State {
@@ -174,6 +174,101 @@ func TestFilter(t *testing.T) {
 	rec.Finish(k.Now())
 	if len(rec.Traces()) != 1 || rec.Traces()[0].Name != "P1" {
 		t.Fatalf("filter failed: %d traces", len(rec.Traces()))
+	}
+}
+
+// TestFilterCheckedEveryEvent is the regression test for the lookup-cache
+// bug: a task admitted before a filter was installed must stop recording
+// as soon as the filter rejects it, not keep recording forever.
+func TestFilterCheckedEveryEvent(t *testing.T) {
+	rec := NewRecorder()
+	task := &sched.Task{Name: "noise"}
+	rec.TaskState(0, task, sched.StateRunnable, 0)
+	rec.TaskState(10, task, sched.StateRunning, 0)
+	if len(rec.Traces()) != 1 {
+		t.Fatal("task not admitted before the filter")
+	}
+	rec.Filter = func(t *sched.Task) bool { return t.Name != "noise" }
+	// These must all be ignored now.
+	rec.TaskState(20, task, sched.StateSleeping, 0)
+	rec.TaskState(25, task, sched.StateRunning, 1)
+	rec.TaskHWPrio(26, task, 6)
+	rec.Finish(30)
+	tt := rec.Traces()[0]
+	ivs := tt.Intervals()
+	// The pre-filter history stays: [0,10) runnable, then the open
+	// running interval closed by Finish at 30. Nothing recorded at 20+.
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %+v, want 2", ivs)
+	}
+	if ivs[1].State != sched.StateRunning || ivs[1].From != 10 || ivs[1].To != 30 {
+		t.Fatalf("post-filter interval recorded: %+v", ivs)
+	}
+	if len(tt.Prios) != 0 {
+		t.Fatalf("post-filter prio recorded: %+v", tt.Prios)
+	}
+}
+
+// TestRecorderAllocRegression bounds the recording hot path: once the
+// chunk free list is warm (Reset), tracing must cost ≤0.01 allocations
+// per recorded event.
+func TestRecorderAllocRegression(t *testing.T) {
+	rec := NewRecorder()
+	tasks := []*sched.Task{
+		{Name: "P1"}, {Name: "P2"}, {Name: "P3"}, {Name: "P4"},
+	}
+	const events = 100_000
+	states := []sched.State{sched.StateRunnable, sched.StateRunning, sched.StateSleeping}
+	feed := func() {
+		for i := 0; i < events; i++ {
+			tk := tasks[i%len(tasks)]
+			rec.TaskState(sim.Time(i)*1000, tk, states[i%len(states)], i%2)
+		}
+		rec.Finish(sim.Time(events) * 1000)
+	}
+	feed() // warm-up: grows the chunk pool once
+	rec.Reset()
+	allocs := testing.AllocsPerRun(1, func() {
+		feed()
+		rec.Reset()
+	})
+	if per := allocs / events; per > 0.01 {
+		t.Fatalf("recording costs %.4f allocs/event (%.0f total), want ≤0.01", per, allocs)
+	}
+}
+
+// TestResetRecyclesChunks checks Reset returns storage to the free list
+// and fully detaches the recorded tasks.
+func TestResetRecyclesChunks(t *testing.T) {
+	rec := NewRecorder()
+	task := &sched.Task{Name: "P1"}
+	for i := 0; i < 3*chunkCap; i++ {
+		s := sched.StateRunning
+		if i%2 == 0 {
+			s = sched.StateSleeping
+		}
+		rec.TaskState(sim.Time(i)*10, task, s, 0)
+	}
+	rec.Finish(sim.Time(3*chunkCap) * 10)
+	if rec.Traces()[0].Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	rec.Reset()
+	if len(rec.Traces()) != 0 || rec.End() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if task.TraceData != nil {
+		t.Fatal("Reset left the task linked")
+	}
+	if rec.free == nil {
+		t.Fatal("Reset did not stock the free list")
+	}
+	// The recorder is reusable afterwards.
+	rec.TaskState(0, task, sched.StateRunning, 0)
+	rec.TaskState(5, task, sched.StateSleeping, 0)
+	rec.Finish(10)
+	if got := rec.Traces()[0].Len(); got != 2 {
+		t.Fatalf("post-Reset recording got %d intervals, want 2", got)
 	}
 }
 

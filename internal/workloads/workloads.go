@@ -302,8 +302,11 @@ func BuildBTMZ(k *sched.Kernel, cfg BTMZConfig) *Job {
 			// Boundary exchange is pipelined one sweep deep, as in the
 			// real code: the data sent after sweep k is consumed by the
 			// neighbour's sweep k+1, so a slow rank's messages have one
-			// sweep of slack before they gate anyone.
-			var pending []mpi.Request
+			// sweep of slack before they gate anyone. The two request
+			// buffers alternate roles (in-flight vs being-filled), as the
+			// real application reuses its request arrays.
+			pending := make([]mpi.Request, 0, 2)
+			recvs := make([]mpi.Request, 0, 2)
 			for it := 0; it < cfg.Iterations; it++ {
 				for phase := 0; phase < 3; phase++ {
 					d := sim.Time(float64(cfg.ZoneWork[i]) * weights[phase])
@@ -312,7 +315,7 @@ func BuildBTMZ(k *sched.Kernel, cfg BTMZConfig) *Job {
 					}
 					r.Compute(d)
 					tag := it*3 + phase
-					var recvs []mpi.Request
+					recvs = recvs[:0]
 					if i > 0 {
 						recvs = append(recvs, r.Irecv(i-1, tag))
 						r.Isend(i-1, tag, cfg.BoundaryMsg)
@@ -322,7 +325,7 @@ func BuildBTMZ(k *sched.Kernel, cfg BTMZConfig) *Job {
 						r.Isend(i+1, tag, cfg.BoundaryMsg)
 					}
 					r.Waitall(pending)
-					pending = recvs
+					pending, recvs = recvs, pending
 				}
 				// Per-iteration residual reduction rooted at rank 0: the
 				// heaviest rank's partial arrives last, so even the
