@@ -10,7 +10,8 @@
 //	bench -scenario table3 -runs 5          # filter by substring
 //	bench -list                             # print the suite
 //	bench -label after -compare BENCH_base.json   # print speedups vs a report
-//	bench -quick -n -gate BENCH_base.json   # CI perf gate: exit 1 on >15% regression
+//	bench -quick -n -gate BENCH_base.json   # CI perf gate: exit 1 on regression
+//	bench -trajectory 'BENCH_a.json,BENCH_b.json' # markdown trajectory table
 package main
 
 import (
@@ -24,18 +25,39 @@ import (
 
 func main() {
 	var (
-		label   = flag.String("label", "dev", "report label; output file is BENCH_<label>.json")
-		out     = flag.String("out", ".", "directory for the report")
-		runs    = flag.Int("runs", 3, "repetitions per scenario (best wall time wins)")
-		quick   = flag.Bool("quick", false, "run only the quick smoke subset, one repetition")
-		filter  = flag.String("scenario", "", "run only scenarios whose name contains this substring")
-		list    = flag.Bool("list", false, "list scenarios and exit")
-		compare = flag.String("compare", "", "existing BENCH_*.json to report speedups against")
-		noEmit  = flag.Bool("n", false, "measure and print, but do not write the report file")
-		gate    = flag.String("gate", "", "baseline BENCH_*.json to gate against: exit 1 when any shared scenario regresses")
-		gateTol = flag.Float64("gate-tolerance", 0.15, "allowed events/sec drop before -gate fails (0.15 = 15%)")
+		label      = flag.String("label", "dev", "report label; output file is BENCH_<label>.json")
+		out        = flag.String("out", ".", "directory for the report")
+		runs       = flag.Int("runs", 3, "repetitions per scenario (best wall time wins)")
+		quick      = flag.Bool("quick", false, "run only the quick smoke subset, one repetition")
+		filter     = flag.String("scenario", "", "run only scenarios whose name contains this substring")
+		list       = flag.Bool("list", false, "list scenarios and exit")
+		compare    = flag.String("compare", "", "existing BENCH_*.json to report speedups against")
+		noEmit     = flag.Bool("n", false, "measure and print, but do not write the report file")
+		defTol     = perf.DefaultTolerance()
+		gate       = flag.String("gate", "", "baseline BENCH_*.json to gate against: exit 1 when any shared scenario regresses")
+		gateTol    = flag.Float64("gate-tolerance", defTol.Rate, "allowed events/sec drop before -gate fails (0.15 = 15%)")
+		gateAlloc  = flag.Float64("gate-alloc-tolerance", defTol.Allocs, "allowed absolute allocs/event growth before -gate fails")
+		trajectory = flag.String("trajectory", "", "comma-separated BENCH_*.json reports, oldest first: print the markdown trajectory table and exit")
 	)
 	flag.Parse()
+
+	if *trajectory != "" {
+		var reports []perf.Report
+		for _, path := range strings.Split(*trajectory, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			r, err := perf.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: cannot read trajectory report: %v\n", err)
+				os.Exit(1)
+			}
+			reports = append(reports, r)
+		}
+		fmt.Print(perf.Trajectory(reports))
+		return
+	}
 
 	suite := perf.Suite()
 	if *quick {
@@ -94,8 +116,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: cannot read gate baseline: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n%s", perf.FormatGate(base, report, *gateTol))
-		if regs := perf.Gate(base, report, *gateTol); len(regs) > 0 {
+		tol := perf.Tolerance{Rate: *gateTol, Allocs: *gateAlloc}
+		fmt.Printf("\n%s", perf.FormatGate(base, report, tol))
+		if regs := perf.Gate(base, report, tol); len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "bench: perf gate failed (%d regression(s)):\n", len(regs))
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "  %s\n", r)

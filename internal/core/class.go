@@ -388,11 +388,11 @@ func (rq *hpcRQ) Len() int { return rq.n }
 // an idle (or HPC-empty) CPU pulls a queued, non-cache-hot HPC task,
 // keeping the number of tasks per domain level even.
 func (rq *hpcRQ) Steal(dstCPU int) *sched.Task {
-	now := rq.k.Now()
-	cost := rq.k.Opts.MigrationCost
+	// Hotness is checked through BalanceCacheHot so a failed pass feeds the
+	// kernel's idle-balance negative-result cache.
 	for i := 0; i < rq.n; i++ {
 		t := rq.at(i)
-		if t.MayRunOn(dstCPU) && !t.CacheHot(now, cost) {
+		if t.MayRunOn(dstCPU) && !rq.k.BalanceCacheHot(t) {
 			rq.removeAt(i)
 			return t
 		}

@@ -13,6 +13,14 @@
 // are world-owned pooled objects with a pre-bound engine callback (no
 // closure per send), and each rank buffers undelivered messages in a
 // preallocated ring instead of a map of slices.
+//
+// It is also batched: Send defers its overhead charge and delivery post
+// into the rank's Env step queue, so all the rendezvous requests a rank
+// generates in one scheduling quantum — typically a whole exchange phase of
+// sends — reach the kernel as a single pre-sized handoff when the rank next
+// observes state (Recv, Waitall, Barrier, Compute, Now). Every observation
+// flushes first, so the simulated timeline is bit-identical to the
+// unbatched one; only the per-message goroutine ping-pong disappears.
 package mpi
 
 import (
@@ -128,9 +136,20 @@ func NewWorld(k *sched.Kernel, size int, opts Options) *World {
 	return w
 }
 
-// post schedules the delivery of m to target after delay, drawing a pooled
-// delivery object.
+// post schedules the delivery of m to target after delay — the immediate,
+// engine-side path (tests, future eager transports). Send instead defers
+// the equivalent via drawDelivery + Env.DeferAfter so the post rides the
+// rank's batched exchange.
 func (w *World) post(target *Rank, m message, delay sim.Time) {
+	d := w.drawDelivery(target, m)
+	w.engine.After(delay, d.fire)
+}
+
+// drawDelivery takes a pooled delivery object, loads it with target and
+// payload, and returns it; its pre-bound fire callback is then scheduled by
+// the caller — immediately, or as a deferred step at the virtual instant
+// the sender's overhead charge completes.
+func (w *World) drawDelivery(target *Rank, m message) *delivery {
 	d := w.freeDeliv
 	if d == nil {
 		d = &delivery{}
@@ -147,7 +166,7 @@ func (w *World) post(target *Rank, m message, delay sim.Time) {
 	}
 	d.target = target
 	d.m = m
-	w.engine.After(delay, d.fire)
+	return d
 }
 
 // Size returns the number of ranks.
@@ -243,12 +262,24 @@ func (r *Rank) Env() *sched.Env { return r.env }
 // Now returns the current virtual time.
 func (r *Rank) Now() sim.Time { return r.env.Now() }
 
-// Compute burns d of single-thread work.
+// Compute burns d of single-thread work. It stays a blocking exchange
+// (merging any deferred sends queued before it) rather than deferring like
+// Send: rank bodies draw from shared workload RNGs between computes, so
+// letting the body run ahead of its burned work would reorder those draws
+// across ranks and change the simulated timeline.
 func (r *Rank) Compute(d sim.Time) { r.env.Compute(d) }
 
 // Send performs an eager (buffered) send: the CPU-side overhead is charged
 // and the message is delivered after the transport delay; the sender does
 // not wait for a matching receive.
+//
+// The whole operation is deferred into the rank's batched exchange: the
+// overhead charge and the delivery post are queued on the Env and ride the
+// next flush (the next Compute, Recv, Waitall, Barrier or Now) in a single
+// kernel rendezvous — back-to-back sends of an exchange phase cost one
+// goroutine handoff instead of one each. The delivery is still posted at
+// the exact virtual instant the overhead charge completes, so the timeline
+// is indistinguishable from the unbatched one.
 func (r *Rank) Send(dst, tag int, size int64) {
 	if dst < 0 || dst >= r.Size() {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
@@ -256,10 +287,10 @@ func (r *Rank) Send(dst, tag int, size int64) {
 	if dst == r.id {
 		panic("mpi: Send to self")
 	}
-	if r.world.opts.SendOverhead > 0 {
-		r.env.Compute(r.world.opts.SendOverhead)
-	}
 	w := r.world
+	if w.opts.SendOverhead > 0 {
+		r.env.DeferCompute(w.opts.SendOverhead)
+	}
 	w.MsgCount++
 	w.MsgBytes += size
 	target := w.ranks[dst]
@@ -268,7 +299,8 @@ func (r *Rank) Send(dst, tag int, size int64) {
 		w.RemoteMsgCount++
 		delay = w.opts.RemoteLatency + sim.Time(float64(size)*w.opts.RemoteByteCost)
 	}
-	w.post(target, message{src: r.id, tag: tag, size: size}, delay)
+	d := w.drawDelivery(target, message{src: r.id, tag: tag, size: size})
+	r.env.DeferAfter(delay, d.fire)
 }
 
 // Isend is Send: eager buffered sends complete immediately, so the
@@ -361,18 +393,25 @@ func (r *Rank) take(src, tag int) (message, bool) {
 }
 
 // Recv blocks until a message from src with the given tag arrives and
-// returns its size.
+// returns its size. The entry flush settles deferred sends before the inbox
+// is inspected; the receive overhead is itself deferred, riding the rank's
+// next exchange (every later observation flushes first, so the timeline is
+// the unbatched one).
 func (r *Rank) Recv(src, tag int) int64 {
 	if src < 0 || src >= r.Size() || src == r.id {
 		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
 	}
+	r.env.Flush()
 	for {
 		if m, ok := r.take(src, tag); ok {
 			if r.world.opts.RecvOverhead > 0 {
-				r.env.Compute(r.world.opts.RecvOverhead)
+				r.env.DeferCompute(r.world.opts.RecvOverhead)
 			}
 			return m.size
 		}
+		// The batch is empty here (flushed on entry, and a hit returns), so
+		// blocking with waiting keys set is safe: no deferred compute can
+		// run while deliver would try to wake us.
 		r.waiting = append(r.waiting[:0], msgKey{src, tag})
 		r.env.Block("mpi-recv")
 	}
@@ -399,6 +438,12 @@ func (r *Rank) Wait(req Request) { r.Waitall([]Request{req}) }
 
 // Waitall blocks until every request completes (mpi_waitall). Completed
 // receives consume their messages.
+//
+// Receive overheads are deferred: a sweep consumes everything already
+// buffered at the current instant, then a single flush burns the charges —
+// messages arriving during that burn are found by the next sweep, exactly
+// as they were when each charge was a separate rendezvous. The final
+// sweep's charges ride the rank's next exchange.
 func (r *Rank) Waitall(reqs []Request) {
 	pending := r.pending[:0]
 	for _, q := range reqs {
@@ -407,15 +452,26 @@ func (r *Rank) Waitall(reqs []Request) {
 		}
 	}
 	r.pending = pending
-	for len(pending) > 0 {
-		// Consume everything already here.
+	if len(pending) == 0 {
+		return
+	}
+	env := r.env
+	env.Flush() // settle deferred sends before inspecting the inbox
+	ov := r.world.opts.RecvOverhead
+	for {
+		// Consume everything already here. Explicitly tagged probes may run
+		// early (per-key FIFO makes the choice time-independent; a miss is
+		// retried after the flush below, at the exact unbatched instant),
+		// but an AnyTag probe picks among the tags buffered *now*, so it
+		// must observe every prior overhead burn first.
 		remaining := pending[:0]
-		progress := false
 		for _, key := range pending {
+			if key.tag == AnyTag {
+				env.Flush()
+			}
 			if _, ok := r.take(key.src, key.tag); ok {
-				progress = true
-				if r.world.opts.RecvOverhead > 0 {
-					r.env.Compute(r.world.opts.RecvOverhead)
+				if ov > 0 {
+					env.DeferCompute(ov)
 				}
 			} else {
 				remaining = append(remaining, key)
@@ -426,10 +482,16 @@ func (r *Rank) Waitall(reqs []Request) {
 		if len(pending) == 0 {
 			return
 		}
-		if !progress {
-			r.waiting = append(r.waiting[:0], pending...)
-			r.env.Block("mpi-waitall")
+		if env.Deferred() {
+			// Burn the overheads consumed this sweep; more messages may
+			// arrive meanwhile, so sweep again before blocking.
+			env.Flush()
+			continue
 		}
+		// Nothing consumed and nothing deferred: block. The empty batch
+		// makes the waiting keys safe (see Recv).
+		r.waiting = append(r.waiting[:0], pending...)
+		env.Block("mpi-waitall")
 	}
 }
 
@@ -437,6 +499,7 @@ func (r *Rank) Waitall(reqs []Request) {
 // (mpi_barrier). The last arriving rank releases the others after the
 // configured barrier latency and continues immediately.
 func (r *Rank) Barrier() {
+	r.env.Flush() // the arrival instant must include all deferred work
 	w := r.world
 	gen := w.barrierGen
 	w.barrierArrived++

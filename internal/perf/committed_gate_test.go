@@ -5,28 +5,49 @@ import (
 	"testing"
 )
 
-// TestCommittedReportsPassGate pins the repository's perf trajectory: the
-// committed after-report of the latest perf PR must pass the 15% gate
-// against its own committed baseline (it should in fact be faster on
-// every scenario). This is the machine-independent half of the CI
-// perf-gate job; the live half re-measures the quick suite on the runner.
+// committedPairs lists every paired (baseline, after) BENCH report in the
+// repository's performance trajectory, with the headline speedup of the
+// after-report's PR on its flagship scenario. Each new perf PR appends its
+// pair here.
+var committedPairs = []struct {
+	base, after string
+	scenario    string
+	minSpeedup  float64
+}{
+	// PR 3: zero-allocation trace/MPI/run-queue hot paths.
+	{"BENCH_pre-hotpath.json", "BENCH_zero-alloc-hotpaths.json", "btmz-trace", 1.3},
+	// PR 4: hierarchical timer-wheel engine + batched rank rendezvous.
+	{"BENCH_pre-wheel.json", "BENCH_timer-wheel.json", "btmz-trace", 1.25},
+}
+
+// TestCommittedReportsPassGate pins the repository's perf trajectory: every
+// committed after-report must pass the CI gate (throughput and allocs)
+// against its own committed baseline — it should in fact be faster on every
+// scenario — and deliver its PR's headline speedup. This is the
+// machine-independent half of the CI perf-gate job; the live half
+// re-measures the quick suite on the runner.
 func TestCommittedReportsPassGate(t *testing.T) {
 	root := filepath.Join("..", "..")
-	base, err := ReadFile(filepath.Join(root, "BENCH_pre-hotpath.json"))
-	if err != nil {
-		t.Fatalf("committed baseline missing: %v", err)
-	}
-	after, err := ReadFile(filepath.Join(root, "BENCH_zero-alloc-hotpaths.json"))
-	if err != nil {
-		t.Fatalf("committed after-report missing: %v", err)
-	}
-	if regs := Gate(base, after, 0.15); len(regs) > 0 {
-		t.Fatalf("committed reports fail the gate:\n%s", FormatGate(base, after, 0.15))
-	}
-	// The headline of the hot-path PR: traced BT-MZ at ≥1.3x its paired
-	// baseline. Guards against committing a mismatched report pair.
-	sp, ok := Speedup(base, after, "btmz-trace")
-	if !ok || sp < 1.3 {
-		t.Fatalf("btmz-trace speedup = %.2f (ok=%v), want ≥1.3", sp, ok)
+	for _, pair := range committedPairs {
+		t.Run(pair.after, func(t *testing.T) {
+			base, err := ReadFile(filepath.Join(root, pair.base))
+			if err != nil {
+				t.Fatalf("committed baseline missing: %v", err)
+			}
+			after, err := ReadFile(filepath.Join(root, pair.after))
+			if err != nil {
+				t.Fatalf("committed after-report missing: %v", err)
+			}
+			tol := DefaultTolerance()
+			if regs := Gate(base, after, tol); len(regs) > 0 {
+				t.Fatalf("committed reports fail the gate:\n%s", FormatGate(base, after, tol))
+			}
+			// Guards against committing a mismatched report pair.
+			sp, ok := Speedup(base, after, pair.scenario)
+			if !ok || sp < pair.minSpeedup {
+				t.Fatalf("%s speedup = %.2f (ok=%v), want ≥%.2f",
+					pair.scenario, sp, ok, pair.minSpeedup)
+			}
+		})
 	}
 }

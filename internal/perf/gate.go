@@ -5,95 +5,143 @@ import (
 	"strings"
 )
 
-// Regression is one scenario that fell below the perf gate.
+// Metric names used in gate verdicts.
+const (
+	MetricRate   = "events/sec"   // throughput, gated by a relative floor
+	MetricAllocs = "allocs/event" // allocator pressure, gated by an absolute ceiling
+)
+
+// Tolerance bounds how far a fresh report may fall from the baseline
+// before the gate fails.
+type Tolerance struct {
+	// Rate is the allowed fractional events/sec drop: 0.15 lets a shared
+	// scenario run 15% slower than the baseline before failing. Negative
+	// values clamp to 0.
+	Rate float64
+	// Allocs is the allowed absolute allocs/event growth: 0.01 fails any
+	// scenario allocating more than one extra object per hundred events
+	// over the baseline — tight enough that losing a pooled hot path
+	// (which costs ≥1 alloc per event or per message) cannot hide, loose
+	// enough for measurement jitter on nearly-zero baselines.
+	Allocs float64
+}
+
+// DefaultTolerance is the CI gate configuration.
+func DefaultTolerance() Tolerance { return Tolerance{Rate: 0.15, Allocs: 0.01} }
+
+// Regression is one scenario metric that fell outside the perf gate.
 type Regression struct {
-	Scenario     string
-	BaseRate     float64 // baseline events/sec
-	Rate         float64 // measured events/sec
-	Ratio        float64 // Rate / BaseRate
-	AllowedRatio float64 // the gate floor (1 - tolerance)
+	Scenario string
+	Metric   string  // MetricRate or MetricAllocs
+	Base     float64 // baseline value of the metric
+	Got      float64 // measured value
+	// Bound is the violated limit: the minimum events/sec (floor) for
+	// MetricRate, the maximum allocs/event (ceiling) for MetricAllocs.
+	Bound float64
 }
 
 func (r Regression) String() string {
+	if r.Metric == MetricAllocs {
+		return fmt.Sprintf("%s: %.4f allocs/event vs baseline %.4f (ceiling %.4f)",
+			r.Scenario, r.Got, r.Base, r.Bound)
+	}
 	return fmt.Sprintf("%s: %.0f events/sec vs baseline %.0f (%.2fx, gate %.2fx)",
-		r.Scenario, r.Rate, r.BaseRate, r.Ratio, r.AllowedRatio)
+		r.Scenario, r.Got, r.Base, r.Got/r.Base, r.Bound/r.Base)
 }
 
-// comparison is one shared scenario's verdict; matchReports is the single
-// source of truth Gate and FormatGate both render from.
+// comparison is one shared scenario's verdict on both metrics; matchReports
+// is the single source of truth Gate and FormatGate both render from.
 type comparison struct {
-	Regression
-	regressed bool
+	scenario           string
+	baseRate, rate     float64
+	rateFloor          float64 // baseRate × (1 - tol.Rate)
+	baseAllocs, allocs float64
+	allocCeiling       float64 // baseAllocs + tol.Allocs
+	rateBad, allocsBad bool
 }
 
 // matchReports pairs every scenario present in both reports and computes
-// its ratio against the gate floor. Scenarios only one report knows (new
-// benchmarks, retired ones) cannot regress and are skipped, as are
-// zero-rate baselines, so the suite can grow without invalidating old
-// baselines.
-func matchReports(base, after Report, tolerance float64) []comparison {
-	if tolerance < 0 {
-		tolerance = 0
+// its metric verdicts. Scenarios only one report knows (new benchmarks,
+// retired ones) cannot regress and are skipped, as are zero-rate baselines,
+// so the suite can grow without invalidating old baselines.
+func matchReports(base, after Report, tol Tolerance) []comparison {
+	if tol.Rate < 0 {
+		tol.Rate = 0
 	}
-	floor := 1 - tolerance
+	if tol.Allocs < 0 {
+		tol.Allocs = 0
+	}
 	var out []comparison
 	for _, bm := range base.Measurements {
 		for _, am := range after.Measurements {
 			if am.Scenario != bm.Scenario || bm.EventsPerSec <= 0 {
 				continue
 			}
-			ratio := am.EventsPerSec / bm.EventsPerSec
-			out = append(out, comparison{
-				Regression: Regression{
-					Scenario:     bm.Scenario,
-					BaseRate:     bm.EventsPerSec,
-					Rate:         am.EventsPerSec,
-					Ratio:        ratio,
-					AllowedRatio: floor,
-				},
-				regressed: ratio < floor,
+			c := comparison{
+				scenario:     bm.Scenario,
+				baseRate:     bm.EventsPerSec,
+				rate:         am.EventsPerSec,
+				rateFloor:    bm.EventsPerSec * (1 - tol.Rate),
+				baseAllocs:   bm.AllocsPerEvent,
+				allocs:       am.AllocsPerEvent,
+				allocCeiling: bm.AllocsPerEvent + tol.Allocs,
+			}
+			c.rateBad = c.rate < c.rateFloor
+			c.allocsBad = c.allocs > c.allocCeiling
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Gate compares a fresh report against a committed baseline and returns
+// every violation: a shared scenario whose events/sec dropped below
+// (1 - tol.Rate) of the baseline, or whose allocs/event grew more than
+// tol.Allocs above it. The default tolerances (DefaultTolerance) are the
+// CI configuration: wide enough for same-machine noise, tight enough that
+// a lost optimisation — the smallest committed throughput win is ~1.2x,
+// and any un-pooled hot path costs ≥1 alloc per event — cannot hide.
+func Gate(base, after Report, tol Tolerance) []Regression {
+	var out []Regression
+	for _, c := range matchReports(base, after, tol) {
+		if c.rateBad {
+			out = append(out, Regression{
+				Scenario: c.scenario, Metric: MetricRate,
+				Base: c.baseRate, Got: c.rate, Bound: c.rateFloor,
+			})
+		}
+		if c.allocsBad {
+			out = append(out, Regression{
+				Scenario: c.scenario, Metric: MetricAllocs,
+				Base: c.baseAllocs, Got: c.allocs, Bound: c.allocCeiling,
 			})
 		}
 	}
 	return out
 }
 
-// Gate compares a fresh report against a committed baseline: every
-// scenario present in both whose events/sec dropped below (1 - tolerance)
-// of the baseline is returned as a regression. A tolerance of 0.15 is the
-// CI default: wide enough for same-machine noise, tight enough that a
-// lost optimisation (the smallest committed win is ~1.2x) cannot hide
-// inside it.
-func Gate(base, after Report, tolerance float64) []Regression {
-	var out []Regression
-	for _, c := range matchReports(base, after, tolerance) {
-		if c.regressed {
-			out = append(out, c.Regression)
-		}
-	}
-	return out
-}
-
 // FormatGate renders a gate verdict for CI logs: every shared scenario
-// with its ratio, regressions marked. It renders the same comparison pass
-// Gate decides from, so the printed verdict and the exit code cannot
-// disagree.
-func FormatGate(base, after Report, tolerance float64) string {
+// with its throughput ratio and allocs/event delta, regressions marked. It
+// renders the same comparison pass Gate decides from, so the printed
+// verdict and the exit code cannot disagree.
+func FormatGate(base, after Report, tol Tolerance) string {
 	var b strings.Builder
-	cs := matchReports(base, after, tolerance)
-	floor := 1 - tolerance
-	if len(cs) > 0 {
-		floor = cs[0].AllowedRatio
-	}
-	fmt.Fprintf(&b, "perf gate: %q vs baseline %q (floor %.2fx)\n",
-		after.Label, base.Label, floor)
+	cs := matchReports(base, after, tol)
+	fmt.Fprintf(&b, "perf gate: %q vs baseline %q (rate floor %.2fx, alloc ceiling +%.3f)\n",
+		after.Label, base.Label, 1-max(tol.Rate, 0), max(tol.Allocs, 0))
 	for _, c := range cs {
 		verdict := "ok"
-		if c.regressed {
+		if c.rateBad || c.allocsBad {
 			verdict = "REGRESSION"
+			if c.rateBad && c.allocsBad {
+				verdict = "REGRESSION (rate+allocs)"
+			} else if c.allocsBad {
+				verdict = "REGRESSION (allocs)"
+			}
 		}
-		fmt.Fprintf(&b, "  %-24s %12.0f → %12.0f events/sec  %.2fx  %s\n",
-			c.Scenario, c.BaseRate, c.Rate, c.Ratio, verdict)
+		fmt.Fprintf(&b, "  %-24s %12.0f → %12.0f events/sec  %.2fx  %7.4f → %7.4f allocs/event  %s\n",
+			c.scenario, c.baseRate, c.rate, c.rate/c.baseRate,
+			c.baseAllocs, c.allocs, verdict)
 	}
 	return b.String()
 }

@@ -5,86 +5,146 @@ import (
 	"testing"
 )
 
-func reportOf(label string, rates map[string]float64) Report {
+// scenarioMetrics is one scenario's (events/sec, allocs/event) pair for
+// report fixtures.
+type scenarioMetrics struct {
+	rate   float64
+	allocs float64
+}
+
+func reportOf(label string, scenarios map[string]scenarioMetrics) Report {
 	r := Report{Label: label}
 	for _, name := range []string{"a", "b", "c", "d"} {
-		if rate, ok := rates[name]; ok {
+		if m, ok := scenarios[name]; ok {
 			r.Measurements = append(r.Measurements, Measurement{
-				Scenario: name, EventsPerSec: rate,
+				Scenario: name, EventsPerSec: m.rate, AllocsPerEvent: m.allocs,
 			})
 		}
 	}
 	return r
 }
 
+func rates(vals map[string]float64) map[string]scenarioMetrics {
+	out := map[string]scenarioMetrics{}
+	for k, v := range vals {
+		out[k] = scenarioMetrics{rate: v}
+	}
+	return out
+}
+
+var ciTol = DefaultTolerance()
+
 func TestGatePasses(t *testing.T) {
-	base := reportOf("base", map[string]float64{"a": 1000, "b": 2000})
+	base := reportOf("base", rates(map[string]float64{"a": 1000, "b": 2000}))
 	// 10% down and 20% up: both inside a 15% gate.
-	after := reportOf("after", map[string]float64{"a": 900, "b": 2400})
-	if regs := Gate(base, after, 0.15); len(regs) != 0 {
+	after := reportOf("after", rates(map[string]float64{"a": 900, "b": 2400}))
+	if regs := Gate(base, after, ciTol); len(regs) != 0 {
 		t.Fatalf("gate failed unexpectedly: %v", regs)
 	}
 }
 
-func TestGateCatchesRegression(t *testing.T) {
-	base := reportOf("base", map[string]float64{"a": 1000, "b": 2000})
-	after := reportOf("after", map[string]float64{"a": 1000, "b": 1600}) // -20%
-	regs := Gate(base, after, 0.15)
+func TestGateCatchesRateRegression(t *testing.T) {
+	base := reportOf("base", rates(map[string]float64{"a": 1000, "b": 2000}))
+	after := reportOf("after", rates(map[string]float64{"a": 1000, "b": 1600})) // -20%
+	regs := Gate(base, after, ciTol)
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %v, want exactly the b drop", regs)
 	}
 	r := regs[0]
-	if r.Scenario != "b" || r.Ratio > 0.85 || r.AllowedRatio != 0.85 {
+	if r.Scenario != "b" || r.Metric != MetricRate || r.Got != 1600 || r.Bound != 1700 {
 		t.Fatalf("regression misreported: %+v", r)
 	}
-	if !strings.Contains(r.String(), "b:") {
+	if !strings.Contains(r.String(), "b:") || !strings.Contains(r.String(), "events/sec") {
 		t.Fatalf("unhelpful message: %q", r.String())
 	}
 }
 
+func TestGateCatchesAllocRegression(t *testing.T) {
+	base := reportOf("base", map[string]scenarioMetrics{
+		"a": {rate: 1000, allocs: 0.001},
+		"b": {rate: 2000, allocs: 0.002},
+	})
+	// a: +0.02 allocs/event (over the 0.01 ceiling); b: +0.005 (inside).
+	after := reportOf("after", map[string]scenarioMetrics{
+		"a": {rate: 1000, allocs: 0.021},
+		"b": {rate: 2000, allocs: 0.007},
+	})
+	regs := Gate(base, after, ciTol)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the a alloc growth", regs)
+	}
+	r := regs[0]
+	if r.Scenario != "a" || r.Metric != MetricAllocs || r.Got != 0.021 {
+		t.Fatalf("regression misreported: %+v", r)
+	}
+	if !strings.Contains(r.String(), "allocs/event") {
+		t.Fatalf("unhelpful message: %q", r.String())
+	}
+}
+
+func TestGateReportsBothMetrics(t *testing.T) {
+	base := reportOf("base", map[string]scenarioMetrics{"a": {rate: 1000, allocs: 0}})
+	after := reportOf("after", map[string]scenarioMetrics{"a": {rate: 500, allocs: 1.5}})
+	regs := Gate(base, after, ciTol)
+	if len(regs) != 2 || regs[0].Metric != MetricRate || regs[1].Metric != MetricAllocs {
+		t.Fatalf("regressions = %v, want the rate drop and the alloc growth", regs)
+	}
+}
+
 func TestGateBoundaryIsExclusive(t *testing.T) {
-	base := reportOf("base", map[string]float64{"a": 1000})
-	// Exactly at the floor: not a regression (the gate is >15%, not ≥).
-	after := reportOf("after", map[string]float64{"a": 850})
-	if regs := Gate(base, after, 0.15); len(regs) != 0 {
+	// Exactly at the rate floor and exactly at the alloc ceiling: not a
+	// regression (the gate is strict inequality on both sides).
+	base := reportOf("base", map[string]scenarioMetrics{"a": {rate: 1000, allocs: 0.02}})
+	after := reportOf("after", map[string]scenarioMetrics{"a": {rate: 850, allocs: 0.03}})
+	if regs := Gate(base, after, ciTol); len(regs) != 0 {
 		t.Fatalf("boundary flagged: %v", regs)
 	}
 }
 
 func TestGateIgnoresUnsharedScenarios(t *testing.T) {
-	base := reportOf("base", map[string]float64{"a": 1000, "c": 500})
+	base := reportOf("base", rates(map[string]float64{"a": 1000, "c": 500}))
 	// "c" retired, "d" is new and slow: neither can regress.
-	after := reportOf("after", map[string]float64{"a": 1000, "d": 1})
-	if regs := Gate(base, after, 0.15); len(regs) != 0 {
+	after := reportOf("after", rates(map[string]float64{"a": 1000, "d": 1}))
+	if regs := Gate(base, after, ciTol); len(regs) != 0 {
 		t.Fatalf("unshared scenarios flagged: %v", regs)
 	}
 }
 
 func TestGateIgnoresZeroBaseline(t *testing.T) {
-	base := reportOf("base", map[string]float64{"a": 0})
-	after := reportOf("after", map[string]float64{"a": 0})
-	if regs := Gate(base, after, 0.15); len(regs) != 0 {
+	base := reportOf("base", rates(map[string]float64{"a": 0}))
+	after := reportOf("after", rates(map[string]float64{"a": 0}))
+	if regs := Gate(base, after, ciTol); len(regs) != 0 {
 		t.Fatalf("zero-rate baseline flagged: %v", regs)
 	}
 }
 
 func TestGateNegativeToleranceClamped(t *testing.T) {
-	base := reportOf("base", map[string]float64{"a": 1000})
-	after := reportOf("after", map[string]float64{"a": 999})
-	regs := Gate(base, after, -1)
-	if len(regs) != 1 || regs[0].AllowedRatio != 1 {
-		t.Fatalf("clamped gate = %v, want the 0-tolerance floor", regs)
+	base := reportOf("base", map[string]scenarioMetrics{"a": {rate: 1000, allocs: 0.5}})
+	after := reportOf("after", map[string]scenarioMetrics{"a": {rate: 999, allocs: 0.5001}})
+	regs := Gate(base, after, Tolerance{Rate: -1, Allocs: -1})
+	if len(regs) != 2 {
+		t.Fatalf("clamped gate = %v, want 0-tolerance violations on both metrics", regs)
+	}
+	if regs[0].Bound != 1000 || regs[1].Bound != 0.5 {
+		t.Fatalf("clamped bounds = %+v, want the baselines themselves", regs)
 	}
 }
 
 func TestFormatGateMarksRegressions(t *testing.T) {
-	base := reportOf("base", map[string]float64{"a": 1000, "b": 2000})
-	after := reportOf("after", map[string]float64{"a": 1000, "b": 1000})
-	out := FormatGate(base, after, 0.15)
+	base := reportOf("base", map[string]scenarioMetrics{
+		"a": {rate: 1000}, "b": {rate: 2000}, "c": {rate: 100, allocs: 0},
+	})
+	after := reportOf("after", map[string]scenarioMetrics{
+		"a": {rate: 1000}, "b": {rate: 1000}, "c": {rate: 100, allocs: 2},
+	})
+	out := FormatGate(base, after, ciTol)
 	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "0.50x") {
 		t.Fatalf("verdict unreadable:\n%s", out)
 	}
-	if !strings.Contains(out, "a") || strings.Count(out, "ok") != 1 {
+	if !strings.Contains(out, "REGRESSION (allocs)") {
+		t.Fatalf("alloc regression unmarked:\n%s", out)
+	}
+	if strings.Count(out, " ok\n") != 1 {
 		t.Fatalf("passing scenario missing:\n%s", out)
 	}
 }

@@ -1,0 +1,80 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trajectory renders the repository's performance history — an ordered
+// sequence of BENCH reports, oldest first — as a GitHub-flavoured markdown
+// table: one row per scenario, one column per report, events/sec in each
+// cell with the cumulative speedup against the scenario's first appearance.
+// The scheduled perf-full CI job writes this into its job summary, so the
+// trajectory is readable without downloading artifacts.
+func Trajectory(reports []Report) string {
+	if len(reports) == 0 {
+		return ""
+	}
+	// Union of scenarios in first-seen order.
+	var scenarios []string
+	seen := map[string]bool{}
+	for _, r := range reports {
+		for _, m := range r.Measurements {
+			if !seen[m.Scenario] {
+				seen[m.Scenario] = true
+				scenarios = append(scenarios, m.Scenario)
+			}
+		}
+	}
+	find := func(r Report, scenario string) (Measurement, bool) {
+		for _, m := range r.Measurements {
+			if m.Scenario == scenario {
+				return m, true
+			}
+		}
+		return Measurement{}, false
+	}
+	var b strings.Builder
+	b.WriteString("| scenario |")
+	for _, r := range reports {
+		fmt.Fprintf(&b, " %s |", r.Label)
+	}
+	b.WriteString("\n|---|")
+	for range reports {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, s := range scenarios {
+		fmt.Fprintf(&b, "| %s |", s)
+		first := 0.0
+		for _, r := range reports {
+			m, ok := find(r, s)
+			if !ok {
+				b.WriteString(" — |")
+				continue
+			}
+			if first == 0 {
+				first = m.EventsPerSec
+				fmt.Fprintf(&b, " %s |", formatRate(m.EventsPerSec))
+				continue
+			}
+			fmt.Fprintf(&b, " %s (%.2fx) |", formatRate(m.EventsPerSec), m.EventsPerSec/first)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// formatRate renders events/sec compactly (16.6M style).
+func formatRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,33 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrajectoryTable(t *testing.T) {
+	r1 := reportOf("v1", rates(map[string]float64{"a": 1e6, "b": 2e6}))
+	r2 := reportOf("v2", rates(map[string]float64{"a": 2e6, "b": 2.5e6, "c": 100}))
+	out := Trajectory([]Report{r1, r2})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header, separator, a, b, c
+		t.Fatalf("table shape wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "| scenario | v1 | v2 |") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(out, "| a | 1.0M | 2.0M (2.00x) |") {
+		t.Fatalf("cumulative speedup missing:\n%s", out)
+	}
+	// A scenario absent from an older report renders a placeholder, not a
+	// bogus ratio.
+	if !strings.Contains(out, "| c | — | 100 |") {
+		t.Fatalf("new-scenario row wrong:\n%s", out)
+	}
+}
+
+func TestTrajectoryEmpty(t *testing.T) {
+	if out := Trajectory(nil); out != "" {
+		t.Fatalf("empty trajectory rendered %q", out)
+	}
+}

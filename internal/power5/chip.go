@@ -29,12 +29,15 @@ func (c *Context) Busy() bool { return c.busy }
 
 // SetBusy marks the context as executing (or not). The kernel calls this as
 // tasks are dispatched and descheduled; it affects the sibling's speed.
+// Only the sibling's: a context's own speed does not depend on its own
+// occupancy (PerfModel.Speed takes own/sibling priority and the sibling's
+// busy bit), so the hook fires for the sibling context alone.
 func (c *Context) SetBusy(b bool) {
 	if c.busy == b {
 		return
 	}
 	c.busy = b
-	c.core.chip.speedChanged(c.core)
+	c.core.chip.speedChanged(c.core, 1<<uint(1-c.slot))
 }
 
 // SetPriority sets the hardware thread priority, enforcing the privilege
@@ -51,8 +54,9 @@ func (c *Context) SetPriority(p Priority, priv Privilege) error {
 	if c.prio == p {
 		return nil
 	}
+	// A priority change alters this context's own speed and the sibling's.
 	c.prio = p
-	c.core.chip.speedChanged(c.core)
+	c.core.chip.speedChanged(c.core, 3)
 	return nil
 }
 
@@ -98,7 +102,7 @@ func (co *Core) Context(i int) *Context { return co.contexts[i] }
 type Chip struct {
 	cores  []*Core
 	perf   PerfModel
-	onSpew func(*Core) // speed-change hook
+	onSpew func(*Core, int) // speed-change hook
 }
 
 // NewChip builds a chip with nCores dual-context cores, all contexts at the
@@ -147,13 +151,14 @@ func (ch *Chip) CPU(id int) *Context {
 }
 
 // SetSpeedChangeHook registers a callback invoked whenever a priority or
-// occupancy change may have altered the speed of a core's contexts. The
-// kernel uses it to re-plan in-flight compute bursts.
-func (ch *Chip) SetSpeedChangeHook(fn func(*Core)) { ch.onSpew = fn }
+// occupancy change may have altered the speed of a core's contexts. mask
+// has bit i set when context i's speed inputs changed, so the kernel
+// re-plans only the bursts that can actually be affected.
+func (ch *Chip) SetSpeedChangeHook(fn func(co *Core, mask int)) { ch.onSpew = fn }
 
-func (ch *Chip) speedChanged(co *Core) {
+func (ch *Chip) speedChanged(co *Core, mask int) {
 	if ch.onSpew != nil {
-		ch.onSpew(co)
+		ch.onSpew(co, mask)
 	}
 }
 
@@ -164,7 +169,7 @@ func (ch *Chip) ResetPriorities() {
 		for _, cx := range co.contexts {
 			if cx.prio != PrioMedium {
 				cx.prio = PrioMedium
-				ch.speedChanged(co)
+				ch.speedChanged(co, 3)
 			}
 		}
 	}

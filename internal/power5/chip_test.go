@@ -132,8 +132,11 @@ func TestSpeedReflectsSiblingState(t *testing.T) {
 
 func TestSpeedChangeHook(t *testing.T) {
 	ch := newTestChip()
-	var calls []int
-	ch.SetSpeedChangeHook(func(co *Core) { calls = append(calls, co.ID()) })
+	type call struct{ core, mask int }
+	var calls []call
+	ch.SetSpeedChangeHook(func(co *Core, mask int) {
+		calls = append(calls, call{co.ID(), mask})
+	})
 	ch.CPU(0).SetBusy(true)
 	ch.CPU(3).SetBusy(true)
 	if err := ch.CPU(0).SetPriority(PrioMediumHigh, PrivSupervisor); err != nil {
@@ -144,7 +147,9 @@ func TestSpeedChangeHook(t *testing.T) {
 	if err := ch.CPU(0).SetPriority(PrioMediumHigh, PrivSupervisor); err != nil {
 		t.Fatal(err)
 	}
-	want := []int{0, 1, 0}
+	// A busy toggle masks only the sibling context (own speed does not
+	// depend on own occupancy); a priority change masks both.
+	want := []call{{0, 1 << 1}, {1, 1 << 0}, {0, 3}}
 	if len(calls) != len(want) {
 		t.Fatalf("hook calls = %v, want %v", calls, want)
 	}

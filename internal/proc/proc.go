@@ -22,6 +22,12 @@
 // When the body returns, Resume reports done=true. A process abandoned
 // mid-request (e.g. the simulation horizon was reached) must be released
 // with Kill, which unwinds the body's goroutine.
+//
+// The protocol is batch-friendly: a request is opaque, so a caller can make
+// one Invoke carry an entire queue of deferred operations and have the
+// engine drain it before replying — one goroutine handoff for the whole
+// batch. The sched.Env/mpi layers use exactly this (sched.batchReq) to
+// collapse a rank's per-iteration message traffic into a single exchange.
 package proc
 
 import (

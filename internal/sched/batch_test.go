@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"testing"
+
+	"hpcsched/internal/sim"
+)
+
+// TestBatchedExchangeEquivalence: a deferred batch [compute, after,
+// compute, after] must produce exactly the timeline of the equivalent
+// sequence of blocking calls — same burn windows, same post instants.
+func TestBatchedExchangeEquivalence(t *testing.T) {
+	run := func(batched bool) (posts []sim.Time, finish sim.Time) {
+		_, k := newTestKernel(1)
+		task := k.AddProcess(TaskSpec{Name: "p", Policy: PolicyNormal, Affinity: pin(0)},
+			func(env *Env) {
+				post := func() { posts = append(posts, k.Now()) }
+				if batched {
+					env.DeferCompute(sim.Millisecond)
+					env.DeferAfter(10*sim.Microsecond, post)
+					env.DeferCompute(2 * sim.Millisecond)
+					env.DeferAfter(0, post)
+					env.Flush()
+				} else {
+					env.Compute(sim.Millisecond)
+					k.Engine.After(10*sim.Microsecond, post)
+					env.Compute(2 * sim.Millisecond)
+					k.Engine.After(0, post)
+				}
+				// Trailing burn keeps the engine past the post instants.
+				env.Compute(sim.Millisecond)
+				finish = env.Now()
+			})
+		k.Watch(task)
+		k.RunUntilWatchedExit(sim.Second)
+		return posts, finish
+	}
+	bp, bf := run(true)
+	sp, sf := run(false)
+	if bf != sf {
+		t.Fatalf("batched body finished at %v, sequential at %v", bf, sf)
+	}
+	if len(bp) != 2 || len(sp) != 2 {
+		t.Fatalf("posts: batched %v, sequential %v", bp, sp)
+	}
+	for i := range bp {
+		if bp[i] != sp[i] {
+			t.Fatalf("post %d fired at %v batched vs %v sequential", i, bp[i], sp[i])
+		}
+	}
+}
+
+// TestBatchAutoFlush: overflowing the pre-sized step buffer flushes
+// mid-stream instead of growing it (or starving the engine).
+func TestBatchAutoFlush(t *testing.T) {
+	_, k := newTestKernel(1)
+	total := sim.Time(0)
+	task := k.AddProcess(TaskSpec{Name: "p", Policy: PolicyNormal, Affinity: pin(0)},
+		func(env *Env) {
+			for i := 0; i < 3*batchCapacity; i++ {
+				env.DeferCompute(10 * sim.Microsecond)
+				total += 10 * sim.Microsecond
+			}
+			if got := env.Now(); got == 0 {
+				t.Error("auto-flush never ran: no virtual time passed")
+			}
+		})
+	k.Watch(task)
+	k.RunUntilWatchedExit(sim.Second)
+	if task.SumExec < total {
+		t.Fatalf("executed %v, want at least the %v deferred", task.SumExec, total)
+	}
+}
+
+// TestBatchFlushedOnExit: deferred steps left behind by a returning body
+// still run before the task exits.
+func TestBatchFlushedOnExit(t *testing.T) {
+	_, k := newTestKernel(1)
+	posted := sim.Time(-1)
+	task := k.AddProcess(TaskSpec{Name: "p", Policy: PolicyNormal, Affinity: pin(0)},
+		func(env *Env) {
+			env.DeferCompute(sim.Millisecond)
+			env.DeferAfter(0, func() { posted = k.Now() })
+		})
+	k.Watch(task)
+	// A second watched task outlives the first, so the engine stays running
+	// when the deferred post comes due (as a receiving rank would).
+	bystander := k.AddProcess(TaskSpec{Name: "bystander", Policy: PolicyNormal, Affinity: pin(2)},
+		func(env *Env) { env.Compute(10 * sim.Millisecond) })
+	k.Watch(bystander)
+	k.RunUntilWatchedExit(sim.Second)
+	if task.SumExec == 0 {
+		t.Fatal("deferred compute dropped at exit")
+	}
+	if posted < 0 {
+		t.Fatal("deferred post dropped at exit")
+	}
+	if task.ExitedAt < posted {
+		t.Fatalf("task exited at %v before its deferred post at %v", task.ExitedAt, posted)
+	}
+}

@@ -226,12 +226,11 @@ func (rq *cfsRQ) Len() int { return rq.tree.Len() }
 
 func (rq *cfsRQ) Steal(dstCPU int) *Task {
 	// Steal the task least likely to run soon: the largest vruntime among
-	// migratable, non-cache-hot tasks.
-	now := rq.k.Now()
-	cost := rq.k.Opts.MigrationCost
+	// migratable, non-cache-hot tasks. Hotness goes through BalanceCacheHot
+	// so a failed pass feeds the idle-balance negative-result cache.
 	var victim *Task
 	rq.tree.Ascend(func(t *Task) bool {
-		if t.MayRunOn(dstCPU) && !t.CacheHot(now, cost) {
+		if t.MayRunOn(dstCPU) && !rq.k.BalanceCacheHot(t) {
 			victim = t // keep the last (largest vruntime) migratable task
 		}
 		return true

@@ -23,6 +23,40 @@ type (
 	setHWPrioReq struct{ prio power5.Priority }
 )
 
+// stepKind tags one deferred operation inside a batched exchange.
+type stepKind uint8
+
+const (
+	// stepCompute adds d of work to the task's current burst, exactly like
+	// a computeReq.
+	stepCompute stepKind = iota
+	// stepAfter schedules fn on the engine d after the virtual instant the
+	// step is reached — i.e. after every earlier step in the batch has
+	// completed. The MPI transport uses it to post message deliveries at
+	// the moment the send overhead has been charged.
+	stepAfter
+)
+
+// batchStep is one deferred operation. Steps are value types in a reusable
+// per-Env slice: batching allocates nothing in steady state.
+type batchStep struct {
+	kind stepKind
+	d    sim.Time
+	fn   func()
+}
+
+// batchReq hands a whole slice of deferred steps to the kernel in a single
+// rendezvous. The kernel consumes the steps in order through the same pump
+// loop that serves individual requests — the virtual-time behaviour is
+// bit-identical to issuing them one by one; only the per-request goroutine
+// handoffs disappear.
+type batchReq struct{ steps []batchStep }
+
+// batchCapacity pre-sizes the per-process step buffer. Reaching it simply
+// forces an intermediate flush, so a pathological defer-only loop cannot
+// grow the buffer (or starve the engine) unboundedly.
+const batchCapacity = 32
+
 // Env is the system-call surface available to a simulated process body. It
 // is only valid on the body's goroutine.
 //
@@ -33,10 +67,22 @@ type (
 // safe: the kernel consumes a request before Invoke returns control to the
 // body, so each scratch value is reused only after its previous use is
 // fully processed.
+//
+// Deferred batching: DeferCompute/DeferAfter queue work without yielding to
+// the kernel; Flush hands the whole queue over in one rendezvous. Every
+// observing call (Now, Compute, Sleep, Block, Yield, the setters) flushes
+// first, so a body can never see state from before its own deferred work —
+// the timeline it observes is exactly the unbatched one.
 type Env struct {
 	h      *proc.Handle
 	kernel *Kernel
 	task   *Task
+
+	// batch holds deferred steps between flushes; batchRq is the reusable
+	// request that carries it (lazily allocated: non-batching processes —
+	// daemons, plain workloads — never pay for it).
+	batch   []batchStep
+	batchRq batchReq
 
 	// Reusable request scratch, one per request type (zero allocations per
 	// system call in steady state).
@@ -56,16 +102,78 @@ func (e *Env) Task() *Task { return e.task }
 // peers and schedule deliveries; plain workload bodies should not need it.
 func (e *Env) Kernel() *Kernel { return e.kernel }
 
-// Now returns the current virtual time.
-func (e *Env) Now() sim.Time { return e.kernel.Now() }
+// Now returns the current virtual time, flushing deferred work first: the
+// time a body observes always includes everything it has already asked for.
+func (e *Env) Now() sim.Time {
+	e.Flush()
+	return e.kernel.Now()
+}
+
+// DeferCompute queues d nanoseconds of work without yielding to the kernel.
+// The work is executed — indistinguishably from a plain Compute — when the
+// batch is flushed.
+func (e *Env) DeferCompute(d sim.Time) {
+	if d < 0 {
+		panic("sched: DeferCompute with negative duration")
+	}
+	e.push(batchStep{kind: stepCompute, d: d})
+}
+
+// DeferAfter queues "schedule fn on the engine d from then" to happen at
+// the virtual instant every earlier step of the batch has completed. It is
+// the batched analogue of calling Engine.After from the body between two
+// Computes.
+func (e *Env) DeferAfter(d sim.Time, fn func()) {
+	if d < 0 {
+		panic("sched: DeferAfter with negative delay")
+	}
+	if fn == nil {
+		panic("sched: DeferAfter with nil callback")
+	}
+	e.push(batchStep{kind: stepAfter, d: d, fn: fn})
+}
+
+func (e *Env) push(s batchStep) {
+	if e.batch == nil {
+		e.batch = make([]batchStep, 0, batchCapacity)
+	} else if len(e.batch) == cap(e.batch) {
+		e.Flush()
+	}
+	e.batch = append(e.batch, s)
+}
+
+// Deferred reports whether the batch holds unflushed steps.
+func (e *Env) Deferred() bool { return len(e.batch) > 0 }
+
+// Flush hands every deferred step to the kernel in a single rendezvous and
+// blocks until all of them have completed. With an empty batch it is free.
+//
+// Callers that are about to Block must flush before registering themselves
+// with whatever will wake them (e.g. mpi's waiting keys): flushing burns
+// deferred compute, and a wakeup arriving while the task still runs is a
+// model bug the kernel panics on.
+func (e *Env) Flush() {
+	if len(e.batch) == 0 {
+		return
+	}
+	e.batchRq.steps = e.batch
+	e.h.Invoke(&e.batchRq)
+	e.batch = e.batch[:0]
+}
 
 // Compute executes d nanoseconds of work measured at single-thread speed.
-// The call returns when the work completes; how long that takes in virtual
-// time depends on scheduling and on the hardware priorities of the core's
-// two contexts.
+// The call returns when the work completes — including any deferred steps
+// queued before it, which ride the same rendezvous; how long that takes in
+// virtual time depends on scheduling and on the hardware priorities of the
+// core's two contexts.
 func (e *Env) Compute(d sim.Time) {
 	if d < 0 {
 		panic("sched: Compute with negative duration")
+	}
+	if len(e.batch) > 0 {
+		e.DeferCompute(d)
+		e.Flush()
+		return
 	}
 	e.creq.d = d
 	e.h.Invoke(&e.creq)
@@ -76,6 +184,7 @@ func (e *Env) Sleep(d sim.Time) {
 	if d < 0 {
 		panic("sched: Sleep with negative duration")
 	}
+	e.Flush()
 	e.sreq.d = d
 	e.h.Invoke(&e.sreq)
 }
@@ -83,12 +192,14 @@ func (e *Env) Sleep(d sim.Time) {
 // Block parks the process until some other party calls Kernel.Wake on its
 // task. reason is for diagnostics only.
 func (e *Env) Block(reason string) {
+	e.Flush()
 	e.breq.reason = reason
 	e.h.Invoke(&e.breq)
 }
 
 // Yield releases the CPU, staying runnable (sched_yield).
 func (e *Env) Yield() {
+	e.Flush()
 	e.h.Invoke(&e.yreq)
 }
 
@@ -97,12 +208,14 @@ func (e *Env) Yield() {
 // (sched_setscheduler(SCHED_HPC)). rtPrio is only meaningful for the
 // real-time policies.
 func (e *Env) SetScheduler(p Policy, rtPrio int) {
+	e.Flush()
 	e.schedRq = setSchedReq{policy: p, rtPrio: rtPrio}
 	e.h.Invoke(&e.schedRq)
 }
 
 // SetNice adjusts the CFS nice level.
 func (e *Env) SetNice(nice int) {
+	e.Flush()
 	e.niceRq.nice = nice
 	e.h.Invoke(&e.niceRq)
 }
@@ -115,6 +228,7 @@ func (e *Env) SetHWPrio(p power5.Priority) {
 	if !p.Valid() {
 		panic("sched: invalid hardware priority")
 	}
+	e.Flush()
 	e.hwRq.prio = p
 	e.h.Invoke(&e.hwRq)
 }

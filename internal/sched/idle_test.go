@@ -220,3 +220,91 @@ func TestSetSchedulerSleepingTask(t *testing.T) {
 		t.Fatalf("policy switch on sleeping task failed: %v", task.Policy())
 	}
 }
+
+// TestIdleBalanceNegativeCache: a cache-hot daemon queued behind a running
+// rank must not force repeated full busiest-scans — the failed pass is
+// cached until a queue changes or the candidate cools — and the steal must
+// still happen at exactly the instant the daemon turns cold, as an
+// uncached scan would have done.
+func TestIdleBalanceNegativeCache(t *testing.T) {
+	e, k := newTestKernel(1)
+	// CPU1 frees up early (~0.35 ms at SMT speed); the others stay busy.
+	burst := []sim.Time{50 * sim.Millisecond, 200 * sim.Microsecond,
+		50 * sim.Millisecond, 50 * sim.Millisecond}
+	for cpu := 0; cpu < 4; cpu++ {
+		cpu := cpu
+		h := k.AddProcess(TaskSpec{Name: "hog", Policy: PolicyNormal, Affinity: pin(cpu)},
+			func(env *Env) { env.Compute(burst[cpu]) })
+		k.Watch(h)
+	}
+	var daemon *Task
+	spawnAt := 100 * sim.Microsecond
+	e.Schedule(spawnAt, func() {
+		// All four CPUs run a hog, so the unpinned daemon queues behind the
+		// (lowest-numbered) running rank on CPU0, cache-hot from now.
+		daemon = k.AddProcess(TaskSpec{Name: "daemon", Policy: PolicyNormal},
+			func(env *Env) { env.Compute(1 * sim.Millisecond) })
+		k.Watch(daemon)
+	})
+	coldAt := spawnAt + k.Opts.MigrationCost
+	e.Schedule(coldAt-500*sim.Microsecond, func() {
+		if daemon.CPU != 0 || daemon.SumExec != 0 {
+			t.Errorf("daemon ran early: cpu=%d exec=%v", daemon.CPU, daemon.SumExec)
+		}
+		rq1 := k.RQ(1) // idle since its hog exited, pull attempts failing
+		if !rq1.lbFailed {
+			t.Error("failed pull attempt not cached")
+		}
+		if rq1.lbFailGen != k.queueGen {
+			t.Errorf("cache generation %d != queue generation %d (scans would rerun)",
+				rq1.lbFailGen, k.queueGen)
+		}
+		if rq1.lbRetryAt != coldAt {
+			t.Errorf("retry time %v, want the daemon's cool-off %v", rq1.lbRetryAt, coldAt)
+		}
+	})
+	k.RunUntilWatchedExit(sim.Second)
+	if daemon.Migrations < 1 {
+		t.Fatalf("daemon was never stolen (migrations=%d)", daemon.Migrations)
+	}
+	// Stolen at the first idle balance after cooling (~2.25 ms), the 1 ms
+	// burst ends far before CPU0's CFS slice would first have run it
+	// (~10 ms). A missed steal fails this bound.
+	if daemon.ExitedAt > 9*sim.Millisecond {
+		t.Fatalf("daemon exited at %v: steal after cool-off did not happen", daemon.ExitedAt)
+	}
+}
+
+// TestIdleBalanceCachePinnedDaemon: when the only queued task can never
+// migrate (affinity), the failed pass is cached with no retry deadline —
+// rescans wait for a queue membership change instead of burning every tick.
+func TestIdleBalanceCachePinnedDaemon(t *testing.T) {
+	e, k := newTestKernel(1)
+	hog := k.AddProcess(TaskSpec{Name: "hog", Policy: PolicyNormal, Affinity: pin(0)},
+		func(env *Env) { env.Compute(30 * sim.Millisecond) })
+	k.Watch(hog)
+	var daemon *Task
+	e.Schedule(100*sim.Microsecond, func() {
+		daemon = k.AddProcess(TaskSpec{Name: "pinned", Policy: PolicyNormal, Affinity: pin(0)},
+			func(env *Env) { env.Compute(sim.Millisecond) })
+		k.Watch(daemon)
+	})
+	e.Schedule(10*sim.Millisecond, func() {
+		rq1 := k.RQ(1)
+		if !rq1.lbFailed {
+			t.Error("failed pull attempt not cached")
+		}
+		if rq1.lbRetryAt != sim.MaxTime {
+			t.Errorf("retry time %v for an affinity-only failure, want MaxTime", rq1.lbRetryAt)
+		}
+		if daemon.Migrations != 0 {
+			t.Errorf("pinned daemon migrated %d times", daemon.Migrations)
+		}
+	})
+	k.RunUntilWatchedExit(sim.Second)
+	if !daemon.Exited() {
+		t.Fatal("pinned daemon never ran")
+	}
+}
+
+func time1ms() sim.Time { return sim.Millisecond }

@@ -33,6 +33,14 @@ type RunQueue struct {
 	idleSince      sim.Time // when the CPU last went idle (MaxTime when busy)
 	loadAvg        float64  // tick-sampled occupancy, ~100 ms horizon
 
+	// Negative-result cache for idleBalance: after a pull attempt finds
+	// nothing, the busiest-scan is provably futile until some queue's
+	// membership changes (lbFailGen vs Kernel.queueGen) or a candidate
+	// rejected for cache-hotness cools down (lbRetryAt).
+	lbFailed  bool
+	lbFailGen uint64
+	lbRetryAt sim.Time
+
 	// ContextSwitches counts dispatches of a task different from the
 	// previous one.
 	ContextSwitches int64
@@ -80,6 +88,14 @@ type Kernel struct {
 	// without changing which task any balance pass would pick.
 	nrQueued      int
 	nrQueuedClass []int
+
+	// queueGen counts class-queue membership changes machine-wide; it
+	// versions the per-CPU idle-balance negative-result caches.
+	// stealColdAt is pass-local scratch: Steal implementations record —
+	// via BalanceCacheHot — the earliest instant a candidate rejected for
+	// cache-hotness will cool.
+	queueGen    uint64
+	stealColdAt sim.Time
 
 	// Migration counters by source (diagnostics).
 	MigWake, MigSteal, MigActive int64
@@ -264,7 +280,11 @@ func (k *Kernel) AddProcess(spec TaskSpec, body func(*Env)) *Task {
 	k.tasks = append(k.tasks, t)
 
 	p := proc.New(t.PID, spec.Name, func(h *proc.Handle) {
-		body(&Env{h: h, kernel: k, task: t})
+		env := &Env{h: h, kernel: k, task: t}
+		body(env)
+		// Settle any deferred batch the body left behind, so its last sends
+		// and overhead charges land before the task exits.
+		env.Flush()
 	})
 	t.proc = p
 	req, done := p.Start()
@@ -423,13 +443,32 @@ func (k *Kernel) exit(t *Task) {
 func (k *Kernel) noteEnqueued(rq *RunQueue, t *Task) {
 	k.nrQueued++
 	k.nrQueuedClass[t.classIdx]++
+	k.queueGen++
 	rq.nrQueued++
 }
 
 func (k *Kernel) noteDequeued(rq *RunQueue, t *Task) {
 	k.nrQueued--
 	k.nrQueuedClass[t.classIdx]--
+	k.queueGen++
 	rq.nrQueued--
+}
+
+// BalanceCacheHot reports whether t is too cache-hot for the load balancer
+// to migrate, recording the earliest instant it will cool so a failed
+// idle-balance pass knows when a rescan can first change its outcome.
+// Steal implementations must use it — rather than Task.CacheHot directly —
+// when rejecting a candidate for hotness, or the negative-result cache
+// would skip a scan that could now succeed.
+func (k *Kernel) BalanceCacheHot(t *Task) bool {
+	cold := t.queuedAt + k.Opts.MigrationCost
+	if k.Now() >= cold {
+		return false
+	}
+	if cold < k.stealColdAt {
+		k.stealColdAt = cold
+	}
+	return true
 }
 
 // account settles the task's time counters up to now.
@@ -484,11 +523,13 @@ func (k *Kernel) schedule(cpu int) {
 	}
 
 	var next *Task
-	for _, crq := range rq.classRQ {
-		if t := crq.PickNext(); t != nil {
-			next = t
-			k.noteDequeued(rq, t)
-			break
+	if rq.nrQueued > 0 { // exact counter: all PickNexts are nil when 0
+		for _, crq := range rq.classRQ {
+			if t := crq.PickNext(); t != nil {
+				next = t
+				k.noteDequeued(rq, t)
+				break
+			}
 		}
 	}
 	if next == nil {
@@ -556,9 +597,9 @@ func (k *Kernel) ApplyHWPrio(t *Task) {
 	}
 }
 
-// pump drives the current task of cpu: execute its pending compute burst or
-// fetch and process its next requests until it either computes, blocks,
-// sleeps or exits.
+// pump drives the current task of cpu: execute its pending compute burst,
+// drain the unconsumed steps of a batched exchange, or fetch and process
+// its next requests until it either computes, blocks, sleeps or exits.
 func (k *Kernel) pump(cpu int) {
 	rq := k.rqs[cpu]
 	for {
@@ -569,6 +610,39 @@ func (k *Kernel) pump(cpu int) {
 		if t.remaining > 0 {
 			k.planBurst(rq, t)
 			return
+		}
+		if t.stepNext < len(t.steps) {
+			// Consume the next step of a batched exchange inline: no proc
+			// round-trip. The per-step semantics are identical to the
+			// equivalent individual requests, so the virtual timeline is
+			// bit-for-bit the unbatched one.
+			s := &t.steps[t.stepNext]
+			t.stepNext++
+			if t.stepNext == len(t.steps) {
+				// Last step: drop the reference to the Env's buffer (the
+				// body reuses it after Flush returns) and mark the body —
+				// still parked in Invoke — resumable.
+				t.steps = nil
+				t.stepNext = 0
+				t.needsResume = true
+			}
+			switch s.kind {
+			case stepCompute:
+				t.remaining += float64(s.d)
+			case stepAfter:
+				k.Engine.After(s.d, s.fn)
+			}
+			if rq.needResched {
+				if t.remaining > 0 {
+					k.planBurst(rq, t)
+				} else if rq.current == t {
+					// Remaining steps (or the Resume) run once the
+					// scheduler hands the CPU back.
+					k.Resched(cpu)
+				}
+				return
+			}
+			continue
 		}
 		var req proc.Request
 		var done bool
@@ -617,6 +691,16 @@ func (k *Kernel) handleRequest(rq *RunQueue, t *Task, req proc.Request) bool {
 		}
 		t.remaining += float64(r.d)
 		t.needsResume = true
+		return true
+	case *batchReq:
+		// A batched exchange: stash the steps; the pump drains them without
+		// further rendezvous. The body stays parked until the last step
+		// completes (needsResume is set on exhaustion, not here).
+		if t.stepNext < len(t.steps) {
+			panic(fmt.Sprintf("sched: task %v flushed a batch over unconsumed steps", t))
+		}
+		t.steps = r.steps
+		t.stepNext = 0
 		return true
 	case *sleepReq:
 		t.needsResume = true
@@ -746,10 +830,14 @@ func (k *Kernel) burstDone(t *Task) {
 	k.pump(rq.CPU)
 }
 
-// coreSpeedChanged is the chip hook: re-plan in-flight bursts on both
-// contexts of the core whose speed conditions changed.
-func (k *Kernel) coreSpeedChanged(co *power5.Core) {
+// coreSpeedChanged is the chip hook: re-plan the in-flight bursts of the
+// contexts whose speed inputs changed (mask bit i = context i). A busy
+// toggle masks only the sibling; a priority change masks both.
+func (k *Kernel) coreSpeedChanged(co *power5.Core, mask int) {
 	for i := 0; i < 2; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
 		cpu := co.Context(i).ID()
 		rq := k.rqs[cpu]
 		t := rq.current
@@ -777,7 +865,9 @@ func (k *Kernel) coreSpeedChanged(co *power5.Core) {
 // startTicker arms the periodic scheduler tick for cpu. Ticks are staggered
 // across CPUs as on real SMP kernels. Each CPU owns exactly one ticker
 // event and one callback for the kernel's lifetime: the callback re-arms
-// the event via Reschedule, so the periodic tick never allocates.
+// the event via Reschedule, so the periodic tick never allocates — and
+// because the cadence is fixed, the event qualifies for the engine's
+// periodic ring, which re-arms in O(1) without touching the timer wheel.
 func (k *Kernel) startTicker(cpu int) {
 	period := k.Opts.TickPeriod
 	offset := period * sim.Time(cpu) / sim.Time(k.Chip.NumCPUs())
@@ -786,7 +876,7 @@ func (k *Kernel) startTicker(cpu int) {
 		k.tick(cpu)
 		k.Engine.Reschedule(ev, k.Now()+period)
 	}
-	ev = k.Engine.Schedule(k.Engine.Now()+offset, tick)
+	ev = k.Engine.SchedulePeriodic(k.Engine.Now()+offset, period, tick)
 }
 
 // tick performs the per-CPU periodic work: settle accounting, let the
@@ -854,6 +944,16 @@ func (k *Kernel) idleBalance(rq *RunQueue) *Task {
 		// empty, so go straight to the SMT-domain active balance.
 		return k.activeBalance(rq)
 	}
+	// Negative-result cache (the "cache-hot daemon queued behind a running
+	// rank" case): if no queue membership changed since this CPU's last
+	// failed pull and no hot-rejected candidate has cooled yet, the scan
+	// below would provably fail again — affinity masks are fixed at spawn,
+	// so a failed Steal can only start succeeding through one of those two
+	// events. Skip straight to the SMT-domain active balance.
+	if rq.lbFailed && rq.lbFailGen == k.queueGen && k.Now() < rq.lbRetryAt {
+		return k.activeBalance(rq)
+	}
+	k.stealColdAt = sim.MaxTime
 	for ci := range k.classes {
 		if k.nrQueuedClass[ci] == 0 {
 			continue // no queued task of this class anywhere
@@ -876,9 +976,13 @@ func (k *Kernel) idleBalance(rq *RunQueue) *Task {
 			t.CPU = rq.CPU
 			t.Migrations++
 			k.MigSteal++
+			rq.lbFailed = false
 			return t
 		}
 	}
+	rq.lbFailed = true
+	rq.lbFailGen = k.queueGen
+	rq.lbRetryAt = k.stealColdAt
 	return k.activeBalance(rq)
 }
 

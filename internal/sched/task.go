@@ -129,9 +129,14 @@ type Task struct {
 	remaining   float64
 	pendingReq  proc.Request // first request, before it is consumed
 	needsResume bool         // proc is parked in Invoke awaiting a reply
-	finishEv    *sim.Event
-	planAt      sim.Time // when the current burst plan was made
-	planSpeed   float64  // speed assumed by the current plan
+	// steps/stepNext hold the unconsumed tail of a batched exchange
+	// (Env.Flush): the pump drains them in order — across preemptions and
+	// migrations — without a proc round-trip between them.
+	steps     []batchStep
+	stepNext  int
+	finishEv  *sim.Event
+	planAt    sim.Time // when the current burst plan was made
+	planSpeed float64  // speed assumed by the current plan
 
 	// Accounting (exact, transition-driven).
 	SumExec    sim.Time // total on-CPU time

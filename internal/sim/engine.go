@@ -16,6 +16,16 @@
 // cancelled: clear the reference and never pass it to Cancel again, or an
 // unrelated recycled event may be cancelled in its place. Every holder in
 // this repository follows that discipline (see sched.Task.finishEv).
+//
+// The pending-event store is tiered: a dedicated periodic ring pops and
+// re-arms the fixed-cadence events (the per-CPU scheduler ticks, armed via
+// SchedulePeriodic — the large majority of all events) in O(1) with no
+// comparisons; a hierarchical timer wheel (wheel.go) absorbs every other
+// deadline within ~17 s of the clock — RR re-arms through Reschedule,
+// burst completions, message deliveries, same-instant scheduling passes —
+// at O(1) per operation; and a flat 4-ary indexed min-heap holds the rare
+// far-future deadlines. Step/Run take the global (at, seq) minimum across
+// the tiers, so firing order is identical to a single heap.
 package sim
 
 import (
@@ -56,12 +66,18 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 type Event struct {
 	at       Time
 	seq      uint64
+	period   Time // fixed re-arm cadence (SchedulePeriodic), 0 = aperiodic
 	do       func()
-	index    int32 // position in the 4-ary heap, -1 when not queued
+	index    int32 // position in the overflow heap, -1 when not in the heap
+	slot     int32 // level<<8|slot in the timer wheel; -1 none; ringSlot = periodic ring
 	canceled bool
 	pooled   bool   // on the free list (dead until reacquired)
-	next     *Event // free-list link while pooled
+	next     *Event // free-list link while pooled, slot-list link while wheeled
+	prev     *Event // slot-list back link (O(1) unlink for Cancel/Reschedule)
 }
+
+// ringSlot marks an event as resident in the periodic ring.
+const ringSlot int32 = -2
 
 // At returns the virtual time the event is (or was) scheduled for.
 func (e *Event) At() Time { return e.at }
@@ -70,11 +86,15 @@ func (e *Event) At() Time { return e.at }
 // until the engine recycles the event for a later Schedule.
 func (e *Event) Canceled() bool { return e.canceled }
 
-// initialQueueCapacity pre-sizes the event heap so steady-state simulations
-// never grow it; poolChunk is how many events each pool refill allocates in
-// one contiguous block (good locality, amortised allocation).
+// queued reports whether the event sits in any tier (heap, wheel or ring).
+func (e *Event) queued() bool { return e.index >= 0 || e.slot != -1 }
+
+// initialQueueCapacity pre-sizes the overflow heap so simulations with many
+// far-future deadlines never grow it; poolChunk is how many events each pool
+// refill allocates in one contiguous block (good locality, amortised
+// allocation).
 const (
-	initialQueueCapacity = 512
+	initialQueueCapacity = 256
 	poolChunk            = 128
 )
 
@@ -84,7 +104,9 @@ const (
 // the proc package, so this is never a limitation in practice).
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	wheel   timerWheel
+	ring    periodicRing // fixed-cadence events (SchedulePeriodic)
+	heap    eventQueue   // far-future overflow (beyond the wheel horizon)
 	seq     uint64
 	rng     *RNG
 	stopped bool
@@ -98,11 +120,11 @@ type Engine struct {
 }
 
 // NewEngine returns an engine with the clock at zero and the RNG seeded with
-// seed. The event queue and pool are pre-sized so typical simulations never
+// seed. The event queues and pool are pre-sized so typical simulations never
 // allocate on the scheduling hot path.
 func NewEngine(seed uint64) *Engine {
 	e := &Engine{rng: NewRNG(seed)}
-	e.queue.items = make([]heapItem, 0, initialQueueCapacity)
+	e.heap.items = make([]heapItem, 0, initialQueueCapacity)
 	return e
 }
 
@@ -113,6 +135,7 @@ func (e *Engine) acquire() *Event {
 		chunk := make([]Event, poolChunk)
 		for i := range chunk {
 			chunk[i].index = -1
+			chunk[i].slot = -1
 			chunk[i].pooled = true
 			chunk[i].next = e.free
 			e.free = &chunk[i]
@@ -121,9 +144,12 @@ func (e *Engine) acquire() *Event {
 	ev := e.free
 	e.free = ev.next
 	ev.next = nil
+	ev.prev = nil
 	ev.pooled = false
 	ev.canceled = false
 	ev.index = -1
+	ev.slot = -1
+	ev.period = 0
 	return ev
 }
 
@@ -142,6 +168,30 @@ func (e *Engine) Now() Time { return e.now }
 // RNG returns the engine's deterministic random number generator.
 func (e *Engine) RNG() *RNG { return e.rng }
 
+// enqueue routes ev to its tier: the timer wheel when the deadline lies
+// within the wheel horizon of the wheel reference, the overflow heap
+// otherwise.
+func (e *Engine) enqueue(ev *Event) {
+	diff := uint64(ev.at ^ e.wheel.time)
+	if diff>>wheelHorizonBits == 0 {
+		e.wheel.insertDiff(ev, diff)
+	} else {
+		e.heap.push(ev)
+	}
+}
+
+// dequeue removes a pending event from whichever tier holds it.
+func (e *Engine) dequeue(ev *Event) {
+	switch {
+	case ev.slot >= 0:
+		e.wheel.remove(ev)
+	case ev.slot == ringSlot:
+		e.ring.remove(ev)
+	default:
+		e.heap.remove(int(ev.index))
+	}
+}
+
 // Schedule registers do to run at virtual time at. Scheduling in the past
 // (at < Now) panics: it always indicates a model bug, and silently clamping
 // would mask it. Scheduling exactly at Now is allowed and the event runs
@@ -159,7 +209,7 @@ func (e *Engine) Schedule(at Time, do func()) *Event {
 	ev.at = at
 	ev.seq = e.seq
 	ev.do = do
-	e.queue.push(ev)
+	e.enqueue(ev)
 	return ev
 }
 
@@ -171,17 +221,58 @@ func (e *Engine) After(d Time, do func()) *Event {
 	return e.Schedule(e.now+d, do)
 }
 
+// SchedulePeriodic registers a fixed-cadence event: do first runs at at and
+// is expected to re-arm the event from its own callback via
+// Reschedule(ev, Now()+period) every time. Such events live in a dedicated
+// ring that pops and re-arms in O(1) — no wheel or heap traffic at all —
+// which matters because the per-CPU scheduler ticks they serve are the
+// large majority of all simulation events. Firing order remains the global
+// (at, seq) order, exactly as if Schedule had been used.
+//
+// The ring holds one period at a time, and joining it requires the arm time
+// to be at or after the ring's last deadline (true for tick ladders armed
+// in offset order). An event that does not qualify — or that is later
+// re-armed off-cadence — silently degrades to a normal wheel/heap event;
+// SchedulePeriodic is an optimisation hint, never a semantic change.
+func (e *Engine) SchedulePeriodic(at, period Time, do func()) *Event {
+	if do == nil {
+		panic("sim: SchedulePeriodic with nil callback")
+	}
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: SchedulePeriodic with period %v", period))
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: at=%v now=%v", at, e.now))
+	}
+	e.seq++
+	e.scheduled++
+	ev := e.acquire()
+	ev.at = at
+	ev.seq = e.seq
+	ev.do = do
+	if e.ring.accepts(at, period) {
+		ev.period = period
+		e.ring.push(ev)
+	} else {
+		e.enqueue(ev)
+	}
+	return ev
+}
+
 // Reschedule re-arms ev — keeping its callback — to fire at at, as if it
 // had just been passed to Schedule: it receives a fresh sequence number, so
 // it orders after everything already scheduled for the same instant.
 // Periodic work (scheduler ticks, load-balance timers) re-arms one event
 // from its own callback instead of allocating an event and a closure per
-// period.
+// period. Re-arming from the callback hits the wheel's O(1) insert: the
+// event was just removed, the reference time equals the firing instant, and
+// any periodic deadline within the horizon lands in a slot directly.
 //
-// ev may be pending (it is moved) or mid-fire (its callback is running: it
-// is re-queued and will not be recycled when the callback returns). It must
-// not be dead — fired without re-arming, or cancelled — since dead events
-// are recycled and may already back an unrelated Schedule.
+// ev may be pending (it is moved between tiers as needed) or mid-fire (its
+// callback is running: it is re-queued and will not be recycled when the
+// callback returns). It must not be dead — fired without re-arming, or
+// cancelled — since dead events are recycled and may already back an
+// unrelated Schedule.
 func (e *Engine) Reschedule(ev *Event, at Time) {
 	if ev == nil || ev.pooled || ev.do == nil {
 		panic("sim: Reschedule of a dead (fired or cancelled) event")
@@ -191,68 +282,102 @@ func (e *Engine) Reschedule(ev *Event, at Time) {
 	}
 	e.seq++
 	e.scheduled++
+	if ev.period != 0 {
+		// Periodic event: the expected in-cadence re-arm (from its own
+		// callback, to exactly one period out) goes back into the ring in
+		// O(1). Anything else demotes the event to the ordinary tiers.
+		if ev.slot == ringSlot {
+			e.ring.remove(ev)
+		}
+		if at == e.now+ev.period && e.ring.accepts(at, ev.period) {
+			ev.at = at
+			ev.seq = e.seq
+			e.ring.push(ev)
+			return
+		}
+		ev.period = 0
+	}
+	if ev.queued() {
+		e.dequeue(ev)
+	}
 	ev.at = at
 	ev.seq = e.seq
-	if ev.index >= 0 {
-		// Still pending: refresh the slot's denormalised key and reposition
-		// in place. The sequence number grew, but at compares first, so the
-		// event may move either way (rescheduling a pending timer to an
-		// earlier deadline must sift up).
-		i := int(ev.index)
-		e.queue.rekey(i)
-		if !e.queue.siftDown(i) {
-			e.queue.siftUp(i)
-		}
-	} else {
-		e.queue.push(ev)
-	}
+	e.enqueue(ev)
 }
 
 // Cancel removes a pending event. Returns true if the event was pending and
 // is now guaranteed not to fire. The event is recycled: the caller must
 // clear its reference.
 func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.canceled || ev.index < 0 {
+	if ev == nil || ev.canceled || !ev.queued() {
 		return false
 	}
 	ev.canceled = true
-	e.queue.remove(int(ev.index))
+	e.dequeue(ev)
 	e.cancelled++
 	e.release(ev)
 	return true
 }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue.items) }
+func (e *Engine) Pending() int { return e.wheel.count + e.ring.n + len(e.heap.items) }
 
-// PeekNext returns the time of the earliest pending event, or MaxTime if the
-// queue is empty.
-func (e *Engine) PeekNext() Time {
-	if len(e.queue.items) == 0 {
-		return MaxTime
+// findMin returns the earliest pending event across all three tiers —
+// wheel levels are strictly ordered among themselves and the ring is
+// sorted, so this is one wheel lookup plus one (at, seq) comparison each
+// against the ring head and the heap top — or nil.
+func (e *Engine) findMin() *Event {
+	ev := e.wheel.min()
+	if e.ring.n > 0 {
+		if head := e.ring.head(); ev == nil || eventLess(head, ev) {
+			ev = head
+		}
 	}
-	return e.queue.items[0].at
+	if len(e.heap.items) > 0 {
+		top := e.heap.items[0].ev
+		if ev == nil || eventLess(top, ev) {
+			ev = top
+		}
+	}
+	return ev
+}
+
+// PeekNext returns the time of the earliest pending event, or MaxTime if
+// nothing is pending.
+func (e *Engine) PeekNext() Time {
+	if ev := e.findMin(); ev != nil {
+		return ev.at
+	}
+	return MaxTime
+}
+
+// fire removes ev (the global minimum) from its tier, advances the clock
+// and the wheel reference to its deadline, and runs the callback.
+func (e *Engine) fire(ev *Event) {
+	if ev.at < e.now {
+		panic("sim: event queue corrupted (time went backwards)")
+	}
+	e.dequeue(ev)
+	e.wheel.advance(ev.at)
+	e.now = ev.at
+	e.fired++
+	ev.do()
+	// The callback may have re-armed the event (Reschedule) or, in
+	// principle, raced it back through the pool; only a still-dead event is
+	// recycled.
+	if !ev.queued() && !ev.pooled {
+		e.release(ev)
+	}
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports false if no events are pending.
 func (e *Engine) Step() bool {
-	if len(e.queue.items) == 0 {
+	ev := e.findMin()
+	if ev == nil {
 		return false
 	}
-	ev := e.queue.pop()
-	if ev.at < e.now {
-		panic("sim: event heap corrupted (time went backwards)")
-	}
-	e.now = ev.at
-	e.fired++
-	ev.do()
-	// The callback may have re-armed the event (Reschedule: index >= 0) or,
-	// in principle, raced it back through the pool; only a still-dead event
-	// is recycled.
-	if ev.index < 0 && !ev.pooled {
-		e.release(ev)
-	}
+	e.fire(ev)
 	return true
 }
 
@@ -262,8 +387,12 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until Time) int {
 	n := 0
 	e.stopped = false
-	for !e.stopped && len(e.queue.items) > 0 && e.queue.items[0].at <= until {
-		e.Step()
+	for !e.stopped {
+		ev := e.findMin()
+		if ev == nil || ev.at > until {
+			break
+		}
+		e.fire(ev)
 		n++
 	}
 	if !e.stopped && until != MaxTime && e.now < until {
@@ -306,12 +435,91 @@ func (e *Engine) Stats() Stats {
 		Fired:     e.fired,
 		Cancelled: e.cancelled,
 		Recycled:  e.recycled,
-		Pending:   len(e.queue.items),
+		Pending:   e.Pending(),
 	}
 }
 
 // ---------------------------------------------------------------------------
-// Flat 4-ary indexed min-heap
+// Periodic ring (fixed-cadence tier)
+// ---------------------------------------------------------------------------
+
+// periodicRing holds the strictly-periodic events (SchedulePeriodic). All
+// residents share one period and are re-armed from their own callbacks to
+// exactly one period after their firing instant, so a re-arm's deadline is
+// always ≥ every resident deadline (d_i = lastFire_i + period and
+// lastFire_i ≤ the instant firing now): pushes append at the tail and the
+// ring stays (at, seq)-sorted with no comparisons at all. Equal deadlines
+// (tick ladders of cluster nodes sharing an engine) are appended in seq
+// order, because pops — and therefore re-arms — happen in seq order.
+type periodicRing struct {
+	period Time
+	evs    []*Event // circular buffer, capacity a power of two
+	first  int      // index of the head element
+	n      int
+}
+
+// accepts reports whether an event armed for at with the given period may
+// join the ring without breaking its sortedness: the ring is empty (it
+// adopts the period), or the period matches and at is not before the tail
+// deadline.
+func (r *periodicRing) accepts(at Time, period Time) bool {
+	if r.n == 0 {
+		return true
+	}
+	return r.period == period && at >= r.tail().at
+}
+
+func (r *periodicRing) head() *Event { return r.evs[r.first] }
+
+func (r *periodicRing) tail() *Event {
+	return r.evs[(r.first+r.n-1)&(len(r.evs)-1)]
+}
+
+// push appends ev (caller has checked accepts).
+func (r *periodicRing) push(ev *Event) {
+	if r.n == len(r.evs) {
+		grown := make([]*Event, max(8, 2*len(r.evs)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.evs[(r.first+i)&(len(r.evs)-1)]
+		}
+		r.evs = grown
+		r.first = 0
+	}
+	if r.n == 0 {
+		r.period = ev.period
+	}
+	r.evs[(r.first+r.n)&(len(r.evs)-1)] = ev
+	r.n++
+	ev.slot = ringSlot
+}
+
+// remove unlinks ev: O(1) for the head (the pop path — the fired event is
+// always the ring minimum), a shift for the rare Cancel/demotion mid-ring.
+func (r *periodicRing) remove(ev *Event) {
+	mask := len(r.evs) - 1
+	if r.evs[r.first] == ev {
+		r.evs[r.first] = nil
+		r.first = (r.first + 1) & mask
+		r.n--
+		ev.slot = -1
+		return
+	}
+	for i := 1; i < r.n; i++ {
+		if r.evs[(r.first+i)&mask] == ev {
+			for j := i; j < r.n-1; j++ {
+				r.evs[(r.first+j)&mask] = r.evs[(r.first+j+1)&mask]
+			}
+			r.evs[(r.first+r.n-1)&mask] = nil
+			r.n--
+			ev.slot = -1
+			return
+		}
+	}
+	panic("sim: periodic ring remove of non-member")
+}
+
+// ---------------------------------------------------------------------------
+// Flat 4-ary indexed min-heap (far-future overflow tier)
 // ---------------------------------------------------------------------------
 
 // eventQueue is a hand-rolled 4-ary min-heap over (at, seq), replacing
@@ -321,7 +529,9 @@ func (e *Engine) Stats() Stats {
 // contiguous array instead of chasing *Event pointers into the pool —
 // the four children of a node live on two cache lines, not four.
 // The heap is indexed (each event knows its slot) so Cancel removes in
-// O(log₄ n) without a search.
+// O(log₄ n) without a search. Since the timer wheel absorbs every deadline
+// within its horizon, the heap only sees genuinely far-future events and
+// stays small.
 type eventQueue struct {
 	items []heapItem
 }
@@ -349,22 +559,7 @@ func (q *eventQueue) push(ev *Event) {
 	q.siftUp(len(q.items) - 1)
 }
 
-func (q *eventQueue) pop() *Event {
-	items := q.items
-	ev := items[0].ev
-	last := len(items) - 1
-	items[0] = items[last]
-	items[0].ev.index = 0
-	items[last] = heapItem{}
-	q.items = items[:last]
-	if last > 0 {
-		q.siftDown(0)
-	}
-	ev.index = -1
-	return ev
-}
-
-// remove deletes the event at slot i (Cancel path).
+// remove deletes the event at slot i (Cancel and pop paths).
 func (q *eventQueue) remove(i int) {
 	items := q.items
 	ev := items[i].ev
@@ -384,13 +579,6 @@ func (q *eventQueue) remove(i int) {
 		q.items = items[:last]
 	}
 	ev.index = -1
-}
-
-// rekey refreshes slot i's denormalised key from its event (Reschedule).
-func (q *eventQueue) rekey(i int) {
-	it := &q.items[i]
-	it.at = it.ev.at
-	it.seq = it.ev.seq
 }
 
 func (q *eventQueue) siftUp(i int) {
