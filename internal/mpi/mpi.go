@@ -127,11 +127,17 @@ func NewWorld(k *sched.Kernel, size int, opts Options) *World {
 		barrierWaiters: make([]*Rank, 0, size),
 	}
 	for i := 0; i < size; i++ {
-		w.ranks = append(w.ranks, &Rank{
+		r := &Rank{
 			world: w,
 			id:    i,
 			inbox: make([]message, initialInboxCap),
-		})
+		}
+		// Pre-bind the fused-wait checks once per rank: the hot blocking
+		// paths then hand the kernel an existing closure, never allocating.
+		r.recvCheck = r.recvCheckFn
+		r.waitallCheck = r.waitallCheckFn
+		r.barrierCheck = r.barrierCheckFn
+		w.ranks = append(w.ranks, r)
 	}
 	return w
 }
@@ -239,6 +245,23 @@ type Rank struct {
 	// their backing arrays across calls.
 	waiting []msgKey
 	pending []msgKey
+
+	// Fused-wait state (Env.InvokeWait). The checks are pre-bound closures
+	// over this state; the scalar fields parameterise the wait in flight:
+	// waitSrc/waitTag for Recv, the sweep cursors for Waitall (sweepRead
+	// scans r.pending, misses compact to sweepWrite — persisted so a sweep
+	// interrupted by an overhead burn resumes at the same key), and the
+	// barrier arrival marker.
+	recvCheck    sched.WaitCheck
+	waitallCheck sched.WaitCheck
+	barrierCheck sched.WaitCheck
+	waitSrc      int
+	waitTag      int
+	waitSize     int64
+	sweepRead    int
+	sweepWrite   int
+	barrierIn    bool
+	barrierGen0  int
 
 	seq collSeq // per-collective invocation counters
 }
@@ -393,28 +416,52 @@ func (r *Rank) take(src, tag int) (message, bool) {
 }
 
 // Recv blocks until a message from src with the given tag arrives and
-// returns its size. The entry flush settles deferred sends before the inbox
-// is inspected; the receive overhead is itself deferred, riding the rank's
-// next exchange (every later observation flushes first, so the timeline is
-// the unbatched one).
+// returns its size.
+//
+// The whole operation is a single fused rendezvous at most: a tagged probe
+// may run before the rank's deferred batch settles (per-(src,tag) FIFO
+// makes the choice time-independent — the same trick Waitall plays), so a
+// buffered message is consumed with no kernel interaction at all; a miss
+// hands the kernel one waitReq whose check re-inspects the inbox after the
+// batch drains and after every wakeup, with the body parked in one Invoke
+// throughout. An AnyTag probe must observe the post-flush inbox, so it
+// settles the batch first. The receive overhead is deferred either way,
+// riding the rank's next exchange (every later observation flushes first,
+// so the timeline is the unbatched one).
 func (r *Rank) Recv(src, tag int) int64 {
 	if src < 0 || src >= r.Size() || src == r.id {
 		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
 	}
-	r.env.Flush()
-	for {
-		if m, ok := r.take(src, tag); ok {
-			if r.world.opts.RecvOverhead > 0 {
-				r.env.DeferCompute(r.world.opts.RecvOverhead)
-			}
-			return m.size
-		}
-		// The batch is empty here (flushed on entry, and a hit returns), so
-		// blocking with waiting keys set is safe: no deferred compute can
-		// run while deliver would try to wake us.
-		r.waiting = append(r.waiting[:0], msgKey{src, tag})
-		r.env.Block("mpi-recv")
+	if tag == AnyTag {
+		r.env.Flush()
 	}
+	if m, ok := r.take(src, tag); ok {
+		if r.world.opts.RecvOverhead > 0 {
+			r.env.DeferCompute(r.world.opts.RecvOverhead)
+		}
+		return m.size
+	}
+	r.waitSrc, r.waitTag = src, tag
+	r.env.InvokeWait(r.recvCheck)
+	if r.world.opts.RecvOverhead > 0 {
+		r.env.DeferCompute(r.world.opts.RecvOverhead)
+	}
+	return r.waitSize
+}
+
+// recvCheckFn is Recv's engine-side wait predicate: consume the awaited
+// message if it is here, otherwise (re-)register the waiting key and keep
+// the task blocked. It runs with the rank's batch settled, exactly where
+// the unfused Recv re-inspected the inbox after its flush or wakeup. The
+// size travels through waitSize rather than the reply so the hot path
+// never boxes an int64 into an interface.
+func (r *Rank) recvCheckFn() (done bool, reply any) {
+	if m, ok := r.take(r.waitSrc, r.waitTag); ok {
+		r.waitSize = m.size
+		return true, nil
+	}
+	r.waiting = append(r.waiting[:0], msgKey{r.waitSrc, r.waitTag})
+	return false, nil
 }
 
 // Request is a handle for a non-blocking operation.
@@ -439,11 +486,14 @@ func (r *Rank) Wait(req Request) { r.Waitall([]Request{req}) }
 // Waitall blocks until every request completes (mpi_waitall). Completed
 // receives consume their messages.
 //
-// Receive overheads are deferred: a sweep consumes everything already
-// buffered at the current instant, then a single flush burns the charges —
-// messages arriving during that burn are found by the next sweep, exactly
-// as they were when each charge was a separate rendezvous. The final
-// sweep's charges ride the rank's next exchange.
+// The whole wait is one fused rendezvous: the kernel drains the rank's
+// deferred sends, then drives waitallCheckFn — which sweeps the pending
+// keys, defers the receive-overhead charge of every hit, and yields to the
+// pump whenever a burn must settle (before an AnyTag probe, or between
+// sweeps) — blocking the task between arrivals without ever resuming the
+// body. Messages arriving during a burn are found by the resumed sweep,
+// exactly as they were when each charge was a separate rendezvous. The
+// final sweep's charges ride the rank's next exchange.
 func (r *Rank) Waitall(reqs []Request) {
 	pending := r.pending[:0]
 	for _, q := range reqs {
@@ -455,69 +505,92 @@ func (r *Rank) Waitall(reqs []Request) {
 	if len(pending) == 0 {
 		return
 	}
+	r.sweepRead, r.sweepWrite = 0, 0
+	r.env.InvokeWait(r.waitallCheck)
+}
+
+// waitallCheckFn is Waitall's engine-side wait predicate. It resumes the
+// in-flight sweep at sweepRead (misses compacted to sweepWrite): explicitly
+// tagged probes may run with charges still deferred (per-key FIFO makes the
+// choice time-independent), but an AnyTag probe picks among the tags
+// buffered *now*, so the sweep parks — cursors intact — until every prior
+// overhead burn lands. A completed sweep either finishes the wait, yields
+// to burn the charges it consumed (more messages may arrive meanwhile, so
+// the next invocation starts a fresh sweep), or registers the remaining
+// keys and blocks.
+func (r *Rank) waitallCheckFn() (done bool, reply any) {
 	env := r.env
-	env.Flush() // settle deferred sends before inspecting the inbox
 	ov := r.world.opts.RecvOverhead
-	for {
-		// Consume everything already here. Explicitly tagged probes may run
-		// early (per-key FIFO makes the choice time-independent; a miss is
-		// retried after the flush below, at the exact unbatched instant),
-		// but an AnyTag probe picks among the tags buffered *now*, so it
-		// must observe every prior overhead burn first.
-		remaining := pending[:0]
-		for _, key := range pending {
-			if key.tag == AnyTag {
-				env.Flush()
+	pending := r.pending
+	for r.sweepRead < len(pending) {
+		key := pending[r.sweepRead]
+		if key.tag == AnyTag && env.Deferred() {
+			return false, nil // burn first; the pump re-invokes the sweep here
+		}
+		r.sweepRead++
+		if _, ok := r.take(key.src, key.tag); ok {
+			if ov > 0 {
+				env.DeferCompute(ov)
 			}
-			if _, ok := r.take(key.src, key.tag); ok {
-				if ov > 0 {
-					env.DeferCompute(ov)
-				}
-			} else {
-				remaining = append(remaining, key)
-			}
+		} else {
+			pending[r.sweepWrite] = key
+			r.sweepWrite++
 		}
-		pending = remaining
-		r.pending = pending
-		if len(pending) == 0 {
-			return
-		}
-		if env.Deferred() {
-			// Burn the overheads consumed this sweep; more messages may
-			// arrive meanwhile, so sweep again before blocking.
-			env.Flush()
-			continue
-		}
-		// Nothing consumed and nothing deferred: block. The empty batch
-		// makes the waiting keys safe (see Recv).
-		r.waiting = append(r.waiting[:0], pending...)
-		env.Block("mpi-waitall")
 	}
+	r.pending = pending[:r.sweepWrite]
+	r.sweepRead, r.sweepWrite = 0, 0
+	if len(r.pending) == 0 {
+		return true, nil
+	}
+	if env.Deferred() {
+		return false, nil // burn, then sweep again
+	}
+	r.waiting = append(r.waiting[:0], r.pending...)
+	return false, nil // block until an arrival wakes the task
 }
 
 // Barrier blocks until every rank in the world has entered the barrier
 // (mpi_barrier). The last arriving rank releases the others after the
 // configured barrier latency and continues immediately.
+//
+// The arrival bookkeeping runs inside the fused wait's check, at the
+// virtual instant the rank's deferred work has settled — the same instant
+// the former flush-then-arrive sequence used — so the entire barrier costs
+// each rank one rendezvous.
 func (r *Rank) Barrier() {
-	r.env.Flush() // the arrival instant must include all deferred work
+	r.env.InvokeWait(r.barrierCheck)
+}
+
+// barrierCheckFn is Barrier's engine-side wait predicate. The first
+// invocation (barrierIn false) is the arrival: the last rank releases the
+// waiters and completes immediately; everyone else records the generation
+// it arrived in and blocks until the generation advances (re-blocking on
+// spurious wakeups, as the unfused loop did). The waiter list is reset by
+// length only — the next generation reuses its backing array.
+func (r *Rank) barrierCheckFn() (done bool, reply any) {
 	w := r.world
-	gen := w.barrierGen
-	w.barrierArrived++
-	if w.barrierArrived < len(w.ranks) {
-		w.barrierWaiters = append(w.barrierWaiters, r)
-		for w.barrierGen == gen {
-			r.env.Block("mpi-barrier")
+	if !r.barrierIn {
+		w.barrierArrived++
+		if w.barrierArrived == len(w.ranks) {
+			// Last arrival: release everyone and continue immediately.
+			w.barrierGen++
+			w.barrierArrived = 0
+			waiters := w.barrierWaiters
+			w.barrierWaiters = w.barrierWaiters[:0]
+			delay := w.opts.BarrierLatency
+			for _, waiter := range waiters {
+				waiter.kernel.WakeAfter(waiter.task, delay)
+			}
+			return true, nil
 		}
-		return
+		r.barrierIn = true
+		r.barrierGen0 = w.barrierGen
+		w.barrierWaiters = append(w.barrierWaiters, r)
+		return false, nil
 	}
-	// Last arrival: release everyone. The waiter list is reset by length
-	// only — the next generation reuses its backing array.
-	w.barrierGen++
-	w.barrierArrived = 0
-	waiters := w.barrierWaiters
-	w.barrierWaiters = w.barrierWaiters[:0]
-	delay := w.opts.BarrierLatency
-	for _, waiter := range waiters {
-		waiter.kernel.WakeAfter(waiter.task, delay)
+	if w.barrierGen != r.barrierGen0 {
+		r.barrierIn = false
+		return true, nil
 	}
+	return false, nil
 }

@@ -310,3 +310,40 @@ func TestHPCRanksUnderHPCClassExchange(t *testing.T) {
 	}
 	k.Shutdown()
 }
+
+// TestFusedRecvAllocFree bounds the fused blocking path end to end: a warm
+// ping-pong of Send → Recv-miss → block → wake → re-check — one waitReq
+// rendezvous per Recv, pre-bound checks, pooled deliveries — must allocate
+// (near) nothing per exchange.
+func TestFusedRecvAllocFree(t *testing.T) {
+	k, w := newWorld(t, 2)
+	defer k.Shutdown()
+	body := func(r *Rank) {
+		peer := 1 - r.ID()
+		for i := 0; ; i++ {
+			if r.ID() == 0 {
+				r.Send(peer, 0, 64)
+				r.Recv(peer, 1)
+			} else {
+				r.Recv(peer, 0)
+				r.Send(peer, 1, 64)
+			}
+			r.Compute(20 * sim.Microsecond)
+		}
+	}
+	w.Spawn(0, sched.TaskSpec{Policy: sched.PolicyNormal, Affinity: 1}, body)
+	w.Spawn(1, sched.TaskSpec{Policy: sched.PolicyNormal, Affinity: 1 << 2}, body)
+	k.Engine.Run(k.Engine.Now() + 20*sim.Millisecond) // warm every pool
+	before := k.Engine.Stats()
+	allocs := testing.AllocsPerRun(10, func() {
+		k.Engine.Run(k.Engine.Now() + 5*sim.Millisecond)
+	})
+	after := k.Engine.Stats()
+	events := float64(after.Fired-before.Fired) / 11
+	if events < 100 {
+		t.Fatalf("ping-pong too quiet: %.0f events/run", events)
+	}
+	if perEvent := allocs / events; perEvent > 0.05 {
+		t.Fatalf("fused exchange allocates %.4f objects/event, want ≤0.05", perEvent)
+	}
+}

@@ -86,8 +86,15 @@ func Install(k *sched.Kernel, cfg Config) []*sched.Task {
 				// Desynchronise daemon phases.
 				env.Sleep(rng.Duration(gapMean + 1))
 				for {
-					env.Compute(rng.Jitter(cfg.BurstMean, cfg.Jitter))
-					env.Sleep(rng.Jitter(gapMean, cfg.Jitter) + 1)
+					// Defer whole duty cycles — burn, then nap — and let
+					// the batch auto-flush hand many cycles to the kernel
+					// in a single rendezvous. The RNG is this daemon's own
+					// split, so drawing cycles ahead of their execution
+					// changes none of the values, and the deferred steps
+					// execute at exactly the instants the blocking calls
+					// would have.
+					env.DeferCompute(rng.Jitter(cfg.BurstMean, cfg.Jitter))
+					env.DeferSleep(rng.Jitter(gapMean, cfg.Jitter) + 1)
 				}
 			})
 			tasks = append(tasks, task)

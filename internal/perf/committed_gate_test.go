@@ -18,6 +18,8 @@ var committedPairs = []struct {
 	{"BENCH_pre-hotpath.json", "BENCH_zero-alloc-hotpaths.json", "btmz-trace", 1.3},
 	// PR 4: hierarchical timer-wheel engine + batched rank rendezvous.
 	{"BENCH_pre-wheel.json", "BENCH_timer-wheel.json", "btmz-trace", 1.25},
+	// PR 5: two-party parker, fused block/wake handoffs, tickless idle.
+	{"BENCH_pre-parker.json", "BENCH_parker-tickless.json", "btmz-trace", 1.25},
 }
 
 // TestCommittedReportsPassGate pins the repository's perf trajectory: every

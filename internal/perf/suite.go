@@ -4,7 +4,12 @@ import (
 	"context"
 
 	"hpcsched/internal/experiments"
+	"hpcsched/internal/noise"
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
 	"hpcsched/internal/trace"
+	"hpcsched/internal/workloads"
 )
 
 // Suite returns the fixed scenario suite cmd/bench runs. The scenarios
@@ -40,6 +45,12 @@ func Suite() []Scenario {
 			Desc: "Table III stats over 8 derived seeds on the parallel batch layer",
 			Run:  runBatchMetBench,
 		},
+		{
+			Name:  "idle-imbalance",
+			Desc:  "strongly imbalanced BT-MZ ranks with long MPI wait phases (tickless idle)",
+			Quick: true,
+			Run:   runIdleImbalance,
+		},
 	}
 }
 
@@ -54,6 +65,21 @@ func QuickSuite() []Scenario {
 	return out
 }
 
+// runEvents is the scenario event count: fired engine events plus the tick
+// instants the tickless-idle machinery elided (their effects are computed
+// in closed form instead of firing — see sched.Kernel.TicksElided). The
+// sum is invariant under the tickless optimisation for a fixed workload,
+// which keeps events/sec comparable across the whole BENCH trajectory.
+func runEvents(r experiments.Result) uint64 {
+	return kernelEvents(r.Kernel)
+}
+
+// kernelEvents is the single definition of that normalisation for
+// scenarios that drive a kernel directly.
+func kernelEvents(k *sched.Kernel) uint64 {
+	return k.Engine.Stats().Fired + uint64(k.TicksElided())
+}
+
 // runTableSerial runs every mode row of a table scenario back to back on
 // one goroutine — the cleanest view of simulation-core throughput.
 func runTableSerial(workload string) func() uint64 {
@@ -63,7 +89,7 @@ func runTableSerial(workload string) func() uint64 {
 			r := experiments.Run(experiments.Config{
 				Workload: workload, Mode: mode, Seed: 42,
 			})
-			events += r.Kernel.Engine.Stats().Fired
+			events += runEvents(r)
 		}
 		return events
 	}
@@ -76,7 +102,7 @@ func runBTMZTrace() uint64 {
 	if r.Recorder == nil || len(r.Recorder.Render(trace.RenderOptions{Width: 80})) == 0 {
 		panic("perf: btmz trace scenario produced no trace")
 	}
-	return r.Kernel.Engine.Stats().Fired
+	return runEvents(r)
 }
 
 func runBTMZTraceNull() uint64 {
@@ -87,7 +113,39 @@ func runBTMZTraceNull() uint64 {
 	if r.Recorder == nil || len(r.Recorder.Traces()) == 0 {
 		panic("perf: null-sink btmz scenario admitted no tasks")
 	}
-	return r.Kernel.Engine.Stats().Fired
+	return runEvents(r)
+}
+
+// runIdleImbalance is the tickless-idle showcase: a BT-MZ-shaped job whose
+// last rank carries ~30x the zone work of the others, so three of the four
+// CPUs spend most of the run parked in MPI wait phases with only the
+// background daemons stirring. Before tickless idle, the per-CPU tick
+// events of those parked phases dominated the event stream; the scenario
+// exists so that regression — re-firing provably no-op ticks — is caught
+// by the quick-suite perf gate.
+func runIdleImbalance() uint64 {
+	e := sim.NewEngine(42)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := sched.NewKernel(e, chip, sched.Options{})
+	noise.Install(k, noise.DefaultConfig())
+	job := workloads.BuildBTMZ(k, workloads.BTMZConfig{
+		Iterations: 24,
+		ZoneWork: []sim.Time{
+			14 * sim.Millisecond,
+			22 * sim.Millisecond,
+			30 * sim.Millisecond,
+			420 * sim.Millisecond,
+		},
+		BoundaryMsg: 200 << 10,
+		JitterFrac:  0.05,
+		Policy:      sched.PolicyNormal,
+	})
+	k.RunUntilWatchedExit(sim.MaxTime)
+	k.Shutdown()
+	if len(job.Tasks) != 4 {
+		panic("perf: idle-imbalance scenario lost its ranks")
+	}
+	return kernelEvents(k)
 }
 
 func runBatchMetBench() uint64 {
@@ -98,7 +156,7 @@ func runBatchMetBench() uint64 {
 	}
 	var events uint64
 	for _, r := range br.Results {
-		events += r.Kernel.Engine.Stats().Fired
+		events += runEvents(r)
 	}
 	return events
 }

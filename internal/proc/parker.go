@@ -1,0 +1,90 @@
+package proc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// parker is one side's resting place in the two-party rendezvous: the body
+// parks in it while the engine runs, the engine parks in it while the body
+// runs. A handoff is one message-slot write, one atomic exchange to notify
+// the peer, and one consume on the other side.
+//
+// The state word has three values. unpark posts the notification with a
+// single atomic swap; it only performs a wake when the peer has actually
+// committed to sleeping. park first tries to consume an already-posted
+// notification (one CAS — the multicore hot path, where the peer runs
+// concurrently and the notification is usually in the line already), then
+// optionally spins, then commits to sleeping.
+//
+// The sleep primitive is a one-slot channel, not a mutex/cond pair, very
+// deliberately: a send to a goroutine blocked in a channel receive takes
+// the runtime's direct-handoff path (the receiver is placed in the
+// scheduler's runnext slot and runs immediately after the sender blocks),
+// while cond.Signal and Gosched both route through the global run queue —
+// measurably slower per switch on a single-P runtime, where the peer can
+// never consume the fast path concurrently and every handoff must wake a
+// sleeper. With more than one P the spin phase wins instead: the peer picks
+// the notification out of the cache line without the scheduler being
+// involved at all. parkerSpins is therefore resolved once at init from
+// GOMAXPROCS.
+//
+// Memory ordering: every message-slot access is bracketed by the atomic
+// swap in unpark and the atomic CAS/load in park, so the slot handoff is a
+// proper happens-before edge — the race detector sees the same discipline
+// the channel-based rendezvous used to provide.
+type parker struct {
+	state atomic.Uint32
+	wake  chan struct{} // 1-slot; carries the sleep-path notification
+}
+
+const (
+	pkIdle     uint32 = iota // no notification pending, owner awake
+	pkNotified               // notification posted, not yet consumed
+	pkParked                 // owner committed to sleeping on wake
+)
+
+// parkerSpins is the number of active spin probes park performs before
+// sleeping, resolved at package init: on a single-P runtime the peer cannot
+// make progress while we spin, so probing is pure loss and the value is 0;
+// with real parallelism a short probe window catches the peer's swap
+// in-flight and saves both scheduler trips.
+var parkerSpins = func() int {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return 64
+	}
+	return 0
+}()
+
+func (p *parker) init() { p.wake = make(chan struct{}, 1) }
+
+// park blocks until the peer's next unpark and consumes it.
+func (p *parker) park() {
+	if p.state.CompareAndSwap(pkNotified, pkIdle) {
+		return
+	}
+	for i := 0; i < parkerSpins; i++ {
+		if p.state.CompareAndSwap(pkNotified, pkIdle) {
+			return
+		}
+	}
+	// Commit to sleeping. If the notification lands between the CAS and the
+	// receive, the peer's send simply buffers and the receive returns at
+	// once; the one-slot buffer is what makes the commit race-free.
+	if p.state.CompareAndSwap(pkIdle, pkParked) {
+		<-p.wake
+		p.state.Store(pkIdle)
+		return
+	}
+	// The notification raced in just before the commit: consume it.
+	p.state.Store(pkIdle)
+}
+
+// unpark posts a notification, waking the peer if it committed to sleep.
+// At most one notification is ever outstanding: the lock-step protocol
+// strictly alternates park and unpark on each side.
+func (p *parker) unpark() {
+	if p.state.Swap(pkNotified) == pkParked {
+		p.wake <- struct{}{}
+	}
+}

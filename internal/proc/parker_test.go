@@ -1,0 +1,233 @@
+package proc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestHandoffAllocFree pins the parker's zero-allocation contract: a warm
+// Invoke/Resume round trip allocates nothing on either side — the message
+// travels through the per-process slot, the notifications through the
+// atomic state words.
+func TestHandoffAllocFree(t *testing.T) {
+	p := New(1, "hot", func(h *Handle) {
+		for {
+			if h.Invoke(nil) == "stop" {
+				return
+			}
+		}
+	})
+	if _, done := p.Start(); done {
+		t.Fatal("finished early")
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		if _, done := p.Resume(nil); done {
+			t.Fatal("finished mid-measurement")
+		}
+	})
+	if allocs > 0.01 {
+		t.Fatalf("handoff allocates %.4f objects, want 0", allocs)
+	}
+	p.Resume("stop")
+}
+
+// TestKillResumeRaceStress drives many processes with randomized
+// Resume/Kill interleavings — including kills issued while the victim's
+// body may still be travelling between its unpark of the engine and its
+// own park — under the race detector. It validates the parker's
+// happens-before edges: every message-slot access must be ordered by the
+// state-word atomics alone.
+func TestKillResumeRaceStress(t *testing.T) {
+	const procs, rounds = 32, 200
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < rounds; round++ {
+		alive := make([]*Process, 0, procs)
+		for i := 0; i < procs; i++ {
+			depth := rng.Intn(5)
+			p := New(i, fmt.Sprintf("p%d", i), func(h *Handle) {
+				for j := 0; j <= depth; j++ {
+					h.Invoke(j)
+				}
+			})
+			if _, done := p.Start(); !done {
+				alive = append(alive, p)
+			}
+		}
+		// Randomized schedule: resume or kill a random live process until
+		// none remain.
+		for len(alive) > 0 {
+			i := rng.Intn(len(alive))
+			p := alive[i]
+			var done bool
+			if rng.Intn(4) == 0 {
+				p.Kill()
+				done = true
+			} else {
+				_, done = p.Resume(nil)
+			}
+			if done {
+				alive[i] = alive[len(alive)-1]
+				alive = alive[:len(alive)-1]
+			}
+		}
+	}
+}
+
+// TestConcurrentProcessPairs runs independent engine/process pairs on
+// parallel goroutines: the lock-step protocol is per-process, so separate
+// processes must not interfere through the parker's shared code paths.
+func TestConcurrentProcessPairs(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := New(g, "pair", func(h *Handle) {
+				for i := 0; i < 500; i++ {
+					if got := h.Invoke(i); got != i*3 {
+						panic(fmt.Sprintf("reply %v, want %d", got, i*3))
+					}
+				}
+			})
+			req, done := p.Start()
+			for !done {
+				req, done = p.Resume(req.(int) * 3)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// chanProcess is a minimal reference implementation of the Process
+// protocol over a plain unbuffered channel — the pre-parker design. The
+// equivalence test drives it and the real Process with identical scripts
+// and compares every observable.
+type chanProcess struct {
+	ch   chan message
+	done bool
+}
+
+func newChanProcess(body func(invoke func(Request) any)) *chanProcess {
+	p := &chanProcess{ch: make(chan message)}
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == "chan-killed" {
+					return
+				}
+				p.ch <- message{kind: msgPanic, val: v}
+				return
+			}
+			p.ch <- message{kind: msgExit}
+		}()
+		body(func(req Request) any {
+			p.ch <- message{kind: msgRequest, req: req}
+			m := <-p.ch
+			if m.kind == msgKill {
+				panic("chan-killed")
+			}
+			return m.val
+		})
+	}()
+	return p
+}
+
+func (p *chanProcess) next() (Request, bool) {
+	m := <-p.ch
+	switch m.kind {
+	case msgExit:
+		p.done = true
+		return nil, true
+	case msgRequest:
+		return m.req, false
+	default:
+		panic("unexpected message")
+	}
+}
+
+func (p *chanProcess) resume(reply any) (Request, bool) {
+	p.ch <- message{kind: msgReply, val: reply}
+	return p.next()
+}
+
+func (p *chanProcess) kill() {
+	if !p.done {
+		p.done = true
+		p.ch <- message{kind: msgKill}
+	}
+}
+
+// TestChannelEquivalence mirrors the PR 4 pure-heap test at the proc
+// layer: random request/reply/kill scripts must observe identical request
+// streams, replies and completion points from the parker-based Process
+// and the channel-based reference.
+func TestChannelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(8) + 1
+		replies := make([]int, n)
+		for i := range replies {
+			replies[i] = rng.Int()
+		}
+		killAt := -1
+		if rng.Intn(3) == 0 {
+			killAt = rng.Intn(n)
+		}
+
+		type obs struct {
+			reqs    []int
+			replies []any
+			doneAt  int
+		}
+		runBody := func(invoke func(Request) any, got *obs) {
+			for i := 0; i < n; i++ {
+				got.replies = append(got.replies, invoke(i*7))
+			}
+		}
+
+		var real, ref obs
+		real.doneAt, ref.doneAt = -1, -1
+
+		p := New(trial, "real", func(h *Handle) { runBody(h.Invoke, &real) })
+		req, done := p.Start()
+		for step := 0; !done; step++ {
+			real.reqs = append(real.reqs, req.(int))
+			if step == killAt {
+				p.Kill()
+				break
+			}
+			req, done = p.Resume(replies[step])
+			if done {
+				real.doneAt = step
+			}
+		}
+
+		c := newChanProcess(func(invoke func(Request) any) { runBody(invoke, &ref) })
+		req, done = c.next()
+		for step := 0; !done; step++ {
+			ref.reqs = append(ref.reqs, req.(int))
+			if step == killAt {
+				c.kill()
+				break
+			}
+			req, done = c.resume(replies[step])
+			if done {
+				ref.doneAt = step
+			}
+		}
+
+		if fmt.Sprint(real.reqs) != fmt.Sprint(ref.reqs) {
+			t.Fatalf("trial %d: requests diverge: %v vs %v", trial, real.reqs, ref.reqs)
+		}
+		if real.doneAt != ref.doneAt {
+			t.Fatalf("trial %d: completion diverges: %d vs %d", trial, real.doneAt, ref.doneAt)
+		}
+		// Replies observed by the killed bodies may be cut short at the
+		// same point; compare the common prefix plus length.
+		if killAt < 0 && fmt.Sprint(real.replies) != fmt.Sprint(ref.replies) {
+			t.Fatalf("trial %d: replies diverge", trial)
+		}
+	}
+}

@@ -4,18 +4,22 @@
 //
 // Each Process runs its body on a dedicated goroutine, but the goroutine is
 // only ever runnable while the engine is blocked waiting for the process's
-// next request: control passes back and forth over a single unbuffered
-// rendezvous channel in strict lock-step, so at any instant at most one
-// goroutine in the whole simulation makes progress. The result behaves like
-// hand-written coroutines — no data races, no scheduling nondeterminism —
-// with none of the pain of writing workloads as explicit state machines.
+// next request: control passes back and forth in strict lock-step, so at
+// any instant at most one goroutine in the whole simulation makes progress.
+// The result behaves like hand-written coroutines — no data races, no
+// scheduling nondeterminism — with none of the pain of writing workloads as
+// explicit state machines.
 //
-// The channel carries a tagged message in both directions (request, reply,
-// exit, panic). Because the protocol is a strict ping-pong, one channel
-// suffices: a send is always matched by the peer's receive before the
-// sender issues its own receive, so a goroutine can never rendezvous with
-// itself. One channel instead of two halves the per-process channel state
-// and keeps both directions on the same hot cache lines.
+// The rendezvous is a custom two-party parker (parker.go), not a channel:
+// each side owns a park/unpark slot and the tagged message lives in a
+// single per-process field whose ownership alternates with the protocol.
+// Because the exchange is a strict ping-pong, a handoff is one message
+// write, one atomic swap to notify the peer, and one spin-then-park to wait
+// for the answer — no channel lock, no select, and on a multi-P runtime no
+// scheduler involvement at all while the peer spins. A process that
+// genuinely blocks (a rank in an MPI wait) falls back to a direct-handoff
+// sleep, so parked goroutines cost nothing while the simulation runs
+// elsewhere.
 //
 // Protocol: the engine calls Start to obtain the body's first request, then
 // repeatedly answers requests via Resume, which returns the next request.
@@ -26,8 +30,9 @@
 // The protocol is batch-friendly: a request is opaque, so a caller can make
 // one Invoke carry an entire queue of deferred operations and have the
 // engine drain it before replying — one goroutine handoff for the whole
-// batch. The sched.Env/mpi layers use exactly this (sched.batchReq) to
-// collapse a rank's per-iteration message traffic into a single exchange.
+// batch. The sched.Env/mpi layers use exactly this (sched.batchReq and
+// sched.waitReq) to collapse a rank's per-iteration message traffic, and
+// its block/wake/re-check loops, into single exchanges.
 package proc
 
 import (
@@ -46,7 +51,7 @@ type Request any
 // bodies must not recover from it.
 var errKilled = errors.New("proc: process killed")
 
-// msgKind tags a message on the rendezvous channel.
+// msgKind tags a message in the rendezvous slot.
 type msgKind uint8
 
 const (
@@ -57,8 +62,8 @@ const (
 	msgKill                   // engine → body: unwind (Kill of a parked process)
 )
 
-// message is the rendezvous payload. It is passed by value: no allocation
-// per exchange.
+// message is the rendezvous payload. It lives in the Process's msg slot;
+// ownership alternates with the protocol, so no exchange ever allocates.
 type message struct {
 	kind msgKind
 	req  Request
@@ -78,10 +83,17 @@ func (e *PanicError) Error() string {
 
 // Process is one simulated sequential program.
 type Process struct {
-	id      int
-	name    string
-	body    func(*Handle)
-	ch      chan message // single rendezvous channel, both directions
+	id   int
+	name string
+	body func(*Handle)
+
+	// msg is the rendezvous slot. The side that just called unpark has
+	// written it; the side that returns from park reads it. The parker's
+	// atomics order the accesses, so the slot itself needs none.
+	msg    message
+	engPk  parker // the engine parks here while the body runs
+	bodyPk parker // the body parks here while the engine runs
+
 	started bool
 	done    bool
 	killed  bool
@@ -93,12 +105,14 @@ func New(id int, name string, body func(*Handle)) *Process {
 	if body == nil {
 		panic("proc: nil body")
 	}
-	return &Process{
+	p := &Process{
 		id:   id,
 		name: name,
 		body: body,
-		ch:   make(chan message),
 	}
+	p.engPk.init()
+	p.bodyPk.init()
+	return p
 }
 
 // ID returns the identifier the process was created with.
@@ -122,15 +136,16 @@ func (h *Handle) Process() *Process { return h.p }
 // Invoke submits a request to the engine and blocks the body until the
 // engine answers via Resume. It returns the engine's reply.
 //
-// Both legs are bare channel operations — no select. The lock-step
-// protocol makes this safe: the body only runs while the engine is parked
-// in next(), so the request send always finds a waiting receiver, and a
-// Kill can only ever find the body parked in the receive leg, where it is
-// unblocked by a msgKill rendezvous instead of a second channel.
+// The lock-step protocol makes the bare slot exchange safe: the body only
+// runs while the engine is parked in next(), so the request write never
+// races the engine's read, and a Kill can only ever find the body in the
+// park below, where the kill notification unblocks it.
 func (h *Handle) Invoke(req Request) any {
 	p := h.p
-	p.ch <- message{kind: msgRequest, req: req}
-	m := <-p.ch
+	p.msg = message{kind: msgRequest, req: req}
+	p.engPk.unpark()
+	p.bodyPk.park()
+	m := p.msg
 	if m.kind == msgKill {
 		panic(errKilled)
 	}
@@ -158,7 +173,8 @@ func (p *Process) Resume(reply any) (req Request, done bool) {
 	if p.done {
 		panic(fmt.Sprintf("proc: Resume on finished process %q", p.name))
 	}
-	p.ch <- message{kind: msgReply, val: reply}
+	p.msg = message{kind: msgReply, val: reply}
+	p.bodyPk.unpark()
 	return p.next()
 }
 
@@ -166,10 +182,10 @@ func (p *Process) Resume(reply any) (req Request, done bool) {
 // goroutine. It is idempotent. Killing a process that already finished is a
 // no-op.
 //
-// It must only be called while the process is parked in Invoke's receive
-// leg (the only place a live process can be parked while the engine runs),
-// so the kill message rendezvouses directly with the body; the unwinding
-// goroutine exits without emitting anything further.
+// It must only be called while the process is parked in Invoke (the only
+// place a live process can be parked while the engine runs), so the kill
+// notification reaches the body directly; the unwinding goroutine exits
+// without emitting anything further.
 func (p *Process) Kill() {
 	if p.killed || p.done {
 		p.done = true
@@ -178,12 +194,14 @@ func (p *Process) Kill() {
 	p.killed = true
 	p.done = true
 	if p.started {
-		p.ch <- message{kind: msgKill}
+		p.msg = message{kind: msgKill}
+		p.bodyPk.unpark()
 	}
 }
 
 func (p *Process) next() (Request, bool) {
-	m := <-p.ch
+	p.engPk.park()
+	m := p.msg
 	switch m.kind {
 	case msgExit:
 		p.done = true
@@ -204,10 +222,12 @@ func (p *Process) run() {
 			if err, ok := v.(error); ok && errors.Is(err, errKilled) {
 				return // silent unwind; engine already moved on
 			}
-			p.ch <- message{kind: msgPanic, val: v}
+			p.msg = message{kind: msgPanic, val: v}
+			p.engPk.unpark()
 			return
 		}
-		p.ch <- message{kind: msgExit}
+		p.msg = message{kind: msgExit}
+		p.engPk.unpark()
 	}()
 	h := &Handle{p: p}
 	p.body(h)

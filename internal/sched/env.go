@@ -12,8 +12,6 @@ import (
 // would cost one heap allocation per simulated request.
 type (
 	computeReq  struct{ d sim.Time }
-	sleepReq    struct{ d sim.Time }
-	blockReq    struct{ reason string }
 	yieldReq    struct{}
 	setSchedReq struct {
 		policy Policy
@@ -35,6 +33,15 @@ const (
 	// completed. The MPI transport uses it to post message deliveries at
 	// the moment the send overhead has been charged.
 	stepAfter
+	// stepSleep deactivates the task and arms its wake d later — the
+	// former sleep request, fused into the batch so the flush and the
+	// sleep share one rendezvous. It may sit mid-batch (DeferSleep): the
+	// steps after it execute once the wake-side pump resumes the task,
+	// with the body parked in the flush Invoke the whole time.
+	stepSleep
+	// stepBlock deactivates the task until some other party wakes it —
+	// the former block request, fused the same way.
+	stepBlock
 )
 
 // batchStep is one deferred operation. Steps are value types in a reusable
@@ -51,6 +58,26 @@ type batchStep struct {
 // bit-identical to issuing them one by one; only the per-request goroutine
 // handoffs disappear.
 type batchReq struct{ steps []batchStep }
+
+// WaitCheck is an engine-side wait predicate (see Env.InvokeWait). It runs
+// on the pump, at the virtual instant every deferred step before it has
+// completed and again after every wakeup of the task, and reports whether
+// the wait is over; reply is handed to the body as InvokeWait's return
+// value. The check may defer work through the Env (receive-overhead
+// charges); the pump burns it and re-invokes the check, so a check can
+// interleave burning and re-inspection without ever resuming the body.
+type WaitCheck func() (done bool, reply any)
+
+// waitReq fuses a batch flush, a blocking wait and its wake-side
+// re-checks into a single rendezvous: the pump drains the steps, then
+// evaluates check — blocking the task while it reports false — and only
+// resumes the body once it reports done. A Recv that misses, blocks and
+// wakes n times costs one goroutine handoff instead of 2+n.
+type waitReq struct {
+	steps []batchStep
+	check WaitCheck
+	env   *Env
+}
 
 // batchCapacity pre-sizes the per-process step buffer. Reaching it simply
 // forces an intermediate flush, so a pathological defer-only loop cannot
@@ -80,15 +107,19 @@ type Env struct {
 
 	// batch holds deferred steps between flushes; batchRq is the reusable
 	// request that carries it (lazily allocated: non-batching processes —
-	// daemons, plain workloads — never pay for it).
-	batch   []batchStep
-	batchRq batchReq
+	// daemons, plain workloads — never pay for it). waitRq carries fused
+	// waits (InvokeWait). enginePush marks that the pump is running a
+	// WaitCheck on this Env: pushes then grow the buffer instead of
+	// flushing, since the engine must never rendezvous with itself.
+	batch      []batchStep
+	batchRq    batchReq
+	waitRq     waitReq
+	enginePush bool
 
 	// Reusable request scratch, one per request type (zero allocations per
-	// system call in steady state).
+	// system call in steady state). Sleeps and blocks have no scratch: they
+	// travel as steps of the deferred batch.
 	creq    computeReq
-	sreq    sleepReq
-	breq    blockReq
 	yreq    yieldReq
 	schedRq setSchedReq
 	niceRq  setNiceReq
@@ -136,7 +167,7 @@ func (e *Env) DeferAfter(d sim.Time, fn func()) {
 func (e *Env) push(s batchStep) {
 	if e.batch == nil {
 		e.batch = make([]batchStep, 0, batchCapacity)
-	} else if len(e.batch) == cap(e.batch) {
+	} else if len(e.batch) == cap(e.batch) && !e.enginePush {
 		e.Flush()
 	}
 	e.batch = append(e.batch, s)
@@ -179,22 +210,59 @@ func (e *Env) Compute(d sim.Time) {
 	e.h.Invoke(&e.creq)
 }
 
-// Sleep blocks the process for d of virtual time.
+// Sleep blocks the process for d of virtual time. The sleep rides the
+// deferred batch as its final step, so a defer-then-sleep sequence (the
+// daemon duty cycle, a rank's post-exchange nap) reaches the kernel as a
+// single rendezvous; the timeline is exactly the flush-then-sleep one.
 func (e *Env) Sleep(d sim.Time) {
+	e.DeferSleep(d)
+	e.Flush()
+}
+
+// DeferSleep queues a sleep without yielding to the kernel — it may sit
+// mid-batch, with later steps executing after the wake, exactly as if the
+// body had issued them then. A body whose inter-step values do not depend
+// on engine state it has yet to observe (a daemon drawing from its own
+// RNG) can queue whole duty cycles ahead and let the capacity auto-flush
+// amortise the rendezvous over many cycles.
+func (e *Env) DeferSleep(d sim.Time) {
 	if d < 0 {
 		panic("sched: Sleep with negative duration")
 	}
-	e.Flush()
-	e.sreq.d = d
-	e.h.Invoke(&e.sreq)
+	e.push(batchStep{kind: stepSleep, d: d})
 }
 
 // Block parks the process until some other party calls Kernel.Wake on its
-// task. reason is for diagnostics only.
+// task. Like Sleep, it rides the deferred batch as its final step — one
+// rendezvous for flush and block together. reason is for diagnostics only.
 func (e *Env) Block(reason string) {
+	e.push(batchStep{kind: stepBlock, d: 0})
 	e.Flush()
-	e.breq.reason = reason
-	e.h.Invoke(&e.breq)
+}
+
+// InvokeWait flushes the deferred batch and parks the body until check —
+// evaluated on the engine side of the rendezvous — reports done, returning
+// its reply. The check first runs at the virtual instant every deferred
+// step has completed (exactly where a Flush-then-inspect sequence would
+// run body-side code) and again after every wakeup of the task, so a
+// blocking protocol loop (inspect → block → wake → re-inspect) costs one
+// goroutine handoff in total instead of one per wake.
+//
+// A check that consumes state and needs work burned before re-inspecting
+// (receive-overhead charges) defers it through the Env: the pump drains
+// those steps and re-invokes the check. Work the check leaves deferred
+// when it completes stays in the batch and rides the body's next exchange,
+// exactly like work deferred body-side.
+func (e *Env) InvokeWait(check WaitCheck) any {
+	if check == nil {
+		panic("sched: InvokeWait with nil check")
+	}
+	e.waitRq.steps = e.batch
+	e.waitRq.check = check
+	e.waitRq.env = e
+	// The kernel owns the batch buffer until the wait completes (it resets
+	// it before the check can refill it); no body-side reset here.
+	return e.h.Invoke(&e.waitRq)
 }
 
 // Yield releases the CPU, staying runnable (sched_yield).

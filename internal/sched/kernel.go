@@ -33,6 +33,32 @@ type RunQueue struct {
 	idleSince      sim.Time // when the CPU last went idle (MaxTime when busy)
 	loadAvg        float64  // tick-sampled occupancy, ~100 ms horizon
 
+	// Tickless-idle state. tickEv is the CPU's periodic tick event;
+	// gridBase anchors its cadence (ticks fire at gridBase + k·period).
+	// When the tick body is provably a no-op until some future instant,
+	// the event is parked — re-armed past its grid — and tickParked is
+	// set; any state change that could make an earlier tick observable
+	// wakes it (Kernel.tickStateChanged). loadTicked is the grid instant
+	// whose loadAvg decay has been applied: parked CPUs replay the missed
+	// idle decays exactly, iterate by iterate, before the value is next
+	// read or the ticker resumes (settleIdleLoad).
+	tickEv     *sim.Event
+	gridBase   sim.Time
+	loadTicked sim.Time
+	lastTickAt sim.Time // last accounted grid instant (fired or elided)
+	tickParked bool
+
+	// Memoized loadAvg threshold crossings for the park-horizon
+	// computation. Along an uninterrupted decay path the crossing instant
+	// is a constant, so it is computed once per path: the memo is valid
+	// while its generation matches Kernel.loadGen, which bumps on every
+	// current/queue transition (tickStateChanged) — exactly the events
+	// that can change a CPU's decay path.
+	fallsBelowAt  sim.Time // first instant loadAvg ≤ 0.35 on the idle path
+	risesAboveAt  sim.Time // first instant loadAvg ≥ 0.75 on the busy path
+	fallsBelowGen uint64
+	risesAboveGen uint64
+
 	// Negative-result cache for idleBalance: after a pull attempt finds
 	// nothing, the busiest-scan is provably futile until some queue's
 	// membership changes (lbFailGen vs Kernel.queueGen) or a candidate
@@ -97,6 +123,16 @@ type Kernel struct {
 	queueGen    uint64
 	stealColdAt sim.Time
 
+	// parkedTicks counts CPUs whose tick event is parked (tickless idle),
+	// so the wake hooks on the hot paths are a single compare when nothing
+	// is parked. ticksElided counts the tick instants parked over — their
+	// effects were reproduced in closed form rather than fired as events —
+	// so throughput harnesses can normalise by simulated instants
+	// (TicksElided) and stay comparable across the tickless change.
+	parkedTicks int
+	ticksElided int64
+	loadGen     uint64 // versions the per-CPU crossing memos (starts at 1)
+
 	// Migration counters by source (diagnostics).
 	MigWake, MigSteal, MigActive int64
 
@@ -116,6 +152,7 @@ func NewKernel(engine *sim.Engine, chip *power5.Chip, opts Options) *Kernel {
 		Chip:    chip,
 		Opts:    opts.withDefaults(),
 		nextPID: 1,
+		loadGen: 1, // above the zero-value memo generations
 	}
 	k.classes = []Class{newRTClass(), newFairClass(), newIdleClass()}
 	k.buildRQs()
@@ -131,9 +168,23 @@ func (k *Kernel) buildRQs() {
 	// queued-task counters restart from their true value: zero.
 	k.nrQueued = 0
 	k.nrQueuedClass = make([]int, len(k.classes))
+	old := k.rqs
 	k.rqs = make([]*RunQueue, k.Chip.NumCPUs())
 	for cpu := range k.rqs {
 		rq := &RunQueue{CPU: cpu, kernel: k}
+		if old != nil {
+			// Re-registration keeps the already-armed ticker (and its
+			// cadence anchor): the tick closure looks its RunQueue up
+			// through k.rqs, so it follows the rebuild transparently.
+			prev := old[cpu]
+			rq.tickEv = prev.tickEv
+			rq.gridBase = prev.gridBase
+			rq.loadTicked = prev.loadTicked
+			rq.lastTickAt = prev.lastTickAt
+			if prev.tickParked {
+				panic("sched: class registration with a parked tick")
+			}
+		}
 		for _, c := range k.classes {
 			rq.classRQ = append(rq.classRQ, c.NewRQ(k, cpu))
 		}
@@ -229,6 +280,24 @@ func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() sim.Time { return k.Engine.Now() }
+
+// TicksElided returns the number of per-CPU tick instants the tickless-idle
+// machinery parked over so far, including the still-open parked stretches.
+// Each elided instant's effects (the loadAvg decay; nothing else, by the
+// park proof) were reproduced in closed form instead of firing an event, so
+// a throughput harness normalising by simulated work should count
+// Engine.Stats().Fired + TicksElided — that sum is invariant under the
+// tickless optimisation for a fixed workload.
+func (k *Kernel) TicksElided() int64 {
+	n := k.ticksElided
+	p := k.Opts.TickPeriod
+	for _, rq := range k.rqs {
+		if rq.tickParked {
+			n += int64((k.Now() - rq.lastTickAt) / p)
+		}
+	}
+	return n
+}
 
 func (k *Kernel) traceState(t *Task, s State, cpu int) {
 	if k.tracer != nil {
@@ -398,6 +467,7 @@ func (k *Kernel) deactivate(t *Task) {
 	k.unplanBurst(t)
 	rq := k.rqs[t.CPU]
 	rq.current = nil
+	k.tickStateChanged()
 	k.Chip.CPU(t.CPU).SetBusy(false)
 	t.state = StateSleeping
 	t.class.TaskSleep(k, t)
@@ -420,6 +490,7 @@ func (k *Kernel) exit(t *Task) {
 	k.unplanBurst(t)
 	rq := k.rqs[t.CPU]
 	rq.current = nil
+	k.tickStateChanged()
 	k.Chip.CPU(t.CPU).SetBusy(false)
 	t.state = StateExited
 	t.ExitedAt = k.Now()
@@ -445,6 +516,7 @@ func (k *Kernel) noteEnqueued(rq *RunQueue, t *Task) {
 	k.nrQueuedClass[t.classIdx]++
 	k.queueGen++
 	rq.nrQueued++
+	k.tickStateChanged()
 }
 
 func (k *Kernel) noteDequeued(rq *RunQueue, t *Task) {
@@ -452,6 +524,7 @@ func (k *Kernel) noteDequeued(rq *RunQueue, t *Task) {
 	k.nrQueuedClass[t.classIdx]--
 	k.queueGen++
 	rq.nrQueued--
+	k.tickStateChanged()
 }
 
 // BalanceCacheHot reports whether t is too cache-hot for the load balancer
@@ -565,6 +638,7 @@ func (k *Kernel) dispatch(rq *RunQueue, t *Task) {
 	t.CPU = rq.CPU
 	rq.current = t
 	rq.lastRan = t
+	k.tickStateChanged()
 
 	if t.wakeValid {
 		lat := k.Now() - t.wakeAt
@@ -617,31 +691,82 @@ func (k *Kernel) pump(cpu int) {
 			// equivalent individual requests, so the virtual timeline is
 			// bit-for-bit the unbatched one.
 			s := &t.steps[t.stepNext]
+			if (s.kind == stepSleep || s.kind == stepBlock) && rq.needResched {
+				// The unbatched sequence resumed the body and let the
+				// scheduler decide before the Sleep/Block request arrived;
+				// mirror it by leaving the step unconsumed until the task
+				// next holds the CPU.
+				k.Resched(cpu)
+				return
+			}
 			t.stepNext++
 			if t.stepNext == len(t.steps) {
 				// Last step: drop the reference to the Env's buffer (the
 				// body reuses it after Flush returns) and mark the body —
-				// still parked in Invoke — resumable.
+				// still parked in Invoke — resumable, unless a fused wait
+				// owns the resume decision.
 				t.steps = nil
 				t.stepNext = 0
-				t.needsResume = true
+				if t.waitCheck == nil {
+					t.needsResume = true
+				}
 			}
 			switch s.kind {
 			case stepCompute:
 				t.remaining += float64(s.d)
 			case stepAfter:
 				k.Engine.After(s.d, s.fn)
+			case stepSleep:
+				// May appear mid-batch (a daemon queueing several duty
+				// cycles ahead): the remaining steps resume after the wake,
+				// exactly as if the body had issued them then.
+				k.deactivate(t)
+				k.Engine.After(s.d, t.wakeFn)
+				return
+			case stepBlock:
+				k.deactivate(t)
+				return
 			}
 			if rq.needResched {
 				if t.remaining > 0 {
 					k.planBurst(rq, t)
 				} else if rq.current == t {
-					// Remaining steps (or the Resume) run once the
+					// Remaining steps (or the check/Resume) run once the
 					// scheduler hands the CPU back.
 					k.Resched(cpu)
 				}
 				return
 			}
+			continue
+		}
+		if t.waitCheck != nil {
+			// Fused wait: evaluate the check on the engine side, at the
+			// exact virtual instant the flushed-and-inspect sequence would
+			// have run body-side. The check may defer burn work (receive
+			// overheads) through the Env; adopt and drain it, then
+			// re-evaluate.
+			env := t.waitEnv
+			env.enginePush = true
+			done, reply := t.waitCheck()
+			env.enginePush = false
+			if !done && len(env.batch) > 0 {
+				t.steps = env.batch
+				t.stepNext = 0
+				env.batch = env.batch[:0]
+				continue
+			}
+			if !done {
+				t.needsResume = false
+				k.deactivate(t)
+				return
+			}
+			// Wait over: resume the body with the check's reply. Work the
+			// check left deferred stays in the Env batch for the body's
+			// next exchange.
+			t.waitCheck = nil
+			t.waitEnv = nil
+			t.resumeVal = reply
+			t.needsResume = true
 			continue
 		}
 		var req proc.Request
@@ -651,7 +776,9 @@ func (k *Kernel) pump(cpu int) {
 			req, t.pendingReq = t.pendingReq, nil
 		case t.needsResume:
 			t.needsResume = false
-			req, done = t.proc.Resume(nil)
+			reply := t.resumeVal
+			t.resumeVal = nil
+			req, done = t.proc.Resume(reply)
 		default:
 			panic(fmt.Sprintf("sched: task %v has neither work nor pending request", t))
 		}
@@ -670,8 +797,11 @@ func (k *Kernel) pump(cpu int) {
 				k.planBurst(rq, t)
 			} else if rq.current == t {
 				// Task has no work planned; it must issue its next request
-				// once rescheduled. Mark it resumable.
-				t.needsResume = true
+				// once rescheduled. Mark it resumable — unless a fused wait
+				// or unconsumed steps already carry the continuation.
+				if t.waitCheck == nil && t.stepNext >= len(t.steps) {
+					t.needsResume = true
+				}
 				k.Resched(cpu)
 				return
 			}
@@ -702,15 +832,22 @@ func (k *Kernel) handleRequest(rq *RunQueue, t *Task, req proc.Request) bool {
 		t.steps = r.steps
 		t.stepNext = 0
 		return true
-	case *sleepReq:
-		t.needsResume = true
-		k.deactivate(t)
-		k.Engine.After(r.d, t.wakeFn)
-		return false
-	case *blockReq:
-		t.needsResume = true
-		k.deactivate(t)
-		return false
+	case *waitReq:
+		// A fused wait: stash the steps and the check; the pump drains the
+		// former, then evaluates the latter — blocking and re-checking
+		// across wakeups — and resumes the body with the check's reply.
+		if t.stepNext < len(t.steps) || t.waitCheck != nil {
+			panic(fmt.Sprintf("sched: task %v flushed a wait over unconsumed work", t))
+		}
+		t.steps = r.steps
+		t.stepNext = 0
+		t.waitCheck = r.check
+		t.waitEnv = r.env
+		// The kernel owns the batch buffer from here: reset it so the
+		// check's deferred work starts a fresh batch (the drained steps
+		// are read through t.steps, whose length was captured above).
+		r.env.batch = r.env.batch[:0]
+		return true
 	case *yieldReq:
 		t.needsResume = true
 		k.Resched(rq.CPU)
@@ -868,38 +1005,107 @@ func (k *Kernel) coreSpeedChanged(co *power5.Core, mask int) {
 // the event via Reschedule, so the periodic tick never allocates — and
 // because the cadence is fixed, the event qualifies for the engine's
 // periodic ring, which re-arms in O(1) without touching the timer wheel.
+// On provably idle CPUs the re-arm instead parks the event past its grid
+// (tickless idle — see maybeParkTick), and the event rejoins the ring when
+// the CPU wakes back onto the cadence.
 func (k *Kernel) startTicker(cpu int) {
 	period := k.Opts.TickPeriod
 	offset := period * sim.Time(cpu) / sim.Time(k.Chip.NumCPUs())
-	var ev *sim.Event
-	tick := func() {
-		k.tick(cpu)
-		k.Engine.Reschedule(ev, k.Now()+period)
+	rq := k.rqs[cpu]
+	rq.gridBase = k.Engine.Now() + offset
+	rq.loadTicked = rq.gridBase - period
+	rq.lastTickAt = rq.gridBase - period
+	tick := func() { k.tick(cpu) }
+	rq.tickEv = k.Engine.SchedulePeriodic(rq.gridBase, period, tick)
+}
+
+// gridCeil returns the smallest tick-grid instant of rq at or after t.
+func (rq *RunQueue) gridCeil(t sim.Time) sim.Time {
+	if t <= rq.gridBase {
+		return rq.gridBase
 	}
-	ev = k.Engine.SchedulePeriodic(k.Engine.Now()+offset, period, tick)
+	p := rq.kernel.Opts.TickPeriod
+	d := t - rq.gridBase
+	return rq.gridBase + (d+p-1)/p*p
+}
+
+// loadAlpha is the per-tick decay constant of the occupancy average
+// (tick/100 ms horizon), and loadSnap the convergence snap: once the decay
+// is within 1e-9 of the sample the value is pinned to it. The only
+// threshold consumer (activeBalance, 0.35/0.75) cannot see the snap, and
+// converged CPUs skip the float update entirely.
+const (
+	loadAlpha = 0.01
+	loadSnap  = 1e-9
+)
+
+// decayLoad applies one tick of the occupancy average toward sample.
+func (rq *RunQueue) decayLoad(sample float64) {
+	if rq.loadAvg != sample {
+		rq.loadAvg += loadAlpha * (sample - rq.loadAvg)
+		if d := rq.loadAvg - sample; d < loadSnap && d > -loadSnap {
+			rq.loadAvg = sample
+		}
+	}
+}
+
+// settleIdleLoad replays the idle decay for every tick-grid instant of rq
+// in (loadTicked, through]. It is the exactness half of tickless idle: a
+// parked CPU's loadAvg is not decayed by tick events, so every reader —
+// and the resuming tick itself — first replays the skipped iterates, in
+// the same float order the per-tick updates would have used, snap
+// included. Only whole idle stretches are ever replayed (the CPU cannot
+// have run while its tick was parked), so the sample is always 0. Replay
+// terminates early once the value converges: the remaining iterates are
+// no-ops by the snap, exactly as the skipped ticks would have been.
+func (k *Kernel) settleIdleLoad(rq *RunQueue, through sim.Time) {
+	// Floor to the grid: only whole tick instants are ever applied.
+	if g := rq.gridCeil(through); g > through {
+		through = g - k.Opts.TickPeriod
+	}
+	if rq.loadTicked >= through {
+		return
+	}
+	p := k.Opts.TickPeriod
+	if rq.loadAvg == 0 {
+		rq.loadTicked = through
+		return
+	}
+	for rq.loadTicked < through {
+		rq.loadTicked += p
+		rq.decayLoad(0)
+		if rq.loadAvg == 0 {
+			rq.loadTicked = through
+			return
+		}
+	}
 }
 
 // tick performs the per-CPU periodic work: settle accounting, let the
 // current class act (timeslices, fairness), honour preemption requests,
-// and rebalance idle CPUs (rebalance_tick).
+// and rebalance idle CPUs (rebalance_tick). Ticks only ever fire on the
+// CPU's grid; after a parked (tickless) stretch the first firing replays
+// the skipped idle decays before applying its own.
 func (k *Kernel) tick(cpu int) {
 	rq := k.rqs[cpu]
+	now := k.Now()
+	period := k.Opts.TickPeriod
+	if now != rq.lastTickAt+period { // on-cadence fast path: nothing elided
+		k.ticksElided += int64((now-rq.lastTickAt)/period) - 1
+	}
+	rq.lastTickAt = now
 	// Decayed occupancy average (cpu_load): the balancer reads this, not
 	// the instantaneous state, so brief waits do not look like idleness.
-	const alpha = 0.01 // tick/100ms horizon
+	if rq.loadTicked < now-period {
+		k.settleIdleLoad(rq, now-period) // skipped parked instants
+	}
 	sample := 0.0
 	if rq.current != nil {
 		sample = 1
 	}
-	if rq.loadAvg != sample {
-		rq.loadAvg += alpha * (sample - rq.loadAvg)
-		// Snap once the decay is within 1e-9 of the sample: the only
-		// consumer (activeBalance) compares against 0.35/0.75 thresholds,
-		// so the snap is invisible, and converged CPUs skip the float
-		// update entirely.
-		if d := rq.loadAvg - sample; d < 1e-9 && d > -1e-9 {
-			rq.loadAvg = sample
-		}
+	if rq.loadTicked < now {
+		rq.decayLoad(sample)
+		rq.loadTicked = now
 	}
 	if t := rq.current; t != nil {
 		k.account(t)
@@ -912,14 +1118,14 @@ func (k *Kernel) tick(cpu int) {
 		// balance to even consider firing (its first gate), the whole
 		// pass is provably a no-op — skip it.
 		if k.nrQueued != 0 || rq.idleSince == sim.MaxTime ||
-			k.Now()-rq.idleSince >= 4*k.Opts.TickPeriod {
+			now-rq.idleSince >= 4*period {
 			k.schedule(cpu)
 		}
 		// Still idle after the balance attempt: enter SMT snooze once the
 		// configured delay has passed, handing decode slots to the
 		// sibling (smt_snooze_delay).
 		if d := k.Opts.SMTSnoozeDelay; d > 0 && rq.current == nil &&
-			k.Now()-rq.idleSince >= d {
+			now-rq.idleSince >= d {
 			ctx := k.Chip.CPU(cpu)
 			if ctx.Priority() != power5.PrioVeryLow {
 				if err := ctx.SetPriority(power5.PrioVeryLow, power5.PrivSupervisor); err != nil {
@@ -931,6 +1137,258 @@ func (k *Kernel) tick(cpu int) {
 	if rq.needResched && !rq.reschedPending {
 		k.Resched(cpu)
 	}
+	// Re-arm: on the cadence normally, or past it when every tick until a
+	// computable horizon is provably a no-op (tickless idle).
+	if at, ok := k.maybeParkTick(rq, now); ok {
+		if !rq.tickParked {
+			rq.tickParked = true
+			k.parkedTicks++
+		}
+		k.Engine.Reschedule(rq.tickEv, at)
+		return
+	}
+	if rq.tickParked {
+		rq.tickParked = false
+		k.parkedTicks--
+	}
+	k.Engine.Reschedule(rq.tickEv, now+period)
+}
+
+// ticklessParkCap bounds a parked stretch, in ticks. A capped wake-up is
+// harmless — any tick before the park horizon is provably a no-op, so the
+// resumed tick simply re-parks — and the bound keeps the horizon
+// arithmetic trivially overflow-free while costing one no-op tick per
+// ~second of fully idle virtual time.
+const ticklessParkCap = 1024
+
+// maybeParkTick decides, at the end of the tick that fired at now, whether
+// every subsequent tick of rq is provably unobservable until some future
+// instant, and if so returns the instant to park the tick event at.
+//
+// A parked CPU's ticks would do exactly four things; each is either shown
+// impossible until the horizon or reproduced exactly:
+//
+//   - the loadAvg decay: replayed lazily, iterate by iterate
+//     (settleIdleLoad), before any read and before the tick resumes;
+//   - the idle-balance pull: with tasks queued machine-wide, provably
+//     futile while the negative-result cache holds (no queue mutation —
+//     any mutation wakes the tick — and no hot-rejected candidate cooled:
+//     the horizon includes lbRetryAt);
+//   - the SMT-domain active balance: its gates open no earlier than
+//     activeBalanceEligibleAt — a lower bound built from the frozen
+//     idle-since marks, the deterministic loadAvg trajectories of this
+//     CPU, its sibling and every potential donor core, and donor
+//     existence (any current/queue transition wakes the tick);
+//   - the snooze entry: a pure function of idleSince, included below.
+//
+// The event is armed one grid instant before the first possibly-acting
+// tick: that firing is still provably a no-op, and its ordinary in-cadence
+// re-arm then gives the acting tick the same scheduling instant — and so
+// the same position among same-instant events — it would have had had the
+// tick never parked.
+func (k *Kernel) maybeParkTick(rq *RunQueue, now sim.Time) (sim.Time, bool) {
+	if k.Opts.NoTicklessIdle {
+		return 0, false
+	}
+	if rq.current != nil || rq.nrQueued > 0 || rq.needResched || rq.reschedPending {
+		return 0, false
+	}
+	if rq.idleSince == sim.MaxTime {
+		return 0, false
+	}
+	h := sim.MaxTime
+	if k.nrQueued != 0 {
+		// Every tick runs the idle-balance pull: only the valid
+		// negative-result cache makes it futile, and only until a
+		// hot-rejected candidate cools.
+		if !rq.lbFailed || rq.lbFailGen != k.queueGen {
+			return 0, false
+		}
+		h = rq.lbRetryAt
+	}
+	if ab := k.activeBalanceEligibleAt(rq, now); ab < h {
+		h = ab
+	}
+	if d := k.Opts.SMTSnoozeDelay; d > 0 &&
+		k.Chip.CPU(rq.CPU).Priority() != power5.PrioVeryLow {
+		if s := rq.idleSince + d; s < h {
+			h = s
+		}
+	}
+	period := k.Opts.TickPeriod
+	cap := now + ticklessParkCap*period
+	var arm sim.Time
+	if h >= cap {
+		arm = cap // capped: the wake-up re-checks and re-parks
+	} else {
+		// One grid instant before the first tick that could act.
+		arm = rq.gridCeil(h) - period
+	}
+	if arm <= now+period {
+		return 0, false // nothing to skip
+	}
+	return arm, true
+}
+
+// activeBalanceEligibleAt returns a lower bound on the first instant at
+// which activeBalance(rq) could return non-nil, assuming no current/queue
+// transition happens anywhere in between (every such transition wakes the
+// parked tick and the bound is recomputed). The bound is exact with
+// respect to the deterministic parts of the state: the frozen idle-since
+// marks and the loadAvg trajectories, which between transitions evolve by
+// a known iterate at known grid instants.
+func (k *Kernel) activeBalanceEligibleAt(rq *RunQueue, now sim.Time) sim.Time {
+	period := k.Opts.TickPeriod
+	t := rq.idleSince + 4*period
+	sib := k.rqs[rq.CPU^1]
+	if sib.current != nil || sib.nrQueued > 0 || sib.idleSince == sim.MaxTime {
+		return sim.MaxTime // core not fully idle; a transition wakes us
+	}
+	if s := sib.idleSince + 4*period; s > t {
+		t = s
+	}
+	if c := k.loadFallsBelowAt(rq, 0.35); c > t {
+		t = c
+	}
+	if c := k.loadFallsBelowAt(sib, 0.35); c > t {
+		t = c
+	}
+	// A donor core must exist: both contexts busy, loadAvg ≥ 0.75 on both
+	// (rising deterministically while they stay busy), with at least one
+	// current task allowed on this CPU.
+	donor := sim.MaxTime
+	for base := 0; base < len(k.rqs); base += 2 {
+		if base == rq.CPU&^1 {
+			continue
+		}
+		a, b := k.rqs[base], k.rqs[base+1]
+		if a.current == nil || b.current == nil {
+			continue
+		}
+		if !a.current.MayRunOn(rq.CPU) && !b.current.MayRunOn(rq.CPU) {
+			continue
+		}
+		pair := k.loadRisesAboveAt(a, 0.75)
+		if c := k.loadRisesAboveAt(b, 0.75); c > pair {
+			pair = c
+		}
+		if pair < donor {
+			donor = pair
+		}
+	}
+	if donor == sim.MaxTime {
+		return sim.MaxTime
+	}
+	if donor > t {
+		t = donor
+	}
+	return t
+}
+
+// loadFallsBelowAt returns the first grid instant of rq at which its
+// loadAvg — decaying toward 0 while the CPU stays idle — is ≤ limit,
+// replaying the exact per-tick iterate from the last applied instant. The
+// crossing is a constant of the decay path, so it is memoized until the
+// next current/queue transition (which may put the CPU on another path).
+func (k *Kernel) loadFallsBelowAt(rq *RunQueue, limit float64) sim.Time {
+	if rq.fallsBelowGen == k.loadGen {
+		return rq.fallsBelowAt
+	}
+	v := rq.loadAvg
+	at := rq.loadTicked
+	p := k.Opts.TickPeriod
+	for v > limit {
+		v += loadAlpha * (0 - v)
+		if v < loadSnap && v > -loadSnap {
+			v = 0
+		}
+		at += p
+	}
+	rq.fallsBelowAt = at
+	rq.fallsBelowGen = k.loadGen
+	return at
+}
+
+// loadRisesAboveAt returns the first grid instant of rq at which its
+// loadAvg — rising toward 1 while the CPU stays busy — is ≥ limit,
+// memoized like loadFallsBelowAt.
+func (k *Kernel) loadRisesAboveAt(rq *RunQueue, limit float64) sim.Time {
+	if rq.risesAboveGen == k.loadGen {
+		return rq.risesAboveAt
+	}
+	v := rq.loadAvg
+	at := rq.loadTicked
+	p := k.Opts.TickPeriod
+	for v < limit {
+		v += loadAlpha * (1 - v)
+		if d := v - 1; d < loadSnap && d > -loadSnap {
+			v = 1
+		}
+		at += p
+	}
+	rq.risesAboveAt = at
+	rq.risesAboveGen = k.loadGen
+	return at
+}
+
+// tickStateChanged wakes every parked tick: some queue membership or
+// running-task transition just happened, so the park horizons may no
+// longer bound the first observable tick. Each woken tick re-parks with a
+// fresh horizon at its next firing if the premise still holds.
+//
+// It must be called before the mutation schedules any same-instant
+// follow-up events (Resched), so the woken tick keeps its place before
+// them — see wakeTick for why that reproduces the never-parked order.
+func (k *Kernel) tickStateChanged() {
+	k.loadGen++
+	if k.parkedTicks == 0 {
+		return
+	}
+	for _, rq := range k.rqs {
+		if rq.tickParked {
+			k.wakeTick(rq)
+		}
+	}
+}
+
+// wakeTick re-arms a parked tick event back onto its grid. The subtlety is
+// the same-instant case: when the wake happens exactly on a grid instant
+// T, the never-parked tick at T would have carried a sequence number from
+// its arming at T−period, so it ordered before exactly those same-instant
+// events armed after T−period. If the event firing now was armed after
+// that point, the virtual tick at T "already fired" — before this event —
+// and, being pre-mutation, was a no-op: its decay is settled and the tick
+// resumes at T+period. Otherwise the tick at T still belongs after the
+// firing event, which re-arming now (before the mutation schedules its
+// same-instant follow-ups) reproduces.
+//
+// Two corners of this reconstruction are resolved by convention rather
+// than proof: an arming at exactly T−period is ambiguous between the
+// branches (resolved as tick-first, matching the dominant source of
+// period-exact arming — the tick chain itself), and an *already-pending*
+// event at T armed within (T−period, now) other than the one firing will
+// precede the re-armed tick although the never-parked tick preceded it.
+// Both require an independently scheduled deadline to land exactly on the
+// 1 ms tick grid — a single nanosecond on a grid populated by RNG-jittered
+// burst/latency arithmetic — and are pinned empirically by the golden
+// tables and the randomized tickless-equivalence tests.
+func (k *Kernel) wakeTick(rq *RunQueue) {
+	now := k.Now()
+	period := k.Opts.TickPeriod
+	at := rq.gridCeil(now)
+	if at == now && k.Engine.FiringScheduledAt() >= now-period {
+		k.settleIdleLoad(rq, now)
+		k.ticksElided += int64((now - rq.lastTickAt) / period)
+		rq.lastTickAt = now // accounted (virtually fired) through now
+		at += period
+	} else {
+		k.settleIdleLoad(rq, at-period)
+		k.ticksElided += int64((at - period - rq.lastTickAt) / period)
+		rq.lastTickAt = at - period
+	}
+	rq.tickParked = false
+	k.parkedTicks--
+	k.Engine.Reschedule(rq.tickEv, at)
 }
 
 // idleBalance runs when a CPU found no runnable task: classes get, in
@@ -1008,7 +1466,12 @@ func (k *Kernel) activeBalance(rq *RunQueue) *Task {
 	}
 	// The receiving core must be idle *on average* too: a core whose
 	// tasks merely wait between phases keeps a high decayed load and must
-	// not attract migrations (cpu_load semantics).
+	// not attract migrations (cpu_load semantics). Both contexts are idle
+	// here, so their decay may be lagging tickless parks — replay it up to
+	// the last tick instant before reading (donor cores are busy: their
+	// ticks fire normally and their values are always current).
+	k.settleIdleLoad(rq, k.Now())
+	k.settleIdleLoad(sib, k.Now())
 	if rq.loadAvg > 0.35 || sib.loadAvg > 0.35 {
 		return nil
 	}
@@ -1033,6 +1496,7 @@ func (k *Kernel) activeBalance(rq *RunQueue) *Task {
 			k.account(t)
 			k.unplanBurst(t)
 			donor.current = nil
+			k.tickStateChanged()
 			k.Chip.CPU(donor.CPU).SetBusy(false)
 			t.state = StateRunnable
 			t.CPU = rq.CPU

@@ -40,6 +40,12 @@ type Options struct {
 	// (the calibrated default: the paper's Table III/IV numbers imply the
 	// idle loop kept spinning at normal priority on their machine).
 	SMTSnoozeDelay sim.Time
+
+	// NoTicklessIdle forces the per-CPU tick to fire every period even on
+	// provably idle CPUs, disabling the tickless-idle optimisation. The
+	// simulated timeline is identical either way — the flag exists so the
+	// equivalence tests can pin exactly that, and as an escape hatch.
+	NoTicklessIdle bool
 }
 
 // DefaultOptions returns the 2.6.24-flavoured defaults.

@@ -129,11 +129,17 @@ type Task struct {
 	remaining   float64
 	pendingReq  proc.Request // first request, before it is consumed
 	needsResume bool         // proc is parked in Invoke awaiting a reply
+	resumeVal   any          // reply for the pending resume (fused waits)
 	// steps/stepNext hold the unconsumed tail of a batched exchange
 	// (Env.Flush): the pump drains them in order — across preemptions and
 	// migrations — without a proc round-trip between them.
-	steps     []batchStep
-	stepNext  int
+	steps    []batchStep
+	stepNext int
+	// waitCheck/waitEnv hold a fused wait (Env.InvokeWait): the pump
+	// re-evaluates the check after the steps drain and after every wakeup,
+	// keeping the body parked in its single Invoke the whole time.
+	waitCheck WaitCheck
+	waitEnv   *Env
 	finishEv  *sim.Event
 	planAt    sim.Time // when the current burst plan was made
 	planSpeed float64  // speed assumed by the current plan

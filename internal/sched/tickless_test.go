@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sim"
+)
+
+// ticklessFingerprint runs a randomized task mix — compute bursts, sleeps,
+// blocks woken by a peer's deferred posts, random policies and affinities,
+// long-idle stretches that arm the SMT-domain active balance — and renders
+// every externally observable per-task and per-CPU quantity into a string.
+func ticklessFingerprint(seed uint64, tickless bool) string {
+	e := sim.NewEngine(seed)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	opts := DefaultOptions()
+	opts.NoTicklessIdle = !tickless
+	k := NewKernel(e, chip, opts)
+	rng := sim.NewRNG(seed ^ 0x5eed)
+
+	count := int(rng.Intn(6)) + 3
+	var tasks []*Task
+	var sleepers []*Task
+	for i := 0; i < count; i++ {
+		policy := []Policy{PolicyNormal, PolicyNormal, PolicyBatch, PolicyFIFO, PolicyRR}[rng.Intn(5)]
+		aff := uint64(0)
+		if rng.Intn(3) == 0 {
+			aff = 1 << uint(rng.Intn(4))
+		}
+		phases := rng.Intn(5) + 1
+		task := k.AddProcess(TaskSpec{Name: fmt.Sprintf("t%d", i), Policy: policy,
+			RTPrio: rng.Intn(50) + 1, Affinity: aff}, func(env *Env) {
+			for j := 0; j < phases; j++ {
+				switch rng.Intn(4) {
+				case 0:
+					env.Compute(sim.Time(rng.Int63n(int64(20*sim.Millisecond)) + 1))
+				case 1:
+					// Long sleep: leaves its CPU idle for many ticks, the
+					// tickless park window.
+					env.Sleep(sim.Time(rng.Int63n(int64(40*sim.Millisecond)) + 1))
+				case 2:
+					env.DeferCompute(sim.Time(rng.Int63n(int64(4*sim.Millisecond)) + 1))
+					env.Sleep(sim.Time(rng.Int63n(int64(8*sim.Millisecond)) + 1))
+				case 3:
+					env.Compute(sim.Time(rng.Int63n(int64(8*sim.Millisecond)) + 1))
+					env.Yield()
+				}
+			}
+		})
+		k.Watch(task)
+		tasks = append(tasks, task)
+	}
+	// A blocked task woken late: exercises wakeups landing on parked CPUs.
+	blocked := k.AddProcess(TaskSpec{Name: "blocked", Policy: PolicyNormal},
+		func(env *Env) {
+			env.Block("test")
+			env.Compute(3 * sim.Millisecond)
+		})
+	k.Watch(blocked)
+	sleepers = append(sleepers, blocked)
+	wakeAt := sim.Time(rng.Int63n(int64(60*sim.Millisecond)) + int64(30*sim.Millisecond))
+	e.Schedule(wakeAt, func() { k.Wake(blocked) })
+
+	k.RunUntilWatchedExit(2 * sim.Second)
+	k.Shutdown()
+
+	out := fmt.Sprintf("end=%d mig=%d/%d/%d\n", e.Now(), k.MigWake, k.MigSteal, k.MigActive)
+	for _, task := range append(tasks, sleepers...) {
+		out += fmt.Sprintf("%s exit=%d exec=%d wait=%d sleep=%d mig=%d wake=%d/%d\n",
+			task.Name, task.ExitedAt, task.SumExec, task.SumWait, task.SumSleep,
+			task.Migrations, task.WakeupCount, task.WakeupLatSum)
+	}
+	for cpu := 0; cpu < k.NumCPUs(); cpu++ {
+		out += fmt.Sprintf("cpu%d cs=%d load=%v\n", cpu, k.RQ(cpu).ContextSwitches,
+			k.RQ(cpu).loadAvg)
+	}
+	return out
+}
+
+// TestTicklessTimelineEquivalence is the tickless analogue of the PR 4
+// pure-heap equivalence test: over randomized workloads, parking idle
+// CPUs' ticks must leave every observable — exit instants, exact
+// accounting sums, migrations, context switches, wakeup latencies, even
+// the final decayed load averages — bit-identical to firing every tick.
+func TestTicklessTimelineEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		with := ticklessFingerprint(seed, true)
+		without := ticklessFingerprint(seed, false)
+		if with != without {
+			t.Logf("seed %d diverged:\n--- tickless ---\n%s--- ticking ---\n%s",
+				seed, with, without)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTicklessParksIdleTicks pins that the machinery actually engages: a
+// workload with one long-running task and three idle CPUs must elide a
+// substantial share of its tick instants, and the elision count must make
+// the fired+elided sum match the always-ticking run exactly.
+func TestTicklessParksIdleTicks(t *testing.T) {
+	run := func(tickless bool) (fired uint64, elided int64) {
+		e := sim.NewEngine(3)
+		chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+		opts := DefaultOptions()
+		opts.NoTicklessIdle = !tickless
+		k := NewKernel(e, chip, opts)
+		task := k.AddProcess(TaskSpec{Name: "solo", Policy: PolicyNormal, Affinity: pin(0)},
+			func(env *Env) {
+				for i := 0; i < 20; i++ {
+					env.Compute(5 * sim.Millisecond)
+					env.Sleep(5 * sim.Millisecond)
+				}
+			})
+		k.Watch(task)
+		k.RunUntilWatchedExit(sim.Second)
+		defer k.Shutdown()
+		return e.Stats().Fired, k.TicksElided()
+	}
+	fired, elided := run(true)
+	firedAll, elidedAll := run(false)
+	if elidedAll != 0 {
+		t.Fatalf("NoTicklessIdle still elided %d ticks", elidedAll)
+	}
+	if elided == 0 {
+		t.Fatal("tickless idle never parked a tick on a mostly-idle machine")
+	}
+	if fired+uint64(elided) != firedAll {
+		t.Fatalf("fired+elided = %d+%d = %d, want %d (the always-ticking event count)",
+			fired, elided, fired+uint64(elided), firedAll)
+	}
+	if float64(elided) < 0.3*float64(firedAll) {
+		t.Fatalf("only %d of %d tick instants elided on a machine with 3 idle CPUs",
+			elided, firedAll)
+	}
+}

@@ -66,6 +66,7 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 type Event struct {
 	at       Time
 	seq      uint64
+	schedAt  Time // instant the event was (re)armed — see FiringScheduledAt
 	period   Time // fixed re-arm cadence (SchedulePeriodic), 0 = aperiodic
 	do       func()
 	index    int32 // position in the overflow heap, -1 when not in the heap
@@ -103,14 +104,15 @@ const (
 // Run/Step (simulated processes hand control back and forth in lock-step via
 // the proc package, so this is never a limitation in practice).
 type Engine struct {
-	now     Time
-	wheel   timerWheel
-	ring    periodicRing // fixed-cadence events (SchedulePeriodic)
-	heap    eventQueue   // far-future overflow (beyond the wheel horizon)
-	seq     uint64
-	rng     *RNG
-	stopped bool
-	free    *Event // event free list (recycled events)
+	now      Time
+	wheel    timerWheel
+	ring     periodicRing // fixed-cadence events (SchedulePeriodic)
+	heap     eventQueue   // far-future overflow (beyond the wheel horizon)
+	seq      uint64
+	rng      *RNG
+	stopped  bool
+	firingAt Time   // schedAt of the event whose callback is running
+	free     *Event // event free list (recycled events)
 
 	// Stats counters, exported via Stats.
 	scheduled uint64
@@ -165,6 +167,14 @@ func (e *Engine) release(ev *Event) {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// FiringScheduledAt returns the instant at which the event whose callback
+// is currently running was (last re-)armed. A tickless consumer uses it to
+// reconstruct, for a tick it removed from the queue, whether that tick
+// would have fired before or after the running event: the virtual tick's
+// seq dates from its arming one period before its deadline, so it orders
+// before exactly those same-instant events that were armed later.
+func (e *Engine) FiringScheduledAt() Time { return e.firingAt }
+
 // RNG returns the engine's deterministic random number generator.
 func (e *Engine) RNG() *RNG { return e.rng }
 
@@ -208,6 +218,7 @@ func (e *Engine) Schedule(at Time, do func()) *Event {
 	ev := e.acquire()
 	ev.at = at
 	ev.seq = e.seq
+	ev.schedAt = e.now
 	ev.do = do
 	e.enqueue(ev)
 	return ev
@@ -231,9 +242,13 @@ func (e *Engine) After(d Time, do func()) *Event {
 //
 // The ring holds one period at a time, and joining it requires the arm time
 // to be at or after the ring's last deadline (true for tick ladders armed
-// in offset order). An event that does not qualify — or that is later
-// re-armed off-cadence — silently degrades to a normal wheel/heap event;
-// SchedulePeriodic is an optimisation hint, never a semantic change.
+// in offset order). An event that does not qualify silently degrades to a
+// normal wheel/heap event. A ring member later re-armed off-cadence stays
+// ring-resident by sorted insert while its deadline is within one period,
+// and otherwise moves to the wheel/heap keeping its period — a parked
+// tickless tick — so an on-grid re-arm can take it back into the ring.
+// Either way SchedulePeriodic is an optimisation hint, never a semantic
+// change: firing order is always the global (at, seq) order.
 func (e *Engine) SchedulePeriodic(at, period Time, do func()) *Event {
 	if do == nil {
 		panic("sim: SchedulePeriodic with nil callback")
@@ -249,6 +264,7 @@ func (e *Engine) SchedulePeriodic(at, period Time, do func()) *Event {
 	ev := e.acquire()
 	ev.at = at
 	ev.seq = e.seq
+	ev.schedAt = e.now
 	ev.do = do
 	if e.ring.accepts(at, period) {
 		ev.period = period
@@ -284,24 +300,42 @@ func (e *Engine) Reschedule(ev *Event, at Time) {
 	e.scheduled++
 	if ev.period != 0 {
 		// Periodic event: the expected in-cadence re-arm (from its own
-		// callback, to exactly one period out) goes back into the ring in
-		// O(1). Anything else demotes the event to the ordinary tiers.
+		// callback, to exactly one period out) goes back into the ring tail
+		// in O(1). An off-cadence re-arm — a tickless CPU parking its tick
+		// far ahead, or waking it back onto the grid — keeps the period:
+		// the event leaves for the wheel/heap while parked and rejoins the
+		// ring by sorted insert once its deadline fits the cadence again.
 		if ev.slot == ringSlot {
 			e.ring.remove(ev)
 		}
+		ev.schedAt = e.now
 		if at == e.now+ev.period && e.ring.accepts(at, ev.period) {
+			if ev.queued() {
+				e.dequeue(ev)
+			}
 			ev.at = at
 			ev.seq = e.seq
 			e.ring.push(ev)
 			return
 		}
-		ev.period = 0
+		if at-e.now <= ev.period && e.ring.acceptsInsert(ev.period) {
+			if ev.queued() {
+				e.dequeue(ev)
+			}
+			ev.at = at
+			ev.seq = e.seq
+			e.ring.insert(ev)
+			return
+		}
+		// Deadline beyond one period (a parked stretch): hold the event in
+		// the ordinary tiers until it is re-armed back onto the grid.
 	}
 	if ev.queued() {
 		e.dequeue(ev)
 	}
 	ev.at = at
 	ev.seq = e.seq
+	ev.schedAt = e.now
 	e.enqueue(ev)
 }
 
@@ -361,6 +395,7 @@ func (e *Engine) fire(ev *Event) {
 	e.wheel.advance(ev.at)
 	e.now = ev.at
 	e.fired++
+	e.firingAt = ev.schedAt
 	ev.do()
 	// The callback may have re-armed the event (Reschedule) or, in
 	// principle, raced it back through the pool; only a still-dead event is
@@ -491,6 +526,33 @@ func (r *periodicRing) push(ev *Event) {
 	r.evs[(r.first+r.n)&(len(r.evs)-1)] = ev
 	r.n++
 	ev.slot = ringSlot
+}
+
+// acceptsInsert reports whether an event with the given period may rejoin
+// the ring at an arbitrary sorted position (a tickless CPU's tick waking
+// back onto the grid): only the period must match — sortedness is restored
+// by insert itself.
+func (r *periodicRing) acceptsInsert(period Time) bool {
+	return r.n == 0 || r.period == period
+}
+
+// insert places ev at its (at, seq) position, shifting later members one
+// slot towards the tail. The shift is bounded by the ring population — one
+// entry per simulated CPU — and only runs on tickless wake-ups, never on
+// the steady-state pop/re-arm path.
+func (r *periodicRing) insert(ev *Event) {
+	r.push(ev) // makes room (and handles growth); now sift it into place
+	mask := len(r.evs) - 1
+	i := r.n - 1
+	for i > 0 {
+		prev := r.evs[(r.first+i-1)&mask]
+		if !eventLess(ev, prev) {
+			break
+		}
+		r.evs[(r.first+i)&mask] = prev
+		i--
+	}
+	r.evs[(r.first+i)&mask] = ev
 }
 
 // remove unlinks ev: O(1) for the head (the pop path — the fired event is

@@ -70,6 +70,14 @@ type timerWheel struct {
 	time   Time
 	count  int
 	levels [wheelLevels]wheelLevel
+
+	// cachedMin memoizes min(): most pops come from the periodic ring (the
+	// tick ladder), which never touches the wheel, so the wheel minimum is
+	// asked for far more often than it changes. insert keeps the cache
+	// exact in O(1); removing the cached event invalidates it (nil), and
+	// cascades move events between levels without changing the set, so
+	// advance leaves the cache alone.
+	cachedMin *Event
 }
 
 // eventLess orders events by (at, seq) — the engine's firing order.
@@ -106,6 +114,9 @@ func (w *timerWheel) insert(ev *Event) {
 // insertDiff is insert with the XOR distance already computed (the engine's
 // routing check needs it anyway).
 func (w *timerWheel) insertDiff(ev *Event, diff uint64) {
+	if w.cachedMin != nil && eventLess(ev, w.cachedMin) {
+		w.cachedMin = ev
+	}
 	l := levelFor(diff)
 	s := int(ev.at>>wheelShift(l)) & wheelMask
 	lv := &w.levels[l]
@@ -139,6 +150,9 @@ func (w *timerWheel) insertDiff(ev *Event, diff uint64) {
 // and the pop path — where ev is the slot head and the walk ends
 // immediately).
 func (w *timerWheel) remove(ev *Event) {
+	if ev == w.cachedMin {
+		w.cachedMin = nil
+	}
 	l := int(ev.slot) >> wheelBits
 	s := int(ev.slot) & wheelMask
 	lv := &w.levels[l]
@@ -185,6 +199,16 @@ func (w *timerWheel) min() *Event {
 	if w.count == 0 {
 		return nil
 	}
+	if w.cachedMin != nil {
+		return w.cachedMin
+	}
+	w.cachedMin = w.scanMin()
+	return w.cachedMin
+}
+
+// scanMin recomputes the wheel minimum from the bitmaps (the cache-miss
+// path of min).
+func (w *timerWheel) scanMin() *Event {
 	// Fast path: an event scheduled for (or near) the current instant — a
 	// scheduling pass at Now, a delivery a few µs out — sits in level 0
 	// under the cursor itself.

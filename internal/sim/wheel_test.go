@@ -353,16 +353,20 @@ func TestPeriodicRingOrdering(t *testing.T) {
 	}
 }
 
-// TestPeriodicRingDemotion: an off-cadence re-arm (or an arm that cannot
-// join the ring) degrades to an ordinary event without changing semantics.
-func TestPeriodicRingDemotion(t *testing.T) {
+// TestPeriodicRingOffCadence: an off-cadence re-arm within one period
+// stays ring-resident (sorted insert), an arm that cannot join the ring
+// degrades to an ordinary event, and a re-arm beyond one period — a
+// tickless park — leaves the ring for the ordinary tiers while keeping its
+// period, so a later on-grid wake can rejoin the ring. Firing order is the
+// global (at, seq) order throughout.
+func TestPeriodicRingOffCadence(t *testing.T) {
 	e := NewEngine(1)
 	evFired, otherFired := 0, 0
 	var ev *Event
 	ev = e.SchedulePeriodic(1000, 1000, func() {
 		evFired++
 		if evFired == 1 {
-			e.Reschedule(ev, e.Now()+777) // off-cadence: demotes to the wheel
+			e.Reschedule(ev, e.Now()+777) // off-cadence, within one period
 		}
 	})
 	// A second ladder with a different period cannot join the ring.
@@ -375,11 +379,67 @@ func TestPeriodicRingDemotion(t *testing.T) {
 	if evFired != 2 || otherFired != 1 {
 		t.Fatalf("fired ev=%d other=%d, want 2 and 1", evFired, otherFired)
 	}
-	if ev.period != 0 {
-		t.Fatal("off-cadence re-arm kept the event periodic")
+	if ev.period == 0 {
+		t.Fatal("off-cadence re-arm within one period demoted the event")
 	}
 	if e.Now() != 1777 {
 		t.Fatalf("Now = %v, want 1777", e.Now())
+	}
+}
+
+// TestPeriodicRingParkAndRejoin drives the tickless lifecycle: a ring
+// member re-armed far ahead moves to the ordinary tiers (the parked
+// stretch), keeps its period, and a wake re-arm back within a period of a
+// live ring sorted-inserts it among the other ladders — including ahead of
+// the current head.
+func TestPeriodicRingParkAndRejoin(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	var parked *Event
+	fires := 0
+	parked = e.SchedulePeriodic(1000, 1000, func() {
+		order = append(order, 0)
+		fires++
+		if fires == 1 {
+			e.Reschedule(parked, e.Now()+10*1000) // park: 10 periods ahead
+			if parked.slot == ringSlot {
+				t.Fatal("parked event still in the ring")
+			}
+			if parked.period == 0 {
+				t.Fatal("parking demoted the event")
+			}
+		} else {
+			e.Reschedule(parked, e.Now()+1000)
+		}
+	})
+	var mate *Event
+	mate = e.SchedulePeriodic(1500, 1000, func() {
+		order = append(order, 1)
+		if e.Now() < 8000 {
+			e.Reschedule(mate, e.Now()+1000)
+		}
+	})
+	// Wake the parked ticker early from an unrelated event: its next
+	// deadline (4300) precedes the resident member's (4500), so the rejoin
+	// must sorted-insert it ahead of the current head.
+	e.Schedule(4200, func() {
+		e.Reschedule(parked, 4300)
+		if parked.slot != ringSlot {
+			t.Fatal("woken ticker did not rejoin the ring")
+		}
+		if e.ring.head() != parked {
+			t.Fatal("woken ticker did not sort ahead of the resident member")
+		}
+	})
+	e.Run(9100)
+	want := []int{0, 1, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d times (%v), want %d", len(order), order, len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("firing order = %v, want %v", order, want)
+		}
 	}
 }
 
