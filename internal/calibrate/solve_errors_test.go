@@ -1,0 +1,160 @@
+package calibrate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSolveErrorTable pins every rejection branch of the closed-form
+// solver: anchor range checks, the degenerate 1-q = R denominator, and the
+// two negative intermediate solutions.
+func TestSolveErrorTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		a       Anchors
+		wantErr string
+	}{
+		{
+			name:    "small utilization at zero",
+			a:       Anchors{SmallUtil: 0, StaticImprovement: 0.13, ReversedPenalty: 0.17, PlusTwoFraction: 0.95},
+			wantErr: "anchors out of range",
+		},
+		{
+			name:    "small utilization at one",
+			a:       Anchors{SmallUtil: 1, StaticImprovement: 0.13, ReversedPenalty: 0.17, PlusTwoFraction: 0.95},
+			wantErr: "anchors out of range",
+		},
+		{
+			name:    "no static improvement",
+			a:       Anchors{SmallUtil: 0.25, StaticImprovement: 0, ReversedPenalty: 0.17, PlusTwoFraction: 0.95},
+			wantErr: "anchors out of range",
+		},
+		{
+			name:    "total static improvement",
+			a:       Anchors{SmallUtil: 0.25, StaticImprovement: 1, ReversedPenalty: 0.17, PlusTwoFraction: 0.95},
+			wantErr: "anchors out of range",
+		},
+		{
+			name:    "plus-two fraction at zero",
+			a:       Anchors{SmallUtil: 0.25, StaticImprovement: 0.13, ReversedPenalty: 0.17, PlusTwoFraction: 0},
+			wantErr: "anchors out of range",
+		},
+		{
+			name:    "plus-two fraction above one",
+			a:       Anchors{SmallUtil: 0.25, StaticImprovement: 0.13, ReversedPenalty: 0.17, PlusTwoFraction: 1.5},
+			wantErr: "anchors out of range",
+		},
+		{
+			// oneQ = 0.7 and r = 1 + (-0.3) = 0.7: the linear system for
+			// x = v·t loses its unique solution.
+			name:    "degenerate denominator 1-q = R",
+			a:       Anchors{SmallUtil: 0.3, StaticImprovement: 0.1, ReversedPenalty: -0.3, PlusTwoFraction: 0.9},
+			wantErr: "degenerate anchors",
+		},
+		{
+			// r = 0.5 < 1-q: the reversed period would be faster than the
+			// interval geometry allows, so x comes out negative.
+			name:    "negative interval solution",
+			a:       Anchors{SmallUtil: 0.25, StaticImprovement: 0.5, ReversedPenalty: -0.5, PlusTwoFraction: 0.9},
+			wantErr: "negative interval solution",
+		},
+		{
+			// q and p both small with i near one: (1-p)/q dominates b/i and
+			// the iteration time comes out negative.
+			name:    "negative iteration time",
+			a:       Anchors{SmallUtil: 0.1, StaticImprovement: 0.1, ReversedPenalty: 1.0, PlusTwoFraction: 0.1},
+			wantErr: "negative iteration time",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Solve(tc.a)
+			if err == nil {
+				t.Fatalf("Solve(%+v) accepted anchors, want %q error", tc.a, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Solve error = %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateTable pins each plausibility rule independently: range (with
+// NaN), the u < e < f ordering, e < v, the favoured-vs-idle ceiling, and
+// the work ratio floor.
+func TestValidateTable(t *testing.T) {
+	// A solution that passes every check, to mutate per case.
+	good := Solution{
+		SMTBase:     0.6,
+		Favoured2:   0.72,
+		Unfavoured2: 0.5,
+		IdleSibling: 0.7,
+		WorkRatio:   2,
+		IterFactor:  5,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline solution rejected: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*Solution)
+		wantErr string
+	}{
+		{
+			name:    "zero speed",
+			mutate:  func(s *Solution) { s.SMTBase = 0 },
+			wantErr: "out of (0,1]",
+		},
+		{
+			name:    "speed above one",
+			mutate:  func(s *Solution) { s.IdleSibling = 1.2 },
+			wantErr: "out of (0,1]",
+		},
+		{
+			name:    "NaN speed",
+			mutate:  func(s *Solution) { s.Unfavoured2 = math.NaN() },
+			wantErr: "out of (0,1]",
+		},
+		{
+			name:    "unfavoured not below base",
+			mutate:  func(s *Solution) { s.Unfavoured2 = 0.65 },
+			wantErr: "speed ordering broken",
+		},
+		{
+			name:    "favoured not above base",
+			mutate:  func(s *Solution) { s.Favoured2 = 0.55 },
+			wantErr: "speed ordering broken",
+		},
+		{
+			name:    "idle sibling not faster than busy",
+			mutate:  func(s *Solution) { s.IdleSibling = 0.6 },
+			wantErr: "not faster than busy",
+		},
+		{
+			name: "favoured implausibly above idle sibling",
+			mutate: func(s *Solution) {
+				s.Favoured2 = 0.99
+				s.IdleSibling = 0.7
+			},
+			wantErr: "implausibly above",
+		},
+		{
+			name:    "work ratio not above one",
+			mutate:  func(s *Solution) { s.WorkRatio = 1 },
+			wantErr: "work ratio",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := good
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v, want %q error", s, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate error = %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

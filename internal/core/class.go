@@ -376,6 +376,26 @@ func (rq *hpcRQ) Tick(t *sched.Task) {
 	}
 }
 
+// TickNoops implements sched.TickHorizon. FIFO never reschedules from the
+// tick; with an empty queue the RR clause (rq.n > 0) cannot fire either —
+// the quantum then merely drifts negative, bookkeeping the replayed Tick
+// calls reproduce exactly. Otherwise the quantum reaches zero after an
+// exactly computable number of per-period decrements.
+func (rq *hpcRQ) TickNoops(t *sched.Task) int {
+	if rq.class.disc != DisciplineRR || rq.n == 0 {
+		return tickNoopsForever
+	}
+	s := rq.rrStateFor(t)
+	if s.rrSlice <= 0 {
+		return 0
+	}
+	return int((s.rrSlice - 1) / rq.k.Opts.TickPeriod)
+}
+
+// tickNoopsForever mirrors sched.tickNoopsForever: any value far above the
+// kernel's park cap means "never".
+const tickNoopsForever = int(^uint32(0) >> 1)
+
 // CheckPreempt implements sched.ClassRQ: within the class, a wakeup does
 // not preempt (queue order decides); with one task per CPU this never
 // arises.

@@ -20,6 +20,8 @@ var committedPairs = []struct {
 	{"BENCH_pre-wheel.json", "BENCH_timer-wheel.json", "btmz-trace", 1.25},
 	// PR 5: two-party parker, fused block/wake handoffs, tickless idle.
 	{"BENCH_pre-parker.json", "BENCH_parker-tickless.json", "btmz-trace", 1.25},
+	// PR 6: NO_HZ_FULL busy-tick elision, fused ring re-arm, plan swaps.
+	{"BENCH_pre-nohz.json", "BENCH_nohz-busy.json", "btmz-trace", 1.2},
 }
 
 // TestCommittedReportsPassGate pins the repository's perf trajectory: every

@@ -10,6 +10,16 @@ type Context struct {
 	id   int // global CPU number
 	prio Priority
 	busy bool
+
+	// Cached both-occupancy speed pair (SpeedPair). A context's speed
+	// depends on the two priorities and the sibling's busy bit only, so
+	// between priority changes the pair is a constant: busy toggles — the
+	// frequent event, every burst start and end — swap between the two
+	// cached values without consulting the PerfModel at all. Either
+	// context's priority change invalidates both contexts' pairs.
+	pairValid bool
+	pairBusy  float64 // speed while the sibling is busy
+	pairIdle  float64 // speed while the sibling is idle
 }
 
 // ID returns the global CPU number of this context.
@@ -54,8 +64,11 @@ func (c *Context) SetPriority(p Priority, priv Privilege) error {
 	if c.prio == p {
 		return nil
 	}
-	// A priority change alters this context's own speed and the sibling's.
+	// A priority change alters this context's own speed and the sibling's,
+	// and stales both cached speed pairs.
 	c.prio = p
+	c.pairValid = false
+	c.Sibling().pairValid = false
 	c.core.chip.speedChanged(c.core, 3)
 	return nil
 }
@@ -79,8 +92,28 @@ func (c *Context) ExecOrNop(reg int, priv Privilege) bool {
 // Speed returns the context's current execution speed relative to ST mode,
 // as decided by the chip's performance model and the sibling's state.
 func (c *Context) Speed() float64 {
-	sib := c.Sibling()
-	return c.core.chip.perf.Speed(c.prio, sib.prio, sib.busy)
+	whenBusy, whenIdle := c.SpeedPair()
+	if c.Sibling().busy {
+		return whenBusy
+	}
+	return whenIdle
+}
+
+// SpeedPair returns the context's execution speed for both sibling
+// occupancy states under the current priorities: whenBusy applies while
+// the sibling decodes, whenIdle while it does not. The pair is what a
+// both-speeds burst plan precomputes — a sibling busy toggle then swaps
+// between the two values instead of re-querying the performance model —
+// and it is cached on the context until either context's priority changes.
+func (c *Context) SpeedPair() (whenBusy, whenIdle float64) {
+	if !c.pairValid {
+		sib := c.Sibling()
+		perf := c.core.chip.perf
+		c.pairBusy = perf.Speed(c.prio, sib.prio, true)
+		c.pairIdle = perf.Speed(c.prio, sib.prio, false)
+		c.pairValid = true
+	}
+	return c.pairBusy, c.pairIdle
 }
 
 // Core is one POWER5 core: two SMT contexts sharing the decode stage.
@@ -169,6 +202,8 @@ func (ch *Chip) ResetPriorities() {
 		for _, cx := range co.contexts {
 			if cx.prio != PrioMedium {
 				cx.prio = PrioMedium
+				cx.pairValid = false
+				cx.Sibling().pairValid = false
 				ch.speedChanged(co, 3)
 			}
 		}

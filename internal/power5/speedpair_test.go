@@ -1,0 +1,136 @@
+package power5
+
+import "testing"
+
+// countingPerfModel wraps a PerfModel and counts Speed queries, so tests can
+// pin exactly when the cached both-occupancy pair consults the model.
+type countingPerfModel struct {
+	inner   PerfModel
+	queries int
+}
+
+func (m *countingPerfModel) Speed(own, sib Priority, sibBusy bool) float64 {
+	m.queries++
+	return m.inner.Speed(own, sib, sibBusy)
+}
+
+// TestSpeedPairMatchesModel pins the cache's correctness over the whole
+// priority plane: for every (own, sibling) priority pair the cached
+// both-occupancy values must equal direct PerfModel queries, and Speed()
+// must pick the half selected by the sibling's busy bit.
+func TestSpeedPairMatchesModel(t *testing.T) {
+	perf := NewCalibratedPerfModel()
+	for own := PrioVeryLow; own <= PrioVeryHigh; own++ {
+		for sib := PrioVeryLow; sib <= PrioVeryHigh; sib++ {
+			ch := NewChip(1, perf)
+			cx, s := ch.CPU(0), ch.CPU(1)
+			if err := cx.SetPriority(own, PrivHypervisor); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetPriority(sib, PrivHypervisor); err != nil {
+				t.Fatal(err)
+			}
+			whenBusy, whenIdle := cx.SpeedPair()
+			if want := perf.Speed(own, sib, true); whenBusy != want {
+				t.Fatalf("(%v,%v) whenBusy = %v, model says %v", own, sib, whenBusy, want)
+			}
+			if want := perf.Speed(own, sib, false); whenIdle != want {
+				t.Fatalf("(%v,%v) whenIdle = %v, model says %v", own, sib, whenIdle, want)
+			}
+			if got := cx.Speed(); got != whenIdle {
+				t.Fatalf("(%v,%v) Speed() with idle sibling = %v, want %v", own, sib, got, whenIdle)
+			}
+			s.SetBusy(true)
+			if got := cx.Speed(); got != whenBusy {
+				t.Fatalf("(%v,%v) Speed() with busy sibling = %v, want %v", own, sib, got, whenBusy)
+			}
+		}
+	}
+}
+
+// TestSpeedPairBusyTogglesDontQueryModel is the plan-swap economics pin: once
+// the pair is computed, sibling busy toggles — the per-burst event a swapped
+// plan rides on — must swap between the cached values without a single
+// PerfModel query.
+func TestSpeedPairBusyTogglesDontQueryModel(t *testing.T) {
+	cm := &countingPerfModel{inner: NewCalibratedPerfModel()}
+	ch := NewChip(1, cm)
+	cx, sib := ch.CPU(0), ch.CPU(1)
+	cx.SpeedPair() // warm the cache
+	sib.SpeedPair()
+	cm.queries = 0
+	for i := 0; i < 100; i++ {
+		sib.SetBusy(i%2 == 0)
+		cx.Speed()
+		sib.Speed()
+	}
+	if cm.queries != 0 {
+		t.Fatalf("%d PerfModel queries across 100 busy toggles, want 0", cm.queries)
+	}
+}
+
+// TestSpeedPairInvalidation pins the staleness rules: a priority change on
+// either context invalidates both cached pairs (exactly one re-query per
+// context, answering with the new priorities), while a no-op SetPriority to
+// the same level keeps the cache warm.
+func TestSpeedPairInvalidation(t *testing.T) {
+	cm := &countingPerfModel{inner: NewCalibratedPerfModel()}
+	ch := NewChip(1, cm)
+	cx, sib := ch.CPU(0), ch.CPU(1)
+	cx.SpeedPair()
+	sib.SpeedPair()
+
+	cm.queries = 0
+	if err := sib.SetPriority(PrioVeryLow, PrivSupervisor); err != nil {
+		t.Fatal(err)
+	}
+	whenBusy, _ := cx.SpeedPair()
+	if want := cm.inner.Speed(PrioMedium, PrioVeryLow, true); whenBusy != want {
+		t.Fatalf("after sibling demotion whenBusy = %v, want %v", whenBusy, want)
+	}
+	sib.SpeedPair()
+	if cm.queries != 4 { // two per context: busy and idle halves
+		t.Fatalf("%d queries after one priority change, want 4", cm.queries)
+	}
+
+	// Re-reading stays cached; a same-level SetPriority does not invalidate.
+	cm.queries = 0
+	if err := sib.SetPriority(PrioVeryLow, PrivSupervisor); err != nil {
+		t.Fatal(err)
+	}
+	cx.SpeedPair()
+	sib.SpeedPair()
+	if cm.queries != 0 {
+		t.Fatalf("%d queries after a no-op priority change, want 0", cm.queries)
+	}
+}
+
+// TestSpeedPairResetPriorities pins that the boot/hypervisor reset also
+// stales the cache on every context it actually changes.
+func TestSpeedPairResetPriorities(t *testing.T) {
+	cm := &countingPerfModel{inner: NewCalibratedPerfModel()}
+	ch := NewChip(2, cm)
+	if err := ch.CPU(0).SetPriority(PrioHigh, PrivSupervisor); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 4; id++ {
+		ch.CPU(id).SpeedPair()
+	}
+	ch.ResetPriorities()
+	for id := 0; id < 4; id++ {
+		whenBusy, whenIdle := ch.CPU(id).SpeedPair()
+		if wb := cm.inner.Speed(PrioMedium, PrioMedium, true); whenBusy != wb {
+			t.Fatalf("cpu %d whenBusy = %v after reset, want %v", id, whenBusy, wb)
+		}
+		if wi := cm.inner.Speed(PrioMedium, PrioMedium, false); whenIdle != wi {
+			t.Fatalf("cpu %d whenIdle = %v after reset, want %v", id, whenIdle, wi)
+		}
+	}
+	// Core 1 was never touched: the reset must not have staled its pairs.
+	cm.queries = 0
+	ch.CPU(2).SpeedPair()
+	ch.CPU(3).SpeedPair()
+	if cm.queries != 0 {
+		t.Fatalf("%d queries on the untouched core after reset, want 0", cm.queries)
+	}
+}

@@ -50,6 +50,57 @@ func TestSteadyStateAllocFree(t *testing.T) {
 	}
 }
 
+// TestBusyElisionAllocFree bounds the slice-expiry (NO_HZ_FULL) path: a
+// workload dominated by busy-parked stretches — finite CFS slice-expiry
+// horizons on a contended CPU, a cap-length FIFO park, idle parks on the
+// rest — must stay within 0.01 allocations per kernel event, counting each
+// elided tick instant as an event (it replaces one). This is the alloc
+// regression bound for maybeParkBusyTick + TickNoops + the settleStretch
+// replay.
+func TestBusyElisionAllocFree(t *testing.T) {
+	engine := sim.NewEngine(11)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(engine, chip, Options{})
+	// Two CFS tasks sharing CPU 1: every park ends at a slice expiry and
+	// re-arms across the acting tick, the hot re-park cycle.
+	for i := 0; i < 2; i++ {
+		k.AddProcess(TaskSpec{Name: "busy", Policy: PolicyNormal, Affinity: pin(1)},
+			func(env *Env) {
+				for {
+					env.Compute(30 * sim.Millisecond)
+				}
+			})
+	}
+	// A solo FIFO spinner on CPU 2: unbounded horizon, parks at the cap.
+	k.AddProcess(TaskSpec{Name: "spin", Policy: PolicyFIFO, RTPrio: 10,
+		Affinity: pin(2)}, func(env *Env) {
+		for {
+			env.Compute(100 * sim.Millisecond)
+		}
+	})
+	engine.Run(engine.Now() + 100*sim.Millisecond) // warm up
+	t.Cleanup(k.Shutdown)
+
+	beforeFired := engine.Stats().Fired
+	beforeElided := k.TicksElided()
+	allocs := testing.AllocsPerRun(20, func() {
+		engine.Run(engine.Now() + 40*sim.Millisecond)
+	})
+	elided := k.TicksElided() - beforeElided
+	if elided == 0 {
+		t.Fatal("busy-elision workload elided no ticks — the bound is not measuring the path")
+	}
+	events := (float64(engine.Stats().Fired-beforeFired) + float64(elided)) / 21
+	if events < 100 {
+		t.Fatalf("scenario too quiet to be meaningful: %.0f events/run", events)
+	}
+	perEvent := allocs / events
+	if perEvent > 0.01 {
+		t.Fatalf("busy-elision path allocates %.4f objects/event (%.0f allocs over %.0f events), want ≤0.01",
+			perEvent, allocs, events)
+	}
+}
+
 // TestKernelTickAllocFree bounds one full periodic tick (accounting,
 // class Tick, load average) on a busy CPU.
 func TestKernelTickAllocFree(t *testing.T) {

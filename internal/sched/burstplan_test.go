@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sim"
+)
+
+// speedChange is one recorded firing of the chip's speed-change hook, with
+// the observed CPU-0 speed after the change was applied.
+type speedChange struct {
+	at    sim.Time
+	mask  int
+	speed float64
+}
+
+// TestBurstPlanSwapMatchesCancelRearm subjects a long pinned burst to a
+// sibling busy-toggle storm plus mid-burst hardware priority flips, and
+// asserts the observed completion instant is bit-identical to the
+// cancel-and-replan arithmetic the in-place swap replaced: fold the recorded
+// speed changes through unplanBurst's settle (remaining -= elapsed*speed,
+// clamped) and planBurst's delay formula (remaining/speed, +1ns), and the
+// fold must land exactly on the instant the burst actually finished.
+func TestBurstPlanSwapMatchesCancelRearm(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1234} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			e := sim.NewEngine(seed)
+			chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+			k := NewKernel(e, chip, DefaultOptions())
+			rng := sim.NewRNG(seed ^ 0xb0457)
+
+			// Wrap the kernel's hook to record every change that can touch
+			// CPU 0's plan, with the post-change speed, in processing order.
+			var rec []speedChange
+			chip.SetSpeedChangeHook(func(co *power5.Core, mask int) {
+				if co.ID() == 0 && mask&1 != 0 {
+					rec = append(rec, speedChange{e.Now(), mask, chip.CPU(0).Speed()})
+				}
+				k.coreSpeedChanged(co, mask)
+			})
+
+			// The long burst under test, solo and pinned: one uninterrupted
+			// plan from dispatch to completion.
+			const work = 40 * sim.Millisecond
+			var doneAt sim.Time
+			long := k.AddProcess(TaskSpec{Name: "long", Policy: PolicyNormal,
+				Affinity: pin(0)}, func(env *Env) {
+				env.Compute(work)
+				doneAt = env.Now()
+			})
+			k.Watch(long)
+
+			// The storm: the SMT sibling toggles busy on a sub-millisecond
+			// cadence for the whole burst.
+			storm := k.AddProcess(TaskSpec{Name: "storm", Policy: PolicyNormal,
+				Affinity: pin(1)}, func(env *Env) {
+				for i := 0; i < 200; i++ {
+					env.Compute(sim.Time(rng.Int63n(int64(300*sim.Microsecond)) + 1))
+					env.Sleep(sim.Time(rng.Int63n(int64(300*sim.Microsecond)) + 1))
+				}
+			})
+			k.Watch(storm)
+
+			// Mid-burst hardware priority flips (mask 3: both contexts
+			// re-plan) at random instants, boosting and restoring CPU 0.
+			flip := false
+			for i := 0; i < 8; i++ {
+				at := sim.Time(rng.Int63n(int64(30*sim.Millisecond)) + int64(sim.Millisecond))
+				e.Schedule(at, func() {
+					p := power5.PrioMedium
+					if flip = !flip; flip {
+						p = power5.PrioHigh
+					}
+					if err := chip.CPU(0).SetPriority(p, power5.PrivSupervisor); err != nil {
+						t.Errorf("SetPriority: %v", err)
+					}
+				})
+			}
+
+			// Probe the live plan at an instant no storm event shares,
+			// seeding the fold with the kernel's own settled state.
+			const probeAt = 500*sim.Microsecond + 1
+			var planAt sim.Time
+			var planSpeed, remaining float64
+			e.Schedule(probeAt, func() {
+				if long.state != StateRunning || long.finishEv == nil {
+					t.Fatalf("long burst not running at probe instant")
+				}
+				planAt, planSpeed, remaining = long.planAt, long.planSpeed, long.remaining
+			})
+
+			k.RunUntilWatchedExit(2 * sim.Second)
+			defer k.Shutdown()
+			if doneAt == 0 {
+				t.Fatal("long burst never completed")
+			}
+
+			// Replay the recorded changes through the cancel/re-arm
+			// arithmetic. Changes that leave the speed unchanged are skipped
+			// exactly as the kernel skips them (no settle), keeping each
+			// segment a single elapsed*speed product.
+			at, speed, rem := planAt, planSpeed, remaining
+			swaps, prioSwaps := 0, 0
+			for _, c := range rec {
+				if c.at <= probeAt || c.at >= doneAt || c.speed == speed {
+					continue
+				}
+				rem -= float64(c.at-at) * speed
+				if rem < 0 {
+					rem = 0
+				}
+				at, speed = c.at, c.speed
+				swaps++
+				if c.mask == 3 {
+					prioSwaps++
+				}
+			}
+			expected := at + sim.Time(rem/speed) + 1
+			if doneAt != expected {
+				t.Fatalf("burst finished at %d, cancel/re-arm arithmetic says %d (Δ %d; %d swaps)",
+					doneAt, expected, int64(doneAt)-int64(expected), swaps)
+			}
+			if swaps < 20 {
+				t.Fatalf("storm produced only %d plan swaps, want a storm", swaps)
+			}
+			if prioSwaps == 0 {
+				t.Fatal("no mid-burst priority flip changed the running plan's speed")
+			}
+		})
+	}
+}
+
+// TestBurstPlanSwapTimelineUnperturbed is the control run: with no sibling
+// storm and no flips there is nothing to swap, and the solo burst's
+// completion is the plain planBurst formula — sibling idle the whole way.
+func TestBurstPlanSwapTimelineUnperturbed(t *testing.T) {
+	e := sim.NewEngine(9)
+	chip := power5.NewChip(2, power5.NewCalibratedPerfModel())
+	k := NewKernel(e, chip, DefaultOptions())
+	const work = 10 * sim.Millisecond
+	var startAt, doneAt sim.Time
+	long := k.AddProcess(TaskSpec{Name: "solo", Policy: PolicyNormal,
+		Affinity: pin(0)}, func(env *Env) {
+		startAt = env.Now()
+		env.Compute(work)
+		doneAt = env.Now()
+	})
+	k.Watch(long)
+	k.RunUntilWatchedExit(sim.Second)
+	defer k.Shutdown()
+
+	_, whenIdle := chip.CPU(0).SpeedPair()
+	expected := startAt + sim.Time(float64(work)/whenIdle) + 1 + k.Opts.ContextSwitchCost
+	if doneAt != expected {
+		t.Fatalf("solo burst finished at %d, want %d (start %d, idle-sibling speed %v)",
+			doneAt, expected, startAt, whenIdle)
+	}
+}

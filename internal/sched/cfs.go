@@ -208,6 +208,45 @@ func (rq *cfsRQ) Tick(t *Task) {
 	}
 }
 
+// TickNoops implements TickHorizon. Called right after Tick ran for t at
+// the current instant, it bounds how many further on-cadence ticks stay
+// Resched-free under frozen queue state. With the task running
+// continuously, SumExec at the k-th future tick is exactly SumExec+k·period
+// (integer arithmetic), so the slice-expiry clause is closed-form; the
+// vruntime-lag clause is bounded by iterating the exact per-tick float
+// increment — the same single rounding each elided Tick will apply —
+// against the frozen leftmost vruntime, so the bound is exact, never
+// optimistic.
+func (rq *cfsRQ) TickNoops(t *Task) int {
+	if rq.tree.Len() == 0 {
+		return tickNoopsForever // nothing to be fair to: Tick never reschedules
+	}
+	p := rq.k.Opts.TickPeriod
+	slice := rq.sliceFor(t)
+	ran := t.SumExec - t.cfs.sliceStart
+	if ran >= slice {
+		return 0
+	}
+	n := int((slice - ran - 1) / p) // largest k with ran + k·period < slice
+	if n <= 0 {
+		return 0
+	}
+	if n > ticklessParkCap {
+		n = ticklessParkCap // no point iterating past the kernel's cap
+	}
+	m := rq.tree.Min().Item.cfs.vruntime
+	limit := float64(slice)
+	delta := float64(p) * float64(nice0Weight) / float64(t.cfs.weight)
+	v := t.cfs.vruntime
+	for k := 1; k <= n; k++ {
+		v += delta
+		if v-m > limit {
+			return k - 1 // tick k is the first that may reschedule
+		}
+	}
+	return n
+}
+
 func (rq *cfsRQ) CheckPreempt(curr, woken *Task) bool {
 	if woken.policy == PolicyBatch {
 		return false // batch tasks never preempt on wakeup

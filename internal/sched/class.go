@@ -61,3 +61,26 @@ type ClassRQ interface {
 	// MayRunOn(dstCPU).
 	Steal(dstCPU int) *Task
 }
+
+// TickHorizon is an optional ClassRQ extension that enables tickless
+// operation on busy CPUs (NO_HZ_FULL): a class that can bound how long its
+// Tick stays a no-op lets the kernel park the periodic tick and replay the
+// elided instants in closed form. A ClassRQ that does not implement it
+// simply never has its busy ticks parked.
+type TickHorizon interface {
+	// TickNoops returns how many consecutive future ticks are provably
+	// free of Resched requests while t keeps running on this CPU and the
+	// class queue (membership, weights, discipline) stays unchanged — the
+	// kernel wakes the parked tick on every such local change, so the
+	// bound only needs to hold under frozen queue state. 0 means the very
+	// next tick may act. The elided ticks' bookkeeping (vruntime iterates,
+	// quantum decrements) is still applied, exactly, by calling Tick at
+	// each replayed instant. Implementations may return any sufficiently
+	// large value for "never": the kernel caps the horizon far below
+	// MaxInt32 (ticklessParkCap).
+	TickNoops(t *Task) int
+}
+
+// tickNoopsForever is a conventional TickNoops return for "no future tick
+// can ever reschedule under frozen queue state".
+const tickNoopsForever = int(^uint32(0) >> 1) // MaxInt32

@@ -59,6 +59,10 @@ func (rq *idleRQ) PickNext() *Task {
 
 func (rq *idleRQ) Tick(t *Task) {}
 
+// TickNoops implements TickHorizon: the idle class's Tick is
+// unconditionally empty.
+func (rq *idleRQ) TickNoops(t *Task) int { return tickNoopsForever }
+
 func (rq *idleRQ) CheckPreempt(curr, woken *Task) bool { return false }
 
 func (rq *idleRQ) Len() int { return len(rq.queue) }

@@ -33,20 +33,24 @@ type RunQueue struct {
 	idleSince      sim.Time // when the CPU last went idle (MaxTime when busy)
 	loadAvg        float64  // tick-sampled occupancy, ~100 ms horizon
 
-	// Tickless-idle state. tickEv is the CPU's periodic tick event;
-	// gridBase anchors its cadence (ticks fire at gridBase + k·period).
-	// When the tick body is provably a no-op until some future instant,
-	// the event is parked — re-armed past its grid — and tickParked is
-	// set; any state change that could make an earlier tick observable
-	// wakes it (Kernel.tickStateChanged). loadTicked is the grid instant
-	// whose loadAvg decay has been applied: parked CPUs replay the missed
-	// idle decays exactly, iterate by iterate, before the value is next
-	// read or the ticker resumes (settleIdleLoad).
+	// Tickless state. tickEv is the CPU's periodic tick event; gridBase
+	// anchors its cadence (ticks fire at gridBase + k·period). When the
+	// tick body is provably a no-op until some future instant, the event
+	// is parked — re-armed past its grid — and tickParked is set. Parked
+	// stretches come in two kinds: idle (current == nil; any machine-wide
+	// state change that could make an earlier tick observable wakes it,
+	// Kernel.tickStateChanged) and busy (tickBusy; a NO_HZ_FULL-style park
+	// over a running task, woken only by local transitions — see
+	// maybeParkBusyTick). loadTicked is the grid instant whose loadAvg
+	// decay has been applied: parked CPUs replay the missed decays
+	// exactly, iterate by iterate, before the value is next read or the
+	// ticker resumes (settleIdleLoad, settleStretch).
 	tickEv     *sim.Event
 	gridBase   sim.Time
 	loadTicked sim.Time
 	lastTickAt sim.Time // last accounted grid instant (fired or elided)
 	tickParked bool
+	tickBusy   bool // the parked stretch covers a busy CPU (NO_HZ_FULL)
 
 	// Memoized loadAvg threshold crossings for the park-horizon
 	// computation. Along an uninterrupted decay path the crossing instant
@@ -123,12 +127,16 @@ type Kernel struct {
 	queueGen    uint64
 	stealColdAt sim.Time
 
-	// parkedTicks counts CPUs whose tick event is parked (tickless idle),
-	// so the wake hooks on the hot paths are a single compare when nothing
-	// is parked. ticksElided counts the tick instants parked over — their
-	// effects were reproduced in closed form rather than fired as events —
-	// so throughput harnesses can normalise by simulated instants
-	// (TicksElided) and stay comparable across the tickless change.
+	// parkedTicks counts CPUs whose tick event is parked over an *idle*
+	// stretch, so the tickStateChanged hook on the hot paths is a single
+	// compare when nothing is idle-parked. Busy-parked ticks (tickBusy)
+	// are deliberately excluded: they wake only on local transitions of
+	// their own CPU, never via tickStateChanged, and their wake hook is a
+	// per-RunQueue flag check. ticksElided counts the tick instants parked
+	// over — their effects were reproduced in closed form rather than
+	// fired as events — so throughput harnesses can normalise by simulated
+	// instants (TicksElided) and stay comparable across the tickless
+	// changes.
 	parkedTicks int
 	ticksElided int64
 	loadGen     uint64 // versions the per-CPU crossing memos (starts at 1)
@@ -281,13 +289,15 @@ func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
 // Now returns the current virtual time.
 func (k *Kernel) Now() sim.Time { return k.Engine.Now() }
 
-// TicksElided returns the number of per-CPU tick instants the tickless-idle
-// machinery parked over so far, including the still-open parked stretches.
-// Each elided instant's effects (the loadAvg decay; nothing else, by the
-// park proof) were reproduced in closed form instead of firing an event, so
-// a throughput harness normalising by simulated work should count
+// TicksElided returns the number of per-CPU tick instants the tickless
+// machinery (idle and busy) parked over so far, including the still-open
+// parked stretches. Each elided instant's effects — the loadAvg decay for
+// idle stretches; the decay, the running task's accounting and the class
+// Tick for busy (NO_HZ_FULL) stretches; nothing else, by the park proofs —
+// were reproduced in closed form instead of firing an event, so a
+// throughput harness normalising by simulated work should count
 // Engine.Stats().Fired + TicksElided — that sum is invariant under the
-// tickless optimisation for a fixed workload.
+// tickless optimisations for a fixed workload.
 func (k *Kernel) TicksElided() int64 {
 	n := k.ticksElided
 	p := k.Opts.TickPeriod
@@ -381,6 +391,10 @@ func (k *Kernel) Watch(t *Task) {
 func (k *Kernel) RunUntilWatchedExit(horizon sim.Time) sim.Time {
 	if k.watchLeft > 0 {
 		k.Engine.Run(horizon)
+		// Busy-parked stretches survive the stop (the exit that stopped the
+		// engine only wakes its own CPU's tick): settle them so readers see
+		// the same accounting an always-ticking run would have left.
+		k.settleBusyStretches()
 	}
 	return k.Now()
 }
@@ -390,6 +404,7 @@ func (k *Kernel) RunUntilWatchedExit(horizon sim.Time) sim.Time {
 // Call it when a simulation run is complete; it is what keeps long test
 // and benchmark sessions from accumulating parked goroutines.
 func (k *Kernel) Shutdown() {
+	k.settleBusyStretches()
 	for _, t := range k.tasks {
 		if !t.Exited() && t.proc != nil {
 			t.proc.Kill()
@@ -428,6 +443,10 @@ func (k *Kernel) activate(t *Task, wakeup bool) {
 	t.state = StateRunnable
 	t.queuedAt = k.Now()
 	rq := k.rqs[cpu]
+	// A busy-parked tick's horizon assumed this CPU's class queues frozen;
+	// replay and wake it before the enqueue mutates them (the CFS enqueue
+	// also reads the settled min_vruntime for its placement).
+	k.wakeBusyParked(rq)
 	crq := rq.classRQ[t.classIdx]
 	crq.Enqueue(t, wakeup)
 	k.noteEnqueued(rq, t)
@@ -463,6 +482,7 @@ func (k *Kernel) deactivate(t *Task) {
 	if t.state != StateRunning {
 		panic(fmt.Sprintf("sched: deactivate of non-running task %v", t))
 	}
+	k.wakeBusyParked(k.rqs[t.CPU]) // the running task is leaving
 	k.account(t)
 	k.unplanBurst(t)
 	rq := k.rqs[t.CPU]
@@ -486,6 +506,7 @@ func (k *Kernel) Wake(t *Task) {
 
 // exit finishes the current task of a CPU.
 func (k *Kernel) exit(t *Task) {
+	k.wakeBusyParked(k.rqs[t.CPU]) // the running task is leaving
 	k.account(t)
 	k.unplanBurst(t)
 	rq := k.rqs[t.CPU]
@@ -582,6 +603,9 @@ func (k *Kernel) Resched(cpu int) {
 // across classes in priority order, dispatch it.
 func (k *Kernel) schedule(cpu int) {
 	rq := k.rqs[cpu]
+	// The pass accounts the current task and mutates this CPU's class
+	// queues: settle and wake a busy-parked tick first.
+	k.wakeBusyParked(rq)
 	prev := rq.current
 	if prev != nil {
 		k.account(prev)
@@ -857,6 +881,9 @@ func (k *Kernel) handleRequest(rq *RunQueue, t *Task, req proc.Request) bool {
 		t.needsResume = true
 		return true
 	case *setNiceReq:
+		// The weight feeds the running task's per-tick vruntime iterate:
+		// settle a busy-parked stretch under the old weight first.
+		k.wakeBusyParked(rq)
 		t.Nice = r.nice
 		t.cfs.init(t)
 		t.needsResume = true
@@ -881,6 +908,10 @@ func (k *Kernel) WakeAfter(t *Task, d sim.Time) {
 
 // setSchedulerRunning switches the class of the *running* task t.
 func (k *Kernel) setSchedulerRunning(t *Task, p Policy, rtPrio int) {
+	// The policy feeds the running task's tick behaviour (RR quanta) and a
+	// class change re-targets which class queue ticks: both invalidate a
+	// busy-parked horizon, so settle the stretch under the old policy.
+	k.wakeBusyParked(k.rqs[t.CPU])
 	t.policy = p
 	t.RTPrio = rtPrio
 	newClass := k.ClassFor(p)
@@ -901,6 +932,9 @@ func (k *Kernel) SetScheduler(t *Task, p Policy, rtPrio int) {
 	case StateRunnable:
 		k.account(t) // settle the Runnable window under the old class
 		rq := k.rqs[t.CPU]
+		// The dequeue mutates rq's class queue, which a busy-parked
+		// horizon assumed frozen.
+		k.wakeBusyParked(rq)
 		rq.classRQ[t.classIdx].Dequeue(t)
 		k.noteDequeued(rq, t)
 		t.policy = p
@@ -920,14 +954,20 @@ func (k *Kernel) SetScheduler(t *Task, p Policy, rtPrio int) {
 // ---------------------------------------------------------------------------
 
 // planBurst schedules the completion of t's remaining work at the context's
-// current speed.
+// current speed. The speed comes from the context's precomputed
+// both-occupancy pair, so planning (and the plan swaps below) never pays a
+// PerfModel query in steady state.
 func (k *Kernel) planBurst(rq *RunQueue, t *Task) {
 	if t.finishEv != nil {
 		panic("sched: planBurst with a plan already in place")
 	}
 	ctx := k.Chip.CPU(rq.CPU)
 	ctx.SetBusy(true) // may fire the speed hook for the sibling
-	speed := ctx.Speed()
+	whenBusy, whenIdle := ctx.SpeedPair()
+	speed := whenIdle
+	if ctx.Sibling().Busy() {
+		speed = whenBusy
+	}
 	if speed <= 0 {
 		panic(fmt.Sprintf("sched: context %d has zero speed for running task", rq.CPU))
 	}
@@ -961,36 +1001,67 @@ func (k *Kernel) burstDone(t *Task) {
 	}
 	t.finishEv = nil
 	t.remaining = 0
-	k.account(t)
 	rq := k.rqs[t.CPU]
+	// The burst ends mid-grid: replay the elided instants of a busy-parked
+	// stretch before accounting, so the replayed ticks see grid-aligned
+	// marks. The stretch itself may continue — the next burst keeps the
+	// CPU busy at this same instant — so the tick stays parked.
+	k.settleBusyTicks(rq)
+	k.account(t)
 	k.Chip.CPU(t.CPU).SetBusy(false) // between bursts the context is not decoding
 	k.pump(rq.CPU)
 }
 
-// coreSpeedChanged is the chip hook: re-plan the in-flight bursts of the
+// coreSpeedChanged is the chip hook: swap the in-flight burst plans of the
 // contexts whose speed inputs changed (mask bit i = context i). A busy
 // toggle masks only the sibling; a priority change masks both.
+//
+// The swap is in place: settle the work done at the old speed, pick the
+// new speed from the context's precomputed both-occupancy pair, and re-arm
+// the existing completion event (Reschedule) — no Cancel/After pool churn,
+// and for the dominant case (a sibling burst starting or ending) no
+// PerfModel query either. The completion instant is bit-identical to the
+// cancel-and-replan it replaces: the same settle arithmetic, the same
+// delay formula, and a Reschedule orders among same-instant events exactly
+// as a freshly scheduled event would (fresh sequence number either way).
 func (k *Kernel) coreSpeedChanged(co *power5.Core, mask int) {
+	now := k.Now()
 	for i := 0; i < 2; i++ {
 		if mask&(1<<i) == 0 {
 			continue
 		}
-		cpu := co.Context(i).ID()
-		rq := k.rqs[cpu]
+		ctx := co.Context(i)
+		rq := k.rqs[ctx.ID()]
 		t := rq.current
 		if t == nil || t.finishEv == nil {
 			continue
 		}
-		newSpeed := co.Context(i).Speed()
+		whenBusy, whenIdle := ctx.SpeedPair()
+		newSpeed := whenIdle
+		if ctx.Sibling().Busy() {
+			newSpeed = whenBusy
+		}
 		if newSpeed == t.planSpeed {
 			continue
 		}
-		k.unplanBurst(t)
+		if newSpeed <= 0 {
+			panic(fmt.Sprintf("sched: context %d has zero speed for running task", rq.CPU))
+		}
+		elapsed := now - t.planAt
+		t.remaining -= float64(elapsed) * t.planSpeed
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+		t.planAt = now
+		t.planSpeed = newSpeed
 		if t.remaining > 0 {
-			k.planBurst(rq, t)
+			delay := sim.Time(t.remaining/newSpeed) + 1
+			delay += rq.switchPenalty
+			rq.switchPenalty = 0
+			k.Engine.Reschedule(t.finishEv, now+delay)
 		} else {
 			// The change lands exactly at completion; finish now.
-			t.finishEv = k.Engine.Schedule(k.Now(), t.burstFn)
+			k.Engine.Reschedule(t.finishEv, now)
 		}
 	}
 }
@@ -1081,24 +1152,146 @@ func (k *Kernel) settleIdleLoad(rq *RunQueue, through sim.Time) {
 	}
 }
 
+// accountAt advances the wall-time accounting of the running task t to the
+// elided grid instant at. It is account specialised to the only state a
+// busy parked stretch can contain (Running) and to an explicit — possibly
+// past — instant. Every settle point of a stretch replays the stretch
+// before accounting t at the present, so t.lastUpdate can never be ahead
+// of an instant being replayed.
+func (k *Kernel) accountAt(t *Task, at sim.Time) {
+	d := at - t.lastUpdate
+	if d < 0 {
+		panic("sched: busy-tick replay behind the task's accounting")
+	}
+	t.SumExec += d
+	t.lastUpdate = at
+}
+
+// settleStretch replays the elided tick instants of a parked stretch of rq
+// in (lastTickAt, through] — flooring through to the tick grid — and
+// advances lastTickAt and the machine-wide elided count. Idle stretches
+// replay only the loadAvg decay: nothing else happens on an idle CPU's
+// tick, by the park proof. Busy stretches replay the full tick body —
+// decay at sample 1, the running task's wall-time accounting, the class
+// Tick — instant by instant, in the order the fired ticks would have used,
+// so every float iterate is bit-identical; the park horizon guarantees no
+// replayed Tick requests a reschedule.
+func (k *Kernel) settleStretch(rq *RunQueue, through sim.Time) {
+	p := k.Opts.TickPeriod
+	if g := rq.gridCeil(through); g > through {
+		through = g - p
+	}
+	if rq.lastTickAt >= through {
+		return
+	}
+	if rq.tickBusy {
+		t := rq.current
+		crq := rq.classRQ[t.classIdx]
+		for rq.lastTickAt < through {
+			g := rq.lastTickAt + p
+			if rq.loadTicked < g {
+				rq.decayLoad(1)
+				rq.loadTicked = g
+			}
+			k.accountAt(t, g)
+			crq.Tick(t)
+			rq.lastTickAt = g
+			k.ticksElided++
+		}
+		return
+	}
+	k.settleIdleLoad(rq, through)
+	k.ticksElided += int64((through - rq.lastTickAt) / p)
+	rq.lastTickAt = through
+}
+
+// settleBusyLoad replays only the loadAvg decay of a busy-parked stretch,
+// up to the last grid instant at or before through — for readers of a busy
+// CPU's load (activeBalance donor thresholds) that must not otherwise
+// disturb the stretch. The full replay (settleStretch) tolerates a load
+// already decayed ahead of the accounting: each instant's decay is guarded
+// by loadTicked. The CPU ran throughout the stretch, so the sample is
+// always 1 and replay terminates early once the value converges, exactly
+// like settleIdleLoad's zero-convergence.
+func (k *Kernel) settleBusyLoad(rq *RunQueue, through sim.Time) {
+	if !rq.tickParked || !rq.tickBusy {
+		return
+	}
+	p := k.Opts.TickPeriod
+	if g := rq.gridCeil(through); g > through {
+		through = g - p
+	}
+	if rq.loadAvg == 1 {
+		if rq.loadTicked < through {
+			rq.loadTicked = through
+		}
+		return
+	}
+	for rq.loadTicked < through {
+		rq.loadTicked += p
+		rq.decayLoad(1)
+		if rq.loadAvg == 1 {
+			rq.loadTicked = through
+			return
+		}
+	}
+}
+
+// settleBusyTicks replays the elided instants of a busy-parked stretch of
+// rq up to — but excluding — the present instant, without waking the tick.
+// Used where the stretch continues but the running task's accounting is
+// about to be settled mid-grid (burst completion) or read (end of run).
+// The present instant is excluded because, when it lies on the grid, its
+// tick may still fire as a real event this instant (the park horizon); if
+// it does not, a later settle or wake replays it — the replay commutes
+// with mid-grid accounting, since each Tick's vruntime delta spans the
+// same SumExec interval either way.
+func (k *Kernel) settleBusyTicks(rq *RunQueue) {
+	if rq.tickParked && rq.tickBusy {
+		k.settleStretch(rq, k.Now()-1)
+	}
+}
+
+// settleBusyStretches settles every still-open busy-parked stretch, so
+// end-of-run readers (reports, fingerprints) find the same accounting an
+// always-ticking run would have left. Called when the simulation stops;
+// the ticks stay parked — no further events fire.
+func (k *Kernel) settleBusyStretches() {
+	for _, rq := range k.rqs {
+		k.settleBusyTicks(rq)
+	}
+}
+
+// wakeBusyParked wakes rq's tick if it is parked over a busy stretch: a
+// local transition — queue membership, the running task leaving, a weight
+// or class change of the running task — is about to invalidate the park
+// horizon. The stretch is settled (replayed) through the present before
+// the caller mutates anything, so the replay runs under the exact frozen
+// state the horizon assumed.
+func (k *Kernel) wakeBusyParked(rq *RunQueue) {
+	if rq.tickParked && rq.tickBusy {
+		k.wakeTick(rq)
+	}
+}
+
 // tick performs the per-CPU periodic work: settle accounting, let the
 // current class act (timeslices, fairness), honour preemption requests,
 // and rebalance idle CPUs (rebalance_tick). Ticks only ever fire on the
 // CPU's grid; after a parked (tickless) stretch the first firing replays
-// the skipped idle decays before applying its own.
+// the skipped instants before applying its own.
 func (k *Kernel) tick(cpu int) {
 	rq := k.rqs[cpu]
 	now := k.Now()
 	period := k.Opts.TickPeriod
 	if now != rq.lastTickAt+period { // on-cadence fast path: nothing elided
-		k.ticksElided += int64((now-rq.lastTickAt)/period) - 1
+		// First firing after a parked stretch: replay the elided instants
+		// up to the previous grid instant (idle stretches: the loadAvg
+		// decay; busy stretches: the full closed-form tick body).
+		k.settleStretch(rq, now-period)
 	}
 	rq.lastTickAt = now
 	// Decayed occupancy average (cpu_load): the balancer reads this, not
 	// the instantaneous state, so brief waits do not look like idleness.
-	if rq.loadTicked < now-period {
-		k.settleIdleLoad(rq, now-period) // skipped parked instants
-	}
 	sample := 0.0
 	if rq.current != nil {
 		sample = 1
@@ -1138,7 +1331,8 @@ func (k *Kernel) tick(cpu int) {
 		k.Resched(cpu)
 	}
 	// Re-arm: on the cadence normally, or past it when every tick until a
-	// computable horizon is provably a no-op (tickless idle).
+	// computable horizon is provably a no-op (tickless idle, and its busy
+	// NO_HZ_FULL counterpart).
 	if at, ok := k.maybeParkTick(rq, now); ok {
 		if !rq.tickParked {
 			rq.tickParked = true
@@ -1147,9 +1341,21 @@ func (k *Kernel) tick(cpu int) {
 		k.Engine.Reschedule(rq.tickEv, at)
 		return
 	}
+	if at, ok := k.maybeParkBusyTick(rq, now); ok {
+		if !rq.tickParked {
+			rq.tickParked = true
+			rq.tickBusy = true
+		}
+		k.Engine.Reschedule(rq.tickEv, at)
+		return
+	}
 	if rq.tickParked {
 		rq.tickParked = false
-		k.parkedTicks--
+		if rq.tickBusy {
+			rq.tickBusy = false
+		} else {
+			k.parkedTicks--
+		}
 	}
 	k.Engine.Reschedule(rq.tickEv, now+period)
 }
@@ -1228,6 +1434,63 @@ func (k *Kernel) maybeParkTick(rq *RunQueue, now sim.Time) (sim.Time, bool) {
 		return 0, false // nothing to skip
 	}
 	return arm, true
+}
+
+// maybeParkBusyTick is the busy-CPU (NO_HZ_FULL) counterpart of
+// maybeParkTick: decide, at the end of the tick that fired at now with a
+// running task, whether every subsequent tick is provably a no-op for some
+// computable number of grid instants, and if so return the instant to park
+// the tick event at.
+//
+// A busy CPU's tick does exactly four things; while the CPU keeps running
+// the same task with an unchanged class queue, each is either reproduced
+// exactly at the next observation point or shown impossible:
+//
+//   - the loadAvg decay (sample 1): replayed lazily, iterate by iterate
+//     (settleStretch, settleBusyLoad), before any read and before the tick
+//     resumes;
+//   - the running task's accounting: integer wall-time accounting,
+//     advanced in closed form at each replayed grid instant (accountAt);
+//   - the class Tick (slice expiry, RR quanta, vruntime fairness): the
+//     class itself bounds, via TickHorizon.TickNoops, how many future
+//     ticks are provably free of Resched requests under frozen queue
+//     state; the elided instants' bookkeeping (vruntime iterates, quantum
+//     decrements) is reproduced by calling the real Tick at each replayed
+//     instant;
+//   - the needResched check: Resched pairs every needResched with a
+//     pending scheduling pass (which wakes the park), so a parked stretch
+//     cannot strand one.
+//
+// Unlike idle parks — whose balance horizons read machine-wide state and
+// are woken by any transition (tickStateChanged) — a busy tick touches
+// only local state, so only local transitions wake it: enqueue/dequeue on
+// this CPU, the current task leaving (schedule, deactivate, exit,
+// migration), and weight/policy/class changes of the running task. The
+// park is armed one grid instant before the first possibly-acting tick,
+// exactly as maybeParkTick: that firing is still provably a no-op, and its
+// ordinary in-cadence re-arm gives the acting tick the arming instant —
+// and so the position among same-instant events — it would have had had
+// the tick never parked.
+func (k *Kernel) maybeParkBusyTick(rq *RunQueue, now sim.Time) (sim.Time, bool) {
+	if k.Opts.NoTicklessBusy {
+		return 0, false
+	}
+	t := rq.current
+	if t == nil || rq.needResched || rq.reschedPending {
+		return 0, false
+	}
+	th, ok := rq.classRQ[t.classIdx].(TickHorizon)
+	if !ok {
+		return 0, false
+	}
+	n := th.TickNoops(t)
+	if n > ticklessParkCap {
+		n = ticklessParkCap // capped: the wake-up re-checks and re-parks
+	}
+	if n < 2 {
+		return 0, false // nothing to skip
+	}
+	return now + sim.Time(n)*k.Opts.TickPeriod, true
 }
 
 // activeBalanceEligibleAt returns a lower bound on the first instant at
@@ -1331,10 +1594,13 @@ func (k *Kernel) loadRisesAboveAt(rq *RunQueue, limit float64) sim.Time {
 	return at
 }
 
-// tickStateChanged wakes every parked tick: some queue membership or
-// running-task transition just happened, so the park horizons may no
-// longer bound the first observable tick. Each woken tick re-parks with a
-// fresh horizon at its next firing if the premise still holds.
+// tickStateChanged wakes every idle-parked tick: some queue membership or
+// running-task transition just happened, so the machine-wide balance
+// horizons may no longer bound the first observable tick. Each woken tick
+// re-parks with a fresh horizon at its next firing if the premise still
+// holds. Busy-parked ticks are exempt: their horizons depend only on their
+// own CPU's class-queue state, which global transitions cannot touch —
+// they are woken by the local mutation sites instead (wakeBusyParked).
 //
 // It must be called before the mutation schedules any same-instant
 // follow-up events (Resched), so the woken tick keeps its place before
@@ -1345,7 +1611,7 @@ func (k *Kernel) tickStateChanged() {
 		return
 	}
 	for _, rq := range k.rqs {
-		if rq.tickParked {
+		if rq.tickParked && !rq.tickBusy {
 			k.wakeTick(rq)
 		}
 	}
@@ -1376,18 +1642,22 @@ func (k *Kernel) wakeTick(rq *RunQueue) {
 	now := k.Now()
 	period := k.Opts.TickPeriod
 	at := rq.gridCeil(now)
-	if at == now && k.Engine.FiringScheduledAt() >= now-period {
-		k.settleIdleLoad(rq, now)
-		k.ticksElided += int64((now - rq.lastTickAt) / period)
-		rq.lastTickAt = now // accounted (virtually fired) through now
+	if at == now && (rq.lastTickAt == now ||
+		k.Engine.FiringScheduledAt() >= now-period) {
+		// The virtual tick at now "already fired" (or the real one did —
+		// lastTickAt == now — and re-parked at this very instant): settle
+		// through now and resume one period later.
+		k.settleStretch(rq, now)
 		at += period
 	} else {
-		k.settleIdleLoad(rq, at-period)
-		k.ticksElided += int64((at - period - rq.lastTickAt) / period)
-		rq.lastTickAt = at - period
+		k.settleStretch(rq, at-period)
 	}
 	rq.tickParked = false
-	k.parkedTicks--
+	if rq.tickBusy {
+		rq.tickBusy = false
+	} else {
+		k.parkedTicks--
+	}
 	k.Engine.Reschedule(rq.tickEv, at)
 }
 
@@ -1429,8 +1699,12 @@ func (k *Kernel) idleBalance(rq *RunQueue) *Task {
 		if busiest < 0 {
 			continue
 		}
-		if t := k.rqs[busiest].classRQ[ci].Steal(rq.CPU); t != nil {
-			k.noteDequeued(k.rqs[busiest], t)
+		brq := k.rqs[busiest]
+		// A successful steal mutates the victim queue (and, for CFS, reads
+		// its settled min_vruntime): wake a busy-parked tick there first.
+		k.wakeBusyParked(brq)
+		if t := brq.classRQ[ci].Steal(rq.CPU); t != nil {
+			k.noteDequeued(brq, t)
 			t.CPU = rq.CPU
 			t.Migrations++
 			k.MigSteal++
@@ -1468,8 +1742,9 @@ func (k *Kernel) activeBalance(rq *RunQueue) *Task {
 	// tasks merely wait between phases keeps a high decayed load and must
 	// not attract migrations (cpu_load semantics). Both contexts are idle
 	// here, so their decay may be lagging tickless parks — replay it up to
-	// the last tick instant before reading (donor cores are busy: their
-	// ticks fire normally and their values are always current).
+	// the last tick instant before reading. Donor cores are busy, and may
+	// be lagging busy parks instead: their decays are replayed below
+	// (settleBusyLoad) right before their thresholds are read.
 	k.settleIdleLoad(rq, k.Now())
 	k.settleIdleLoad(sib, k.Now())
 	if rq.loadAvg > 0.35 || sib.loadAvg > 0.35 {
@@ -1484,6 +1759,9 @@ func (k *Kernel) activeBalance(rq *RunQueue) *Task {
 			continue
 		}
 		// The donor core must be persistently saturated on both contexts.
+		// Replay any busy-parked decay lag before reading the thresholds.
+		k.settleBusyLoad(a, k.Now())
+		k.settleBusyLoad(b, k.Now())
 		if a.loadAvg < 0.75 || b.loadAvg < 0.75 {
 			continue
 		}
@@ -1493,6 +1771,7 @@ func (k *Kernel) activeBalance(rq *RunQueue) *Task {
 			if t == nil || !t.MayRunOn(rq.CPU) {
 				continue
 			}
+			k.wakeBusyParked(donor) // the donor's running task is leaving
 			k.account(t)
 			k.unplanBurst(t)
 			donor.current = nil

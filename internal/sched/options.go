@@ -46,6 +46,14 @@ type Options struct {
 	// simulated timeline is identical either way — the flag exists so the
 	// equivalence tests can pin exactly that, and as an escape hatch.
 	NoTicklessIdle bool
+
+	// NoTicklessBusy forces the per-CPU tick to fire every period even
+	// while the CPU runs a task whose upcoming ticks are provably no-ops
+	// (the NO_HZ_FULL-style busy elision — see Kernel.maybeParkBusyTick).
+	// As with NoTicklessIdle, the simulated timeline is identical either
+	// way: the flag exists for the differential equivalence tests and as
+	// an escape hatch.
+	NoTicklessBusy bool
 }
 
 // DefaultOptions returns the 2.6.24-flavoured defaults.

@@ -99,6 +99,19 @@ func (rq *rtRQ) Tick(t *Task) {
 	}
 }
 
+// TickNoops implements TickHorizon. SCHED_FIFO never reschedules from the
+// tick; SCHED_RR requests one when the quantum — decremented by one period
+// per tick — reaches zero, which is exact integer arithmetic.
+func (rq *rtRQ) TickNoops(t *Task) int {
+	if t.policy != PolicyRR {
+		return tickNoopsForever
+	}
+	if t.rt.sliceLeft <= 0 {
+		return 0
+	}
+	return int((t.rt.sliceLeft - 1) / rq.k.Opts.TickPeriod)
+}
+
 func (rq *rtRQ) CheckPreempt(curr, woken *Task) bool {
 	return woken.RTPrio > curr.RTPrio
 }

@@ -114,6 +114,14 @@ type Engine struct {
 	firingAt Time   // schedAt of the event whose callback is running
 	free     *Event // event free list (recycled events)
 
+	// ringFired is the periodic-ring head whose callback is currently
+	// running. The fused pop/re-arm path (fire) leaves the firing head in
+	// place instead of dequeuing it: the overwhelmingly common in-cadence
+	// Reschedule from the callback then rotates it head-to-tail in one
+	// step, and only a Cancel, an off-cadence re-arm or a callback that
+	// never re-arms pays the remove.
+	ringFired *Event
+
 	// Stats counters, exported via Stats.
 	scheduled uint64
 	fired     uint64
@@ -305,6 +313,25 @@ func (e *Engine) Reschedule(ev *Event, at Time) {
 		// far ahead, or waking it back onto the grid — keeps the period:
 		// the event leaves for the wheel/heap while parked and rejoins the
 		// ring by sorted insert once its deadline fits the cadence again.
+		if ev == e.ringFired {
+			// Fused path: the event is still the resident ring head (fire
+			// left it in place). The in-cadence re-arm becomes a single
+			// head-to-tail rotation — no remove, no push. The new deadline
+			// is one period past the old head deadline, which is ≥ every
+			// resident deadline (residents re-arm to lastFire+period and
+			// lastFire ≤ now), so sortedness holds; the tail check below is
+			// belt and braces for mixed-period rings.
+			e.ringFired = nil
+			if at == e.now+ev.period && e.ring.period == ev.period &&
+				at >= e.ring.tail().at {
+				ev.at = at
+				ev.seq = e.seq
+				ev.schedAt = e.now
+				e.ring.rotateHead(ev)
+				return
+			}
+			e.ring.remove(ev)
+		}
 		if ev.slot == ringSlot {
 			e.ring.remove(ev)
 		}
@@ -345,6 +372,11 @@ func (e *Engine) Reschedule(ev *Event, at Time) {
 func (e *Engine) Cancel(ev *Event) bool {
 	if ev == nil || ev.canceled || !ev.queued() {
 		return false
+	}
+	if ev == e.ringFired {
+		// Cancelled from its own callback: the fused fire path must not
+		// touch it again (it is dequeued and recycled right here).
+		e.ringFired = nil
 	}
 	ev.canceled = true
 	e.dequeue(ev)
@@ -387,9 +419,31 @@ func (e *Engine) PeekNext() Time {
 
 // fire removes ev (the global minimum) from its tier, advances the clock
 // and the wheel reference to its deadline, and runs the callback.
+//
+// A periodic-ring head is not dequeued at all: it stays resident while its
+// callback runs (tracked via ringFired), so the expected in-cadence
+// Reschedule fuses pop and re-arm into one head-to-tail rotation. Cancel
+// and off-cadence re-arms clear ringFired and fall back to the ordinary
+// remove paths; a callback that does neither leaves the event to be
+// removed and recycled here.
 func (e *Engine) fire(ev *Event) {
 	if ev.at < e.now {
 		panic("sim: event queue corrupted (time went backwards)")
+	}
+	if ev.slot == ringSlot {
+		e.ringFired = ev
+		e.wheel.advance(ev.at)
+		e.now = ev.at
+		e.fired++
+		e.firingAt = ev.schedAt
+		ev.do()
+		if e.ringFired == ev {
+			// Neither re-armed nor cancelled: the event dies.
+			e.ringFired = nil
+			e.ring.remove(ev)
+			e.release(ev)
+		}
+		return
 	}
 	e.dequeue(ev)
 	e.wheel.advance(ev.at)
@@ -553,6 +607,18 @@ func (r *periodicRing) insert(ev *Event) {
 		i--
 	}
 	r.evs[(r.first+i)&mask] = ev
+}
+
+// rotateHead moves the head to the tail in place — the fused pop/re-arm of
+// the firing ring head. The caller has already updated ev's (at, seq) to
+// one period past the old head deadline, which is ≥ every resident
+// deadline, so sortedness is preserved; n and the event's ring residency
+// (slot == ringSlot) never change.
+func (r *periodicRing) rotateHead(ev *Event) {
+	mask := len(r.evs) - 1
+	r.evs[r.first] = nil
+	r.first = (r.first + 1) & mask
+	r.evs[(r.first+r.n-1)&mask] = ev
 }
 
 // remove unlinks ev: O(1) for the head (the pop path — the fired event is
