@@ -7,8 +7,9 @@
 //	hpcsched table2                 # priority privilege levels (Table II)
 //	hpcsched classes                # scheduling class order (Figure 1)
 //	hpcsched table3|table4|table5|table6 [-seed N] [-replicas N] [-parallel W]
+//	    [-faults SPEC] [-replica-timeout D] [-max-retries N] [-stall-timeout D]
 //	hpcsched fig3|fig4|fig5|fig6 [-seed N] [-width N]
-//	hpcsched run -workload metbench -mode uniform [-seed N] [-trace]
+//	hpcsched run -workload metbench -mode uniform [-seed N] [-trace] [-faults SPEC]
 //	hpcsched list                   # available workloads
 package main
 
@@ -23,6 +24,7 @@ import (
 
 	"hpcsched/internal/calibrate"
 	"hpcsched/internal/experiments"
+	"hpcsched/internal/faults"
 	"hpcsched/internal/metrics"
 	"hpcsched/internal/power5"
 	"hpcsched/internal/trace"
@@ -215,6 +217,16 @@ func printClasses() {
 	fmt.Println("  semantics are preserved, SCHED_HPC outranks SCHED_NORMAL.")
 }
 
+// parseFaults parses a -faults spec, leaving through exit(2) on a bad one.
+func parseFaults(s string) faults.Spec {
+	spec, err := faults.Parse(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	return spec
+}
+
 func runTable(cmd string, args []string) {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "simulation seed (base seed with -replicas)")
@@ -222,8 +234,14 @@ func runTable(cmd string, args []string) {
 	replicas := fs.Int("replicas", 0, "replication count over seeds derived from -seed (prints mean ± stddev and 95% CI)")
 	workers := fs.Int("parallel", 0, "worker pool size (0 = one per CPU)")
 	progress := fs.Bool("progress", false, "report batch progress on stderr")
+	faultSpec := fs.String("faults", "", `fault-injection spec, e.g. "slow:n=2,factor=0.5;loss" (empty = none)`)
+	replicaTimeout := fs.Duration("replica-timeout", 0, "per-replica wall-clock deadline; a replica over it is aborted and retried (0 = none)")
+	maxRetries := fs.Int("max-retries", 0, "retries per failed replica, each on a fresh derived seed")
+	stallTimeout := fs.Duration("stall-timeout", 0, "per-replica liveness watchdog: abort if the sim clock stalls this long (0 = off)")
 	parseFlags(fs, args)
 	wl := tableWorkload(cmd)
+	spec := parseFaults(*faultSpec)
+	hardened := *replicaTimeout > 0 || *maxRetries > 0 || *stallTimeout > 0
 	if *replicas > 1 || *seeds > 1 {
 		repl := experiments.SeedsFrom(*seed, *replicas)
 		if *replicas <= 1 {
@@ -238,12 +256,47 @@ func runTable(cmd string, args []string) {
 				}
 			}
 		}
+		if hardened || !spec.Empty() {
+			// Fault-injected (or explicitly hardened) replication: failed
+			// replicas are reported instead of crashing the batch.
+			ts, err := experiments.RunTableStatsHardened(context.Background(), wl, repl, spec,
+				experiments.HardenedBatchOptions{
+					BatchOptions: opts,
+					Timeout:      *replicaTimeout,
+					MaxRetries:   *maxRetries,
+					StallTimeout: *stallTimeout,
+				})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit(1)
+			}
+			fmt.Print(ts.Format())
+			return
+		}
 		ts, err := experiments.RunTableStatsBatch(context.Background(), wl, repl, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exit(1)
 		}
 		fmt.Print(ts.Format())
+		return
+	}
+	if !spec.Empty() {
+		// Single-seed table under faults: run the mode rows with the spec
+		// and print each row's applied fault timeline after the table.
+		modes := experiments.TableModes(wl)
+		cfgs := make([]experiments.Config, len(modes))
+		for i, m := range modes {
+			cfgs[i] = experiments.Config{Workload: wl, Mode: m, Seed: *seed, Faults: spec}
+		}
+		br, err := experiments.RunBatch(context.Background(), cfgs, experiments.BatchOptions{Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		tr := experiments.TableResult{Workload: wl, Rows: br.Results}
+		fmt.Print(tr.Format())
+		fmt.Printf("\nfault timeline (seed %d):\n%s\n", *seed, br.Results[0].FaultTimeline)
 		return
 	}
 	tr := experiments.RunTable(wl, *seed)
@@ -297,6 +350,7 @@ func runOne(args []string) {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	doTrace := fs.Bool("trace", false, "render the execution trace")
 	width := fs.Int("width", 100, "timeline columns")
+	faultSpec := fs.String("faults", "", `fault-injection spec, e.g. "slow:n=2,factor=0.5;loss" (empty = none)`)
 	parseFlags(fs, args)
 	mode, err := modeFromName(*modeName)
 	if err != nil {
@@ -305,9 +359,13 @@ func runOne(args []string) {
 	}
 	r := experiments.Run(experiments.Config{
 		Workload: *wl, Mode: mode, Seed: *seed, Trace: *doTrace,
+		Faults: parseFaults(*faultSpec),
 	})
 	fmt.Printf("%s under %s: exec time %.2fs, imbalance %.3f\n",
 		*wl, mode, r.ExecTime.Seconds(), r.Imbalance)
+	if r.FaultTimeline != "" {
+		fmt.Printf("fault timeline:\n%s\n", r.FaultTimeline)
+	}
 	fmt.Print(metrics.FormatSummaries(r.Summaries))
 	if r.HPC != nil {
 		fmt.Printf("heuristic decisions: %d changes, %d holds\n", r.HPC.Changes, r.HPC.Holds)

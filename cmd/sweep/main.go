@@ -1,13 +1,17 @@
 // Command sweep explores the HPC scheduler's tunables: the Adaptive G/L
 // weights, the utilization thresholds, the explored priority range, the
-// OS noise level and the queue discipline — the ablations discussed in
-// docs/ARCHITECTURE.md.
+// OS noise level, the queue discipline and the fault-injection intensity —
+// the ablations discussed in docs/ARCHITECTURE.md.
 //
 // Every sweep point can be replicated over several derived seeds
-// (-seeds N), and the whole (point × seed) grid runs on the parallel
-// batch layer (-parallel W, default one worker per CPU). Results are
+// (-seeds N), and the whole (point × seed) grid runs on the hardened
+// parallel batch layer (-parallel W, default one worker per CPU): a
+// replica that panics, stalls or blows -replica-timeout is recorded as a
+// failure (and retried up to -max-retries times on fresh derived seeds)
+// while the rest of the sweep completes. Fault-free results are
 // deterministic at any worker count. Output is an aligned table by
-// default; -format json or -format csv emit machine-readable rows.
+// default; -format json or -format csv emit machine-readable rows,
+// including per-cell failed/degraded replica counts.
 //
 // Usage:
 //
@@ -15,6 +19,7 @@
 //	sweep -what thresholds -workload metbench -seeds 5
 //	sweep -what priorange  -workload metbench -seeds 5 -format csv
 //	sweep -what noise      -workload siesta -parallel 4 -format json
+//	sweep -what faults     -workload metbench -seeds 5 -format json
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"hpcsched/internal/batch"
 	"hpcsched/internal/core"
 	"hpcsched/internal/experiments"
+	"hpcsched/internal/faults"
 	"hpcsched/internal/metrics"
 	"hpcsched/internal/noise"
 	"hpcsched/internal/power5"
@@ -53,16 +59,26 @@ type row struct {
 	ImpMean   float64 `json:"improvement_mean_pct"`
 	ImpCI95   float64 `json:"improvement_ci95_pct"`
 	Imbalance float64 `json:"imbalance_mean"`
+	// FailedRuns counts the cell's replicas that did not finish (panic,
+	// watchdog abort, timeout, wedge) after all retries; Runs counts the
+	// ones that did. DegradedRuns counts finished replicas slower than
+	// their same-seed baseline — the graceful-degradation signal of a
+	// fault-intensity sweep.
+	FailedRuns   int `json:"failed_runs"`
+	DegradedRuns int `json:"degraded_runs"`
 }
 
 func main() {
-	what := flag.String("what", "gl", "gl | thresholds | priorange | noise | policy")
+	what := flag.String("what", "gl", "gl | thresholds | priorange | noise | policy | faults")
 	wl := flag.String("workload", "metbench", "workload name")
 	seed := flag.Uint64("seed", 42, "base simulation seed")
 	nseeds := flag.Int("seeds", 1, "replicas per sweep point, over seeds derived from -seed")
 	workers := flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
 	format := flag.String("format", "table", "table | json | csv")
 	progress := flag.Bool("progress", false, "report batch progress on stderr")
+	replicaTimeout := flag.Duration("replica-timeout", 0, "per-replica wall-clock deadline (0 = none)")
+	maxRetries := flag.Int("max-retries", 0, "retries per failed replica, each on a fresh derived seed")
+	stallTimeout := flag.Duration("stall-timeout", 0, "per-replica sim-clock liveness watchdog (0 = off)")
 	flag.Parse()
 
 	points := buildPoints(*what, *wl)
@@ -106,7 +122,12 @@ func main() {
 		}
 	}
 
-	opts := experiments.BatchOptions{Workers: *workers}
+	opts := experiments.HardenedBatchOptions{
+		BatchOptions: experiments.BatchOptions{Workers: *workers},
+		Timeout:      *replicaTimeout,
+		MaxRetries:   *maxRetries,
+		StallTimeout: *stallTimeout,
+	}
 	if *progress {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
@@ -115,7 +136,9 @@ func main() {
 			}
 		}
 	}
-	br, err := experiments.RunBatch(context.Background(), cfgs, opts)
+	// The hardened batch keeps a failing cell (fault-heavy points can
+	// legitimately abort) from costing the whole sweep.
+	hb, err := experiments.RunBatchHardened(context.Background(), cfgs, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -124,24 +147,39 @@ func main() {
 	rows := make([]row, len(points))
 	for i, p := range points {
 		execs := make([]float64, len(seeds))
+		execOK := make([]bool, len(seeds))
 		bases := make([]float64, len(seeds))
+		baseOK := make([]bool, len(seeds))
 		imps := make([]float64, len(seeds))
+		impOK := make([]bool, len(seeds))
 		imbs := make([]float64, len(seeds))
+		degraded := 0
 		for j := range seeds {
-			r := br.Results[pointAt[i]+j]
-			b := br.Results[baseAt[p.baseKey]+j]
+			r := hb.Results[pointAt[i]+j]
+			b := hb.Results[baseAt[p.baseKey]+j]
+			execOK[j] = hb.OK[pointAt[i]+j]
+			baseOK[j] = hb.OK[baseAt[p.baseKey]+j]
+			impOK[j] = execOK[j] && baseOK[j]
 			execs[j] = r.ExecTime.Seconds()
 			bases[j] = b.ExecTime.Seconds()
-			imps[j] = 100 * metrics.Improvement(b.ExecTime, r.ExecTime)
+			if impOK[j] {
+				imps[j] = 100 * metrics.Improvement(b.ExecTime, r.ExecTime)
+				if r.ExecTime > b.ExecTime {
+					degraded++
+				}
+			}
 			imbs[j] = r.Imbalance
 		}
-		e, b := batch.Summarize(execs), batch.Summarize(bases)
-		imp, imb := batch.Summarize(imps), batch.Summarize(imbs)
+		e := batch.SummarizeFinished(execs, execOK)
+		b := batch.SummarizeFinished(bases, baseOK)
+		imp := batch.SummarizeFinished(imps, impOK)
+		imb := batch.SummarizeFinished(imbs, execOK)
 		rows[i] = row{
 			Config: p.name, Runs: e.N,
 			ExecMeanS: e.Mean, ExecStdS: e.Std, BaseMeanS: b.Mean,
 			ImpMean: imp.Mean, ImpCI95: imp.CI95,
-			Imbalance: imb.Mean,
+			Imbalance:  imb.Mean,
+			FailedRuns: e.Failed, DegradedRuns: degraded,
 		}
 	}
 
@@ -220,6 +258,31 @@ func buildPoints(what, wl string) []point {
 			add(fmt.Sprintf("uniform %v", d),
 				mk(experiments.ModeUniform, func(c *experiments.Config) { c.Discipline = d }))
 		}
+	case "faults":
+		// Perturbation intensity axis: every point measures the Uniform
+		// scheduler against its own fault-free runs, so "vs base" reads as
+		// the cost of the injected faults.
+		cleanBase := mk(experiments.ModeUniform, nil)
+		for _, fp := range []struct{ name, spec string }{
+			{"none", ""},
+			{"slow mild", "slow:n=2,factor=0.7,dur=5s,by=60s"},
+			{"slow heavy", "slow:n=4,factor=0.4,dur=10s,by=60s"},
+			{"stalls", "stall:n=3,dur=250ms,by=60s"},
+			{"storms", "storm:n=2,dur=2s,by=60s,daemons=2,duty=0.25"},
+			{"mpi delay", "mpidelay:n=3,extra=500us,dur=5s,by=60s"},
+			{"core loss", "loss:by=60s"},
+			{"combined", "slow:n=2,factor=0.5,dur=5s,by=60s;storm:dur=2s,by=60s;mpidelay:extra=200us,dur=5s,by=60s"},
+		} {
+			spec := faults.MustParse(fp.spec)
+			points = append(points, point{
+				name:    "faults " + fp.name,
+				baseKey: "uniform-clean",
+				cfg: mk(experiments.ModeUniform, func(c *experiments.Config) {
+					c.Faults = spec
+				}),
+				base: cleanBase,
+			})
+		}
 	default:
 		return nil
 	}
@@ -229,7 +292,7 @@ func buildPoints(what, wl string) []point {
 func emit(out *os.File, format string, rows []row) error {
 	switch format {
 	case "table":
-		header := []string{"Config", "Exec", "Base", "vs base", "Imbalance"}
+		header := []string{"Config", "Exec", "Base", "vs base", "Imbalance", "Fail/Degr"}
 		tbl := make([][]string, len(rows))
 		for i, r := range rows {
 			vs := fmt.Sprintf("%+.1f%%", r.ImpMean)
@@ -242,6 +305,7 @@ func emit(out *os.File, format string, rows []row) error {
 				fmt.Sprintf("%.2fs", r.BaseMeanS),
 				vs,
 				fmt.Sprintf("%.3f", r.Imbalance),
+				fmt.Sprintf("%d/%d", r.FailedRuns, r.DegradedRuns),
 			}
 		}
 		fmt.Fprint(out, metrics.Table(header, tbl))
@@ -252,7 +316,8 @@ func emit(out *os.File, format string, rows []row) error {
 	case "csv":
 		w := csv.NewWriter(out)
 		w.Write([]string{"config", "runs", "exec_mean_s", "exec_std_s",
-			"base_exec_mean_s", "improvement_mean_pct", "improvement_ci95_pct", "imbalance_mean"})
+			"base_exec_mean_s", "improvement_mean_pct", "improvement_ci95_pct",
+			"imbalance_mean", "failed_runs", "degraded_runs"})
 		for _, r := range rows {
 			w.Write([]string{
 				r.Config, fmt.Sprintf("%d", r.Runs),
@@ -260,6 +325,7 @@ func emit(out *os.File, format string, rows []row) error {
 				fmt.Sprintf("%.6f", r.BaseMeanS),
 				fmt.Sprintf("%.4f", r.ImpMean), fmt.Sprintf("%.4f", r.ImpCI95),
 				fmt.Sprintf("%.6f", r.Imbalance),
+				fmt.Sprintf("%d", r.FailedRuns), fmt.Sprintf("%d", r.DegradedRuns),
 			})
 		}
 		w.Flush()

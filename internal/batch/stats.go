@@ -42,6 +42,34 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// DegradedSummary is a Summary over the replicas that finished, with the
+// ones that did not reported explicitly instead of silently shrinking N.
+type DegradedSummary struct {
+	Summary
+	// Failed is the number of replicas excluded from the aggregate
+	// (panicked, timed out or errored). N + Failed is the attempted count.
+	Failed int
+}
+
+// SummarizeFinished aggregates only the entries of xs whose ok flag is set:
+// the graceful-degradation reduction for a batch with failed replicas. The
+// finished subset keeps its submission order, so the reduction stays
+// bit-exact for a given (xs, ok); the CI widens on its own through the
+// smaller N (fewer degrees of freedom, larger t critical value). len(ok)
+// must equal len(xs).
+func SummarizeFinished(xs []float64, ok []bool) DegradedSummary {
+	if len(ok) != len(xs) {
+		panic("batch: SummarizeFinished with mismatched ok mask")
+	}
+	kept := make([]float64, 0, len(xs))
+	for i, x := range xs {
+		if ok[i] {
+			kept = append(kept, x)
+		}
+	}
+	return DegradedSummary{Summary: Summarize(kept), Failed: len(xs) - len(kept)}
+}
+
 // tCrit95 is the two-sided 95% critical value of Student's t
 // distribution for df degrees of freedom (normal approximation past the
 // table). Replication counts in this repository are small (3–30 seeds),

@@ -147,13 +147,14 @@ func (c *HPCClass) coreLoad(cpu int) int {
 // allowed CPU minimising (own HPC load, core HPC load, CPU number) — the
 // domain-levelling rule of §IV-A.
 func (c *HPCClass) SelectCPU(k *sched.Kernel, t *sched.Task, wakeup bool) int {
-	if wakeup && t.CPU >= 0 && t.MayRunOn(t.CPU) && c.hpcLoad(t.CPU) == 0 {
+	if wakeup && t.CPU >= 0 && t.MayRunOn(t.CPU) && k.CPUOnline(t.CPU) &&
+		c.hpcLoad(t.CPU) == 0 {
 		return t.CPU
 	}
 	best := -1
 	var bestCPU, bestCore int
 	for cpu := 0; cpu < k.NumCPUs(); cpu++ {
-		if !t.MayRunOn(cpu) {
+		if !t.MayRunOn(cpu) || !k.CPUOnline(cpu) {
 			continue
 		}
 		cpuLoad := c.hpcLoad(cpu)

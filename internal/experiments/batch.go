@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"time"
 
 	"hpcsched/internal/batch"
 )
@@ -39,6 +40,76 @@ func RunBatch(ctx context.Context, cfgs []Config, opts BatchOptions) (BatchResul
 			return Run(cfg)
 		})
 	return BatchResult{Results: res}, err
+}
+
+// HardenedBatchOptions extends BatchOptions with the unattended-fleet
+// protections of batch.MapHardened.
+type HardenedBatchOptions struct {
+	BatchOptions
+
+	// Timeout is the per-replica wall-clock deadline (0 disables).
+	Timeout time.Duration
+	// MaxRetries retries a failed replica up to this many times, each
+	// attempt on a fresh seed derived from the original (the original
+	// seed's result is not reproducible after a fault — a panic or wedge —
+	// so the retry explores a sibling stream instead of re-hitting it).
+	MaxRetries int
+	// Backoff is the wall-clock pause before the r-th retry (linear: r×Backoff).
+	Backoff time.Duration
+	// StallTimeout arms each replica's sim-clock liveness watchdog.
+	StallTimeout time.Duration
+}
+
+// retrySalt separates retry attempts' derived seeds from every other seed
+// stream in the repository (replica seeds, fault streams, storm daemons).
+const retrySalt = 0x2e72_0000_0000_0000
+
+// HardenedBatchResult is a BatchResult that distinguishes finished runs
+// from failed ones instead of requiring every replica to succeed.
+type HardenedBatchResult struct {
+	// Results holds finished runs in submission order; failed entries are
+	// zero Results (check OK).
+	Results []Result
+	// OK[i] reports whether Results[i] finished.
+	OK []bool
+	// Failed lists the replicas that exhausted their attempts, in index
+	// order, each with its failure kind (error/panic/timeout/wedged),
+	// attempt count and final error.
+	Failed []*batch.JobError
+}
+
+// RunBatchHardened is RunBatch for unattended fleets: a panicking replica
+// is recorded (with its stack) instead of crashing the process, a replica
+// that blows its deadline or wedges is aborted and retried on fresh derived
+// seeds, and the batch completes with explicit per-replica failures rather
+// than all-or-nothing. The error return reports batch-level cancellation
+// only.
+func RunBatchHardened(ctx context.Context, cfgs []Config, opts HardenedBatchOptions) (HardenedBatchResult, error) {
+	res, failed, err := batch.MapHardened(ctx,
+		batch.HardenedOptions{
+			Options:    batch.Options{Workers: opts.Workers, Progress: opts.Progress},
+			Timeout:    opts.Timeout,
+			MaxRetries: opts.MaxRetries,
+			Backoff:    opts.Backoff,
+		},
+		cfgs,
+		func(jctx context.Context, _, attempt int, cfg Config) (Result, error) {
+			if attempt > 0 {
+				cfg.Seed = batch.DeriveSeed(cfg.Seed, retrySalt+uint64(attempt))
+			}
+			if opts.StallTimeout > 0 {
+				cfg.StallTimeout = opts.StallTimeout
+			}
+			return RunCtx(jctx, cfg)
+		})
+	hb := HardenedBatchResult{Results: res, OK: make([]bool, len(res)), Failed: failed}
+	for i := range hb.OK {
+		hb.OK[i] = true
+	}
+	for _, je := range failed {
+		hb.OK[je.Index] = false
+	}
+	return hb, err
 }
 
 // ReplicaConfigs builds the (seed × mode) grid for a workload's table in

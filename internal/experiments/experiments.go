@@ -6,8 +6,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"hpcsched/internal/core"
+	"hpcsched/internal/faults"
 	"hpcsched/internal/metrics"
 	"hpcsched/internal/mpi"
 	"hpcsched/internal/noise"
@@ -90,6 +92,22 @@ type Config struct {
 	// Horizon bounds the run (0 → 1 simulated hour).
 	Horizon sim.Time
 
+	// Faults requests deterministic fault injection: the spec is compiled
+	// with the run seed into a fixed fault timeline before the run starts.
+	// The zero Spec is a provable no-op (nothing installed at all).
+	Faults faults.Spec
+	// StallTimeout arms the liveness watchdog (RunCtx only): if the
+	// simulated clock fails to advance for this much wall-clock time while
+	// events keep firing, the run is aborted with a diagnostic dump. 0
+	// disables the watchdog.
+	StallTimeout time.Duration
+
+	// Prelude, when non-nil, runs after the machine, noise and workload are
+	// assembled, just before the clock starts: an extension point for extra
+	// processes or events (tests use it to seed pathological fixtures such
+	// as stall loops for the watchdog).
+	Prelude func(*sched.Kernel)
+
 	// WorkloadTweak, when non-nil, may mutate the default workload
 	// configuration before the job is built (used by sweeps and tests).
 	TweakMetBench    func(*workloads.MetBenchConfig)
@@ -109,6 +127,9 @@ type Result struct {
 	World     *mpi.World
 	Tasks     []*sched.Task
 	Kernel    *sched.Kernel // shut down; inspect counters only
+	// FaultTimeline is the applied fault-action log, one line per action
+	// (empty without faults). Same seed and spec → byte-identical timeline.
+	FaultTimeline string
 }
 
 // staticPrios returns the paper's hand-tuned priorities per workload.
@@ -125,8 +146,27 @@ func staticPrios(workload string) []power5.Priority {
 	}
 }
 
-// Run executes one experiment.
+// Run executes one experiment. It is RunCtx without cancellation or
+// watchdog: with a background context and no StallTimeout the run cannot
+// abort, so no error leg exists.
 func Run(cfg Config) Result {
+	cfg.StallTimeout = 0
+	res, err := RunCtx(context.Background(), cfg)
+	if err != nil {
+		panic(err) // unreachable: no cancel source and no watchdog
+	}
+	return res
+}
+
+// RunCtx executes one experiment under a context. Cancellation propagates
+// into the event pump through the engine's interrupt hook, so a cancelled
+// batch stops mid-replica instead of finishing the simulated hour. When
+// cfg.StallTimeout is set, the same hook doubles as the liveness watchdog.
+// An aborted run returns a partial Result plus an *AbortError carrying the
+// reason and a diagnostic dump; the kernel is shut down either way (no
+// leaked process goroutines). A panic out of the model layers shuts the
+// kernel down and re-panics, so batch-level recovery sees a clean process.
+func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	engine := sim.NewEngine(cfg.Seed)
 	pm := cfg.PerfModel
 	if pm == nil {
@@ -134,6 +174,12 @@ func Run(cfg Config) Result {
 	}
 	chip := power5.NewChip(2, pm)
 	kernel := sched.NewKernel(engine, chip, cfg.KernelOpts)
+	defer func() {
+		if v := recover(); v != nil {
+			kernel.Shutdown()
+			panic(v)
+		}
+	}()
 
 	var hpc *core.HPCClass
 	if cfg.Mode.UsesHPCClass() {
@@ -226,29 +272,58 @@ func Run(cfg Config) Result {
 		panic(fmt.Sprintf("experiments: unknown workload %q", cfg.Workload))
 	}
 
+	if cfg.Prelude != nil {
+		cfg.Prelude(kernel)
+	}
+
+	// Fault injection: compiled from (spec, seed, machine) into plain data
+	// before anything runs, then installed as ordinary engine events. The
+	// zero-fault spec skips both steps entirely.
+	var inj *faults.Injector
+	if !cfg.Faults.Empty() {
+		sc := faults.Compile(cfg.Faults, cfg.Seed, kernel.NumCPUs())
+		inj = faults.Install(kernel, job.World, sc)
+	}
+
+	// Cancellation and liveness ride the engine's interrupt poll: nil when
+	// neither is requested, so the plain Run path pays nothing.
+	var wd *watchdog
+	if ctx.Done() != nil || cfg.StallTimeout > 0 {
+		wd = newWatchdog(ctx, kernel, cfg.StallTimeout)
+		engine.SetInterrupt(interruptStride, wd.check)
+	}
+
 	horizon := cfg.Horizon
 	if horizon <= 0 {
 		horizon = 3600 * sim.Second
 	}
 	end := kernel.RunUntilWatchedExit(horizon)
+	res := Result{
+		Config:   cfg,
+		ExecTime: end,
+		HPC:      hpc,
+		World:    job.World,
+		Tasks:    job.Tasks,
+		Kernel:   kernel,
+	}
+	if inj != nil {
+		res.FaultTimeline = inj.FormatTimeline()
+	}
+	if wd != nil && wd.reason != "" {
+		// Aborted: capture the machine state before teardown destroys it.
+		aerr := &AbortError{Reason: wd.reason, Cause: wd.cause, Dump: DiagnosticDump(kernel)}
+		kernel.Shutdown()
+		return res, aerr
+	}
 	if rec != nil {
 		rec.Finish(end)
 		rec.SortByName()
 	}
-	sums := metrics.Summarize(job.Tasks, end)
+	res.Summaries = metrics.Summarize(job.Tasks, end)
+	res.Imbalance = metrics.Imbalance(res.Summaries)
+	res.Recorder = rec
 	kernel.Shutdown()
-
-	return Result{
-		Config:    cfg,
-		ExecTime:  end,
-		Summaries: sums,
-		Imbalance: metrics.Imbalance(sums),
-		Recorder:  rec,
-		HPC:       hpc,
-		World:     job.World,
-		Tasks:     job.Tasks,
-		Kernel:    kernel,
-	}
+	return res, nil
 }
 
 // TableModes returns the mode rows the paper reports for a workload.

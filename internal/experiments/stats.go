@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hpcsched/internal/batch"
+	"hpcsched/internal/faults"
 	"hpcsched/internal/metrics"
 )
 
@@ -74,6 +75,108 @@ func RunTableStatsBatch(ctx context.Context, workload string, seeds []uint64, op
 		})
 	}
 	return ts, nil
+}
+
+// DegradedModeStats is ModeStats for a batch with failed replicas: the
+// aggregate covers the seeds that finished, the rest are counted, never
+// silently dropped.
+type DegradedModeStats struct {
+	ModeStats
+	// Failed is how many of the mode's replicas did not finish.
+	Failed int
+}
+
+// DegradedTableStats is a multi-seed table whose replicas ran hardened:
+// failed or timed-out replicas are reported explicitly and the confidence
+// intervals widen through the reduced replica count.
+type DegradedTableStats struct {
+	Workload string
+	Seeds    []uint64
+	Stats    []DegradedModeStats
+	// Failures carries each failed replica's verdict, in index order.
+	Failures []*batch.JobError
+}
+
+// RunTableStatsHardened is RunTableStatsBatch on the hardened batch layer,
+// optionally with a fault spec applied to every replica (compiled with each
+// replica's own seed). A seed whose baseline run failed cannot anchor
+// improvement percentages, so that seed's surviving rows contribute
+// execution times only.
+func RunTableStatsHardened(ctx context.Context, workload string, seeds []uint64, spec faults.Spec, opts HardenedBatchOptions) (DegradedTableStats, error) {
+	ts := DegradedTableStats{Workload: workload, Seeds: seeds}
+	modes := TableModes(workload)
+	cfgs := ReplicaConfigs(workload, seeds)
+	for i := range cfgs {
+		cfgs[i].Faults = spec
+	}
+	hb, err := RunBatchHardened(ctx, cfgs, opts)
+	if err != nil {
+		return ts, err
+	}
+	ts.Failures = hb.Failed
+	execs := make(map[Mode][]float64, len(modes))
+	oks := make(map[Mode][]bool, len(modes))
+	imps := make(map[Mode][]float64, len(modes))
+	impOKs := make(map[Mode][]bool, len(modes))
+	for s := range seeds {
+		lo := s * len(modes)
+		rows := hb.Results[lo : lo+len(modes)]
+		rowOK := hb.OK[lo : lo+len(modes)]
+		base := rows[0].ExecTime
+		baseOK := rowOK[0]
+		for i, r := range rows {
+			m := modes[i]
+			execs[m] = append(execs[m], r.ExecTime.Seconds())
+			oks[m] = append(oks[m], rowOK[i])
+			imp := 0.0
+			if baseOK && rowOK[i] {
+				imp = 100 * metrics.Improvement(base, r.ExecTime)
+			}
+			imps[m] = append(imps[m], imp)
+			impOKs[m] = append(impOKs[m], baseOK && rowOK[i])
+		}
+	}
+	for _, m := range modes {
+		e := batch.SummarizeFinished(execs[m], oks[m])
+		i := batch.SummarizeFinished(imps[m], impOKs[m])
+		ts.Stats = append(ts.Stats, DegradedModeStats{
+			ModeStats: ModeStats{
+				Mode: m, Runs: e.N,
+				MeanExecS: e.Mean, StdExecS: e.Std, CIExecS: e.CI95,
+				MeanImp: i.Mean, StdImp: i.Std, CIImp: i.CI95,
+			},
+			Failed: e.Failed,
+		})
+	}
+	return ts, nil
+}
+
+// Format renders the degraded aggregate: per-mode finished/failed counts in
+// the table, then one line per failed replica.
+func (ts DegradedTableStats) Format() string {
+	rows := make([][]string, 0, len(ts.Stats))
+	for _, s := range ts.Stats {
+		imp, ci := "—", "—"
+		if s.Mode != ModeBaseline {
+			imp = fmt.Sprintf("%+.1f%% ± %.1f", s.MeanImp, s.StdImp)
+			ci = fmt.Sprintf("[%+.1f, %+.1f]", s.MeanImp-s.CIImp, s.MeanImp+s.CIImp)
+		}
+		status := fmt.Sprintf("%d/%d", s.Runs, s.Runs+s.Failed)
+		rows = append(rows, []string{
+			s.Mode.String(),
+			status,
+			fmt.Sprintf("%.2fs ± %.2f", s.MeanExecS, s.StdExecS),
+			imp,
+			ci,
+		})
+	}
+	out := fmt.Sprintf("%s over %d seeds (hardened)\n%s", ts.Workload, len(ts.Seeds),
+		metrics.Table([]string{"Test", "Finished", "Exec. Time", "vs base", "95% CI"}, rows))
+	for _, je := range ts.Failures {
+		out += fmt.Sprintf("\nreplica %d: %s after %d attempt(s): %v",
+			je.Index, je.Kind, je.Attempts, je.Err)
+	}
+	return out
 }
 
 // Format renders the aggregate table with 95% confidence intervals.

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"hpcsched/internal/sim"
+)
+
+func TestParseEmpty(t *testing.T) {
+	for _, s := range []string{"", "  ", "none"} {
+		spec, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !spec.Empty() {
+			t.Fatalf("Parse(%q) not empty: %+v", s, spec)
+		}
+	}
+}
+
+func TestParseDefaultsAndOverrides(t *testing.T) {
+	spec := MustParse("slow:n=3,factor=0.25,dur=2s;stall;loss:core=1;storm:daemons=4;mpidelay:extra=1ms")
+	if len(spec.Slowdowns) != 1 || spec.Slowdowns[0].Count != 3 ||
+		spec.Slowdowns[0].Factor != 0.25 || spec.Slowdowns[0].Dur != 2*sim.Second ||
+		spec.Slowdowns[0].By != 60*sim.Second {
+		t.Fatalf("slowdowns = %+v", spec.Slowdowns)
+	}
+	if len(spec.Stalls) != 1 || spec.Stalls[0].Dur != 250*sim.Millisecond {
+		t.Fatalf("stalls = %+v", spec.Stalls)
+	}
+	if len(spec.CoreLoss) != 1 || spec.CoreLoss[0].Core != 1 {
+		t.Fatalf("core loss = %+v", spec.CoreLoss)
+	}
+	if len(spec.Storms) != 1 || spec.Storms[0].Daemons != 4 || spec.Storms[0].Duty != 0.25 {
+		t.Fatalf("storms = %+v", spec.Storms)
+	}
+	if len(spec.MPIDelays) != 1 || spec.MPIDelays[0].Extra != sim.Millisecond {
+		t.Fatalf("mpi delays = %+v", spec.MPIDelays)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"quake:n=1",         // unknown kind
+		"slow:bogus=3",      // unknown key
+		"slow:factor=1.5",   // factor out of (0,1]
+		"slow:factor=zero",  // malformed number
+		"storm:duty=1.0",    // duty out of (0,1)
+		"slow:dur=-5s",      // negative duration
+		"slow:factor",       // malformed pair
+		"stall:dur=5parsec", // bad duration unit
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	spec := MustParse("slow:n=4;stall:n=2;loss;storm:n=2;mpidelay:n=3")
+	a := Compile(spec, 42, 4)
+	for i := 0; i < 10; i++ {
+		b := Compile(spec, 42, 4)
+		if a.Format() != b.Format() {
+			t.Fatalf("same (spec, seed) compiled two timelines:\n%s\n--- vs ---\n%s",
+				a.Format(), b.Format())
+		}
+	}
+	c := Compile(spec, 43, 4)
+	if a.Format() == c.Format() {
+		t.Fatal("different seeds produced an identical fault timeline")
+	}
+}
+
+func TestCompileZeroFaultIsEmpty(t *testing.T) {
+	sc := Compile(Spec{}, 42, 4)
+	if !sc.Empty() {
+		t.Fatalf("zero spec compiled to %d actions", len(sc.Actions))
+	}
+	if sc.Format() != "(no faults)" {
+		t.Fatalf("empty format = %q", sc.Format())
+	}
+	if inj := Install(nil, nil, sc); inj != nil {
+		t.Fatal("installing an empty schedule returned a live injector")
+	}
+	var nilSchedule *Schedule
+	if !nilSchedule.Empty() {
+		t.Fatal("nil schedule not Empty")
+	}
+}
+
+func TestCompileActionShape(t *testing.T) {
+	spec := MustParse("slow:n=2,by=10s;mpidelay:n=1,by=10s")
+	sc := Compile(spec, 7, 4)
+	if len(sc.Actions) != 6 { // 2 slow pairs + 1 delay pair
+		t.Fatalf("got %d actions, want 6:\n%s", len(sc.Actions), sc.Format())
+	}
+	// Sorted by time, and every onset precedes its recovery.
+	on := map[ActionKind]int{}
+	for i, a := range sc.Actions {
+		if i > 0 && a.At < sc.Actions[i-1].At {
+			t.Fatalf("actions out of order:\n%s", sc.Format())
+		}
+		switch a.Kind {
+		case ActSlowOn, ActMPIDelayOn:
+			on[a.Kind]++
+		case ActSlowOff:
+			if on[ActSlowOn] == 0 {
+				t.Fatalf("recovery before onset:\n%s", sc.Format())
+			}
+			on[ActSlowOn]--
+		case ActMPIDelayOff:
+			if on[ActMPIDelayOn] == 0 {
+				t.Fatalf("recovery before onset:\n%s", sc.Format())
+			}
+			on[ActMPIDelayOn]--
+		}
+		if a.CPU >= 4 {
+			t.Fatalf("action targets CPU %d on a 4-CPU machine", a.CPU)
+		}
+	}
+	if !strings.Contains(sc.Format(), "slow-on") {
+		t.Fatalf("format lost the action kinds:\n%s", sc.Format())
+	}
+}
+
+func TestCompileRespectsPinnedLoss(t *testing.T) {
+	spec := Spec{CoreLoss: []CoreLossSpec{{Count: 1, Core: 1, At: 5 * sim.Second}}}
+	sc := Compile(spec, 99, 4)
+	if len(sc.Actions) != 1 {
+		t.Fatalf("actions = %d, want 1", len(sc.Actions))
+	}
+	a := sc.Actions[0]
+	if a.Kind != ActCoreLoss || a.CPU != 1 || a.At != 5*sim.Second {
+		t.Fatalf("pinned loss compiled to %+v", a)
+	}
+}

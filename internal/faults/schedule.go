@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpcsched/internal/batch"
+	"hpcsched/internal/sim"
+)
+
+// ActionKind tags one scheduled fault transition.
+type ActionKind int
+
+const (
+	ActSlowOn ActionKind = iota
+	ActSlowOff
+	ActStallOn
+	ActStallOff
+	ActCoreLoss
+	ActStorm
+	ActMPIDelayOn
+	ActMPIDelayOff
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActSlowOn:
+		return "slow-on"
+	case ActSlowOff:
+		return "slow-off"
+	case ActStallOn:
+		return "stall-on"
+	case ActStallOff:
+		return "stall-off"
+	case ActCoreLoss:
+		return "core-loss"
+	case ActStorm:
+		return "storm"
+	case ActMPIDelayOn:
+		return "mpidelay-on"
+	case ActMPIDelayOff:
+		return "mpidelay-off"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one fault transition at a virtual instant. Onset/recovery pairs
+// are pre-expanded at compile time, so the whole timeline is plain data —
+// printable, comparable, and independent of anything that happens at run
+// time.
+type Action struct {
+	At     sim.Time
+	Kind   ActionKind
+	CPU    int      // target context (slowdowns) or core (stalls, loss); -1 n/a
+	Factor float64  // speed multiplier (slowdowns, stalls)
+	Extra  sim.Time // added message latency (MPI delay)
+	Dur    sim.Time // window length (storms; informational elsewhere)
+
+	// Storm shape (ActStorm only).
+	Daemons int
+	Duty    float64
+	Burst   sim.Time
+
+	seq int // draw order, the deterministic same-instant tiebreak
+}
+
+// String renders the action for the timeline.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActSlowOn, ActSlowOff:
+		return fmt.Sprintf("%v %v cpu%d factor=%.3f", a.At, a.Kind, a.CPU, a.Factor)
+	case ActStallOn, ActStallOff:
+		return fmt.Sprintf("%v %v core%d", a.At, a.Kind, a.CPU)
+	case ActCoreLoss:
+		return fmt.Sprintf("%v %v core%d", a.At, a.Kind, a.CPU)
+	case ActStorm:
+		return fmt.Sprintf("%v %v dur=%v daemons=%d duty=%.2f", a.At, a.Kind, a.Dur, a.Daemons, a.Duty)
+	case ActMPIDelayOn, ActMPIDelayOff:
+		return fmt.Sprintf("%v %v extra=%v", a.At, a.Kind, a.Extra)
+	default:
+		return fmt.Sprintf("%v %v", a.At, a.Kind)
+	}
+}
+
+// Schedule is a compiled fault timeline: the actions in firing order, plus
+// the seed its storm daemons derive their RNG streams from.
+type Schedule struct {
+	Actions []Action
+	seed    uint64
+}
+
+// Empty reports whether the schedule performs no actions — the provably
+// no-op case experiments skip installing entirely.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Actions) == 0 }
+
+// Format renders the compiled timeline, one action per line. It is a pure
+// function of the schedule, so two runs with the same seed and spec produce
+// byte-identical output regardless of parallelism.
+func (s *Schedule) Format() string {
+	if s.Empty() {
+		return "(no faults)"
+	}
+	lines := make([]string, len(s.Actions))
+	for i, a := range s.Actions {
+		lines[i] = a.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// faultSalt decorrelates the fault layer's RNG stream from the engine's:
+// both derive from the run seed, but through different splitmix64 inputs.
+const faultSalt = 0xfa17_0000_0000_0001
+
+// stallFactor is the speed scale of a stalled core: effectively frozen, yet
+// finite (power5 clamps at its own minimum anyway).
+const stallFactor = 1e-6
+
+// Compile draws the run's fault timeline from spec for a machine with
+// numCPUs contexts (numCPUs/2 cores). All randomness comes from a dedicated
+// stream derived from seed, so the result is a pure function of
+// (spec, seed, numCPUs); the engine's RNG is never touched.
+func Compile(spec Spec, seed uint64, numCPUs int) *Schedule {
+	sc := &Schedule{seed: batch.DeriveSeed(seed, faultSalt)}
+	if spec.Empty() {
+		return sc
+	}
+	if numCPUs < 2 {
+		panic("faults: Compile needs at least one core")
+	}
+	rng := sim.NewRNG(sc.seed)
+	numCores := numCPUs / 2
+	add := func(a Action) {
+		a.seq = len(sc.Actions)
+		sc.Actions = append(sc.Actions, a)
+	}
+	// Draw order is fixed — kind by kind, spec by spec, window by window —
+	// so the stream assigns the same values to the same windows always.
+	for _, f := range spec.Slowdowns {
+		for i := 0; i < f.Count; i++ {
+			cpu := rng.Intn(numCPUs)
+			at := rng.Duration(maxTime(f.By, 1))
+			dur := rng.Jitter(maxTime(f.Dur, 1), 0.5) + 1
+			add(Action{At: at, Kind: ActSlowOn, CPU: cpu, Factor: f.Factor, Dur: dur})
+			add(Action{At: at + dur, Kind: ActSlowOff, CPU: cpu, Factor: f.Factor})
+		}
+	}
+	for _, f := range spec.Stalls {
+		for i := 0; i < f.Count; i++ {
+			core := rng.Intn(numCores)
+			at := rng.Duration(maxTime(f.By, 1))
+			dur := rng.Jitter(maxTime(f.Dur, 1), 0.5) + 1
+			add(Action{At: at, Kind: ActStallOn, CPU: core, Factor: stallFactor, Dur: dur})
+			add(Action{At: at + dur, Kind: ActStallOff, CPU: core, Factor: stallFactor})
+		}
+	}
+	for _, f := range spec.CoreLoss {
+		for i := 0; i < f.Count; i++ {
+			core := f.Core
+			if core < 0 {
+				core = rng.Intn(numCores)
+			}
+			at := f.At
+			if at <= 0 {
+				at = rng.Duration(maxTime(f.By, 1))
+			}
+			add(Action{At: at, Kind: ActCoreLoss, CPU: core})
+		}
+	}
+	for _, f := range spec.Storms {
+		for i := 0; i < f.Count; i++ {
+			at := rng.Duration(maxTime(f.By, 1))
+			dur := rng.Jitter(maxTime(f.Dur, 1), 0.5) + 1
+			add(Action{At: at, Kind: ActStorm, Dur: dur,
+				Daemons: f.Daemons, Duty: f.Duty, Burst: f.Burst})
+		}
+	}
+	for _, f := range spec.MPIDelays {
+		for i := 0; i < f.Count; i++ {
+			at := rng.Duration(maxTime(f.By, 1))
+			dur := rng.Jitter(maxTime(f.Dur, 1), 0.5) + 1
+			add(Action{At: at, Kind: ActMPIDelayOn, Extra: f.Extra, Dur: dur})
+			add(Action{At: at + dur, Kind: ActMPIDelayOff, Extra: f.Extra})
+		}
+	}
+	// Firing order: (At, draw order). The sort is stable by construction of
+	// the key, so the timeline is deterministic.
+	sort.Slice(sc.Actions, func(i, j int) bool {
+		a, b := &sc.Actions[i], &sc.Actions[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.seq < b.seq
+	})
+	return sc
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

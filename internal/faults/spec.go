@@ -1,0 +1,231 @@
+// Package faults is the deterministic fault-injection layer: it compiles a
+// seed-derived schedule of perturbations — CPU-speed degradation windows,
+// transient core stalls, permanent core loss, noise-burst storms, injected
+// MPI message delay — and drives it through the simulator's existing hooks
+// (engine events for timed onset/recovery, the POWER5 cached speed-pair
+// machinery for slowdowns, sched CPU hotplug for core loss, the MPI
+// transport's extra-delay knob for network degradation).
+//
+// Determinism contract: the schedule is a pure function of (Spec, seed,
+// machine shape). Its random draws come from a dedicated RNG stream salted
+// off the run seed, never from the engine's RNG, so compiling a schedule
+// perturbs nothing; the same seed and spec produce the same fault timeline
+// at any worker count. An empty Spec compiles to an empty schedule and
+// installs nothing at all — a zero-fault run is bit-identical to a run
+// without the fault layer (the golden tables pin this).
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpcsched/internal/sim"
+)
+
+// SlowdownSpec describes CPU-speed degradation windows: Count windows, each
+// on a random context, starting at a random instant in [0, By), lasting
+// Dur (jittered ±50%), scaling the context's speed by Factor.
+type SlowdownSpec struct {
+	Count  int
+	Factor float64  // speed multiplier in (0, 1]
+	Dur    sim.Time // mean window length
+	By     sim.Time // onsets drawn uniformly in [0, By)
+}
+
+// StallSpec describes transient core stalls: Count windows, each freezing
+// both contexts of a random core (speed scale ≈ 0) for Dur.
+type StallSpec struct {
+	Count int
+	Dur   sim.Time
+	By    sim.Time
+}
+
+// CoreLossSpec describes permanent core loss: Count cores die at random
+// instants in [0, By); their tasks migrate to the survivors. Core pins the
+// victim (−1 = random); At pins the instant (0 = random). Losing the last
+// online core is refused at injection time and recorded in the timeline.
+type CoreLossSpec struct {
+	Count int
+	Core  int // -1 = random
+	At    sim.Time
+	By    sim.Time
+}
+
+// StormSpec describes noise-burst storms: at each of Count onsets, Daemons
+// extra per-CPU daemon tasks appear on every online CPU, burning Duty of it
+// in Burst-length bursts until the storm's window (Dur) closes, then exit.
+type StormSpec struct {
+	Count   int
+	Dur     sim.Time
+	By      sim.Time
+	Daemons int
+	Duty    float64
+	Burst   sim.Time
+}
+
+// MPIDelaySpec describes injected network degradation: Count windows of
+// Dur during which every MPI message pays Extra additional latency.
+type MPIDelaySpec struct {
+	Count int
+	Extra sim.Time
+	Dur   sim.Time
+	By    sim.Time
+}
+
+// Spec is the full fault-injection request of one run. The zero value is
+// the (provably no-op) zero-fault spec.
+type Spec struct {
+	Slowdowns []SlowdownSpec
+	Stalls    []StallSpec
+	CoreLoss  []CoreLossSpec
+	Storms    []StormSpec
+	MPIDelays []MPIDelaySpec
+}
+
+// Empty reports whether the spec requests no faults at all.
+func (s Spec) Empty() bool {
+	return len(s.Slowdowns) == 0 && len(s.Stalls) == 0 &&
+		len(s.CoreLoss) == 0 && len(s.Storms) == 0 && len(s.MPIDelays) == 0
+}
+
+// Parse builds a Spec from a compact string: semicolon-separated clauses of
+// the form "kind:key=val,key=val". Kinds and their keys (all optional, with
+// defaults):
+//
+//	slow:n=1,factor=0.5,dur=5s,by=60s        speed degradation windows
+//	stall:n=1,dur=250ms,by=60s               transient core stalls
+//	loss:n=1,core=-1,at=0,by=60s             permanent core loss
+//	storm:n=1,dur=2s,by=60s,daemons=2,duty=0.25,burst=500us
+//	mpidelay:n=1,extra=200us,dur=5s,by=60s   injected message delay
+//
+// Durations use Go syntax ("250ms", "5s"). An empty string parses to the
+// zero-fault Spec.
+func Parse(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return spec, nil
+	}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(clause, ":")
+		kv, err := parseKV(rest)
+		if err != nil {
+			return spec, fmt.Errorf("faults: clause %q: %w", clause, err)
+		}
+		switch kind {
+		case "slow":
+			f := SlowdownSpec{Count: 1, Factor: 0.5, Dur: 5 * sim.Second, By: 60 * sim.Second}
+			err = kv.apply(map[string]any{
+				"n": &f.Count, "factor": &f.Factor, "dur": &f.Dur, "by": &f.By,
+			})
+			if err == nil && (f.Factor <= 0 || f.Factor > 1) {
+				err = fmt.Errorf("factor %v out of (0,1]", f.Factor)
+			}
+			spec.Slowdowns = append(spec.Slowdowns, f)
+		case "stall":
+			f := StallSpec{Count: 1, Dur: 250 * sim.Millisecond, By: 60 * sim.Second}
+			err = kv.apply(map[string]any{"n": &f.Count, "dur": &f.Dur, "by": &f.By})
+			spec.Stalls = append(spec.Stalls, f)
+		case "loss":
+			f := CoreLossSpec{Count: 1, Core: -1, By: 60 * sim.Second}
+			err = kv.apply(map[string]any{
+				"n": &f.Count, "core": &f.Core, "at": &f.At, "by": &f.By,
+			})
+			spec.CoreLoss = append(spec.CoreLoss, f)
+		case "storm":
+			f := StormSpec{Count: 1, Dur: 2 * sim.Second, By: 60 * sim.Second,
+				Daemons: 2, Duty: 0.25, Burst: 500 * sim.Microsecond}
+			err = kv.apply(map[string]any{
+				"n": &f.Count, "dur": &f.Dur, "by": &f.By,
+				"daemons": &f.Daemons, "duty": &f.Duty, "burst": &f.Burst,
+			})
+			if err == nil && (f.Duty <= 0 || f.Duty >= 1) {
+				err = fmt.Errorf("duty %v out of (0,1)", f.Duty)
+			}
+			spec.Storms = append(spec.Storms, f)
+		case "mpidelay":
+			f := MPIDelaySpec{Count: 1, Extra: 200 * sim.Microsecond,
+				Dur: 5 * sim.Second, By: 60 * sim.Second}
+			err = kv.apply(map[string]any{
+				"n": &f.Count, "extra": &f.Extra, "dur": &f.Dur, "by": &f.By,
+			})
+			spec.MPIDelays = append(spec.MPIDelays, f)
+		default:
+			return spec, fmt.Errorf("faults: unknown fault kind %q in %q", kind, clause)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("faults: clause %q: %w", clause, err)
+		}
+	}
+	return spec, nil
+}
+
+// MustParse is Parse, panicking on error (for tests and literals).
+func MustParse(s string) Spec {
+	spec, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+type kvPairs map[string]string
+
+func parseKV(s string) (kvPairs, error) {
+	kv := kvPairs{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return kv, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || key == "" || val == "" {
+			return nil, fmt.Errorf("malformed key=value pair %q", pair)
+		}
+		kv[key] = val
+	}
+	return kv, nil
+}
+
+// apply assigns each present key into its typed destination and rejects
+// unknown keys.
+func (kv kvPairs) apply(dests map[string]any) error {
+	for key, val := range kv {
+		dest, ok := dests[key]
+		if !ok {
+			return fmt.Errorf("unknown key %q", key)
+		}
+		switch d := dest.(type) {
+		case *int:
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("key %q: %w", key, err)
+			}
+			*d = n
+		case *float64:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("key %q: %w", key, err)
+			}
+			*d = f
+		case *sim.Time:
+			dur, err := time.ParseDuration(val)
+			if err != nil {
+				return fmt.Errorf("key %q: %w", key, err)
+			}
+			if dur < 0 {
+				return fmt.Errorf("key %q: negative duration %v", key, dur)
+			}
+			*d = sim.Time(dur.Nanoseconds())
+		default:
+			panic("faults: unsupported destination type")
+		}
+	}
+	return nil
+}

@@ -103,6 +103,11 @@ type World struct {
 
 	freeDeliv *delivery
 
+	// extraDelay is added to every message's transport latency while a
+	// fault-injected network-delay window is active (internal/faults); zero
+	// otherwise. One integer add on the Send path, no allocation.
+	extraDelay sim.Time
+
 	barrierGen     int
 	barrierArrived int
 	barrierWaiters []*Rank
@@ -140,6 +145,19 @@ func NewWorld(k *sched.Kernel, size int, opts Options) *World {
 		w.ranks = append(w.ranks, r)
 	}
 	return w
+}
+
+// ExtraDelay returns the current fault-injected per-message latency add-on.
+func (w *World) ExtraDelay() sim.Time { return w.extraDelay }
+
+// SetExtraDelay sets a latency add-on applied to every subsequent Send (the
+// fault layer's injected MPI message delay; negative values are clamped to
+// zero). Messages already in flight are unaffected.
+func (w *World) SetExtraDelay(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	w.extraDelay = d
 }
 
 // post schedules the delivery of m to target after delay — the immediate,
@@ -322,6 +340,7 @@ func (r *Rank) Send(dst, tag int, size int64) {
 		w.RemoteMsgCount++
 		delay = w.opts.RemoteLatency + sim.Time(float64(size)*w.opts.RemoteByteCost)
 	}
+	delay += w.extraDelay
 	d := w.drawDelivery(target, message{src: r.id, tag: tag, size: size})
 	r.env.DeferAfter(delay, d.fire)
 }

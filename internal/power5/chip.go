@@ -20,6 +20,13 @@ type Context struct {
 	pairValid bool
 	pairBusy  float64 // speed while the sibling is busy
 	pairIdle  float64 // speed while the sibling is idle
+
+	// scale is a fault-injection multiplier folded into the cached speed
+	// pair: 1 on a healthy context, <1 during an injected degradation window
+	// or stall. It scales this context's own execution speed only — the
+	// sibling's speed never depends on it — so changing it invalidates and
+	// re-signals this context alone.
+	scale float64
 }
 
 // ID returns the global CPU number of this context.
@@ -104,16 +111,47 @@ func (c *Context) Speed() float64 {
 // the sibling decodes, whenIdle while it does not. The pair is what a
 // both-speeds burst plan precomputes — a sibling busy toggle then swaps
 // between the two values instead of re-querying the performance model —
-// and it is cached on the context until either context's priority changes.
+// and it is cached on the context until either context's priority changes
+// or its own fault-injection speed scale moves.
 func (c *Context) SpeedPair() (whenBusy, whenIdle float64) {
 	if !c.pairValid {
 		sib := c.Sibling()
 		perf := c.core.chip.perf
-		c.pairBusy = perf.Speed(c.prio, sib.prio, true)
-		c.pairIdle = perf.Speed(c.prio, sib.prio, false)
+		c.pairBusy = perf.Speed(c.prio, sib.prio, true) * c.scale
+		c.pairIdle = perf.Speed(c.prio, sib.prio, false) * c.scale
 		c.pairValid = true
 	}
 	return c.pairBusy, c.pairIdle
+}
+
+// minSpeedScale keeps an injected slowdown from reaching an exactly-zero
+// speed, which the kernel's burst planner rejects (and which would make
+// remaining-work/speed overflow virtual time). A stalled context is modelled
+// as "one millionth of nominal", indistinguishable from frozen over any
+// realistic window yet still finite.
+const minSpeedScale = 1e-6
+
+// SpeedScale returns the context's fault-injection speed multiplier
+// (1 = nominal).
+func (c *Context) SpeedScale() float64 { return c.scale }
+
+// SetSpeedScale sets the fault-injection speed multiplier for this context,
+// clamped to [minSpeedScale, ∞). The fault layer uses it to model CPU-speed
+// degradation windows (scale < 1) and transient core stalls (scale ≈ 0);
+// recovery restores 1. The change invalidates this context's cached speed
+// pair and fires the chip's speed-change hook for this context only, so the
+// kernel re-plans any in-flight burst exactly as it does for a priority
+// change (PR 6's cached speed-pair swap machinery).
+func (c *Context) SetSpeedScale(s float64) {
+	if s < minSpeedScale {
+		s = minSpeedScale
+	}
+	if c.scale == s {
+		return
+	}
+	c.scale = s
+	c.pairValid = false
+	c.core.chip.speedChanged(c.core, 1<<uint(c.slot))
 }
 
 // Core is one POWER5 core: two SMT contexts sharing the decode stage.
@@ -152,10 +190,11 @@ func NewChip(nCores int, perf PerfModel) *Chip {
 		co := &Core{chip: ch, id: i}
 		for s := 0; s < 2; s++ {
 			co.contexts[s] = &Context{
-				core: co,
-				slot: s,
-				id:   i*2 + s,
-				prio: PrioMedium,
+				core:  co,
+				slot:  s,
+				id:    i*2 + s,
+				prio:  PrioMedium,
+				scale: 1,
 			}
 		}
 		ch.cores = append(ch.cores, co)

@@ -1,0 +1,60 @@
+package power5
+
+import "testing"
+
+func TestSpeedScaleFoldsIntoPair(t *testing.T) {
+	ch := NewChip(1, NewCalibratedPerfModel())
+	c := ch.CPU(0)
+	busy0, idle0 := c.SpeedPair()
+	c.SetSpeedScale(0.5)
+	busy, idle := c.SpeedPair()
+	if busy != busy0*0.5 || idle != idle0*0.5 {
+		t.Fatalf("scale 0.5: pair (%v,%v), want (%v,%v)", busy, idle, busy0*0.5, idle0*0.5)
+	}
+	// The sibling's pair is untouched: the scale is per context (the two
+	// contexts start symmetric, so the sibling's pair equals the original).
+	sb, si := c.Sibling().SpeedPair()
+	if sb != busy0 || si != idle0 {
+		t.Fatalf("sibling pair moved to (%v,%v)", sb, si)
+	}
+	c.SetSpeedScale(1)
+	busy, idle = c.SpeedPair()
+	if busy != busy0 || idle != idle0 {
+		t.Fatalf("restore: pair (%v,%v), want (%v,%v)", busy, idle, busy0, idle0)
+	}
+}
+
+func TestSpeedScaleClampsToFinite(t *testing.T) {
+	ch := NewChip(1, NewCalibratedPerfModel())
+	c := ch.CPU(0)
+	c.SetSpeedScale(0)
+	if c.SpeedScale() != minSpeedScale {
+		t.Fatalf("scale %v, want clamp to %v", c.SpeedScale(), minSpeedScale)
+	}
+	busy, idle := c.SpeedPair()
+	if busy <= 0 || idle <= 0 {
+		t.Fatalf("stalled context reached non-positive speed (%v,%v)", busy, idle)
+	}
+}
+
+func TestSpeedScaleFiresChangeHook(t *testing.T) {
+	ch := NewChip(2, NewCalibratedPerfModel())
+	var gotCore, gotMask int
+	calls := 0
+	ch.SetSpeedChangeHook(func(co *Core, mask int) {
+		calls++
+		gotCore, gotMask = co.ID(), mask
+	})
+	ch.CPU(3).SetSpeedScale(0.25)
+	if calls != 1 {
+		t.Fatalf("hook fired %d times, want 1", calls)
+	}
+	if gotCore != 1 || gotMask != 1<<1 {
+		t.Fatalf("hook got core %d mask %b, want core 1 mask 10", gotCore, gotMask)
+	}
+	// Same value again: no invalidation, no hook.
+	ch.CPU(3).SetSpeedScale(0.25)
+	if calls != 1 {
+		t.Fatalf("idempotent set fired the hook (calls=%d)", calls)
+	}
+}

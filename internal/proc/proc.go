@@ -154,7 +154,14 @@ func (h *Handle) Invoke(req Request) any {
 
 // Start launches the body goroutine and returns its first request.
 // done is true if the body returned without issuing any request.
+// Starting a process that was already killed is a no-op reporting done=true:
+// a watchdog abort can Kill a whole kernel's process table, including
+// processes whose bodies were created but never launched, and launching one
+// of those afterwards would run a body the caller believes dead.
 func (p *Process) Start() (req Request, done bool) {
+	if p.killed {
+		return nil, true
+	}
 	if p.started {
 		panic("proc: Start called twice")
 	}

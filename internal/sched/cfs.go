@@ -69,7 +69,7 @@ func (c *fairClass) SelectCPU(k *Kernel, t *Task, wakeup bool) int {
 	// Wakeups stay on the previous CPU (wake affinity): try_to_wake_up
 	// does not search for an idlest CPU; imbalances are corrected by the
 	// idle/periodic balancer pulling queued tasks instead.
-	if t.CPU >= 0 && t.MayRunOn(t.CPU) {
+	if t.CPU >= 0 && t.MayRunOn(t.CPU) && k.CPUOnline(t.CPU) {
 		return t.CPU
 	}
 	return idlestAllowedCPU(k, t)

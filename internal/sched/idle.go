@@ -21,7 +21,7 @@ func (c *idleClass) NewRQ(k *Kernel, cpu int) ClassRQ {
 func (c *idleClass) SelectCPU(k *Kernel, t *Task, wakeup bool) int {
 	// Keep wake affinity like every other class; balancing pulls handle
 	// the rest.
-	if wakeup && t.CPU >= 0 && t.MayRunOn(t.CPU) {
+	if wakeup && t.CPU >= 0 && t.MayRunOn(t.CPU) && k.CPUOnline(t.CPU) {
 		return t.CPU
 	}
 	return firstAllowedCPU(k, t)
@@ -77,10 +77,11 @@ func (rq *idleRQ) Steal(dstCPU int) *Task {
 	return nil
 }
 
-// firstAllowedCPU returns the lowest-numbered CPU in the task's affinity.
+// firstAllowedCPU returns the lowest-numbered online CPU in the task's
+// affinity.
 func firstAllowedCPU(k *Kernel, t *Task) int {
 	for cpu := 0; cpu < k.NumCPUs(); cpu++ {
-		if t.MayRunOn(cpu) {
+		if t.MayRunOn(cpu) && k.CPUOnline(cpu) {
 			return cpu
 		}
 	}
@@ -93,7 +94,7 @@ func firstAllowedCPU(k *Kernel, t *Task) int {
 func idlestAllowedCPU(k *Kernel, t *Task) int {
 	best, bestLoad := -1, int(^uint(0)>>1)
 	for cpu := 0; cpu < k.NumCPUs(); cpu++ {
-		if !t.MayRunOn(cpu) {
+		if !t.MayRunOn(cpu) || !k.CPUOnline(cpu) {
 			continue
 		}
 		load := k.RQ(cpu).NrRunning()

@@ -71,11 +71,19 @@ type RunQueue struct {
 	lbFailGen uint64
 	lbRetryAt sim.Time
 
+	// offline marks a CPU removed by Kernel.OfflineCore (fault-injected
+	// core loss). Offline CPUs never run tasks, are skipped by every
+	// placement and balancing scan, and have no tick event.
+	offline bool
+
 	// ContextSwitches counts dispatches of a task different from the
 	// previous one.
 	ContextSwitches int64
 	lastRan         *Task
 }
+
+// Offline reports whether this CPU was removed by Kernel.OfflineCore.
+func (rq *RunQueue) Offline() bool { return rq.offline }
 
 // Current returns the task on this CPU, or nil when idle.
 func (rq *RunQueue) Current() *Task { return rq.current }
@@ -141,8 +149,12 @@ type Kernel struct {
 	ticksElided int64
 	loadGen     uint64 // versions the per-CPU crossing memos (starts at 1)
 
-	// Migration counters by source (diagnostics).
-	MigWake, MigSteal, MigActive int64
+	// Migration counters by source (diagnostics). MigHotplug counts tasks
+	// evacuated from a CPU removed by OfflineCore.
+	MigWake, MigSteal, MigActive, MigHotplug int64
+
+	// onlineCPUs counts CPUs not removed by OfflineCore.
+	onlineCPUs int
 
 	// OnTaskExit, when non-nil, is invoked after a task exits.
 	OnTaskExit func(t *Task)
@@ -178,6 +190,7 @@ func (k *Kernel) buildRQs() {
 	k.nrQueuedClass = make([]int, len(k.classes))
 	old := k.rqs
 	k.rqs = make([]*RunQueue, k.Chip.NumCPUs())
+	k.onlineCPUs = len(k.rqs)
 	for cpu := range k.rqs {
 		rq := &RunQueue{CPU: cpu, kernel: k}
 		if old != nil {
@@ -603,6 +616,11 @@ func (k *Kernel) Resched(cpu int) {
 // across classes in priority order, dispatch it.
 func (k *Kernel) schedule(cpu int) {
 	rq := k.rqs[cpu]
+	if rq.offline {
+		// A scheduling pass armed before the CPU was offlined: the queues
+		// were drained by OfflineCore and the CPU must not pull new work.
+		return
+	}
 	// The pass accounts the current task and mutates this CPU's class
 	// queues: settle and wake a busy-parked tick first.
 	k.wakeBusyParked(rq)

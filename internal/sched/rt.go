@@ -25,7 +25,7 @@ func (c *rtClass) NewRQ(k *Kernel, cpu int) ClassRQ {
 func (c *rtClass) SelectCPU(k *Kernel, t *Task, wakeup bool) int {
 	// Real-time placement: previous CPU if allowed and not running a
 	// higher-priority RT task, else the idlest allowed CPU.
-	if t.CPU >= 0 && t.MayRunOn(t.CPU) {
+	if t.CPU >= 0 && t.MayRunOn(t.CPU) && k.CPUOnline(t.CPU) {
 		cur := k.RQ(t.CPU).Current()
 		if cur == nil || cur.class != t.class || cur.RTPrio < t.RTPrio {
 			return t.CPU

@@ -122,6 +122,13 @@ type Engine struct {
 	// never re-arms pays the remove.
 	ringFired *Event
 
+	// Interrupt polling (SetInterrupt): intrFn is consulted every intrEvery
+	// fired events from inside Run's loop. nil means no polling — the hot
+	// loop pays a single pointer test per event and nothing else.
+	intrFn    func() bool
+	intrEvery int
+	intrLeft  int
+
 	// Stats counters, exported via Stats.
 	scheduled uint64
 	fired     uint64
@@ -483,6 +490,9 @@ func (e *Engine) Run(until Time) int {
 		}
 		e.fire(ev)
 		n++
+		if e.intrFn != nil && e.pollInterrupt() {
+			break
+		}
 	}
 	if !e.stopped && until != MaxTime && e.now < until {
 		e.now = until
@@ -498,6 +508,9 @@ func (e *Engine) RunUntilIdle() int {
 	e.stopped = false
 	for !e.stopped && e.Step() {
 		n++
+		if e.intrFn != nil && e.pollInterrupt() {
+			break
+		}
 	}
 	return n
 }
@@ -505,6 +518,46 @@ func (e *Engine) RunUntilIdle() int {
 // Stop makes the innermost Run/RunUntilIdle return after the current event
 // callback completes. Pending events remain queued.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether the engine was stopped (Stop, or an interrupt
+// returning true) rather than running to its horizon or draining the queue.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// SetInterrupt registers fn to be polled from inside Run/RunUntilIdle every
+// `every` fired events, on the engine goroutine (so fn may safely inspect
+// engine and model state). If fn returns true the engine stops exactly as if
+// Stop had been called: the loop exits after the current event, pending
+// events remain queued, and the clock is not advanced to the horizon.
+//
+// This is the cancellation/watchdog hook: a batch runner installs a function
+// that checks ctx.Err(), a wall-clock deadline or an abort flag, and
+// publishes a progress snapshot (Now, fired count) for an external liveness
+// watchdog. Passing fn == nil removes the hook; with no hook installed the
+// run loop pays one nil test per event and nothing else, preserving the
+// zero-overhead contract the perf gate pins.
+func (e *Engine) SetInterrupt(every int, fn func() bool) {
+	if fn != nil && every <= 0 {
+		panic(fmt.Sprintf("sim: SetInterrupt with non-positive interval %d", every))
+	}
+	e.intrFn = fn
+	e.intrEvery = every
+	e.intrLeft = every
+}
+
+// pollInterrupt runs the interrupt hook when its event budget is exhausted;
+// it reports whether the engine should stop.
+func (e *Engine) pollInterrupt() bool {
+	e.intrLeft--
+	if e.intrLeft > 0 {
+		return false
+	}
+	e.intrLeft = e.intrEvery
+	if e.intrFn() {
+		e.stopped = true
+		return true
+	}
+	return false
+}
 
 // Stats reports counters about engine activity.
 type Stats struct {

@@ -1,0 +1,111 @@
+package sim
+
+import "testing"
+
+// chain schedules a self-perpetuating chain of events d apart and returns a
+// fired counter.
+func chain(e *Engine, d Time) *int {
+	n := new(int)
+	var step func()
+	step = func() {
+		*n++
+		e.After(d, step)
+	}
+	e.After(0, step)
+	return n
+}
+
+func TestInterruptStopsRun(t *testing.T) {
+	e := NewEngine(1)
+	fired := chain(e, Millisecond)
+	polls := 0
+	e.SetInterrupt(4, func() bool {
+		polls++
+		return polls == 3
+	})
+	e.Run(Second)
+	if !e.Stopped() {
+		t.Fatal("engine not marked stopped after interrupt")
+	}
+	if polls != 3 {
+		t.Fatalf("polls = %d, want 3", polls)
+	}
+	// The third poll happens after the 12th fired event and stops the loop
+	// right there.
+	if *fired != 12 {
+		t.Fatalf("fired %d events before stopping, want 12", *fired)
+	}
+	if e.Now() >= Second {
+		t.Fatalf("clock advanced to the horizon (%v) despite the interrupt", e.Now())
+	}
+	if e.Pending() == 0 {
+		t.Fatal("interrupt drained the queue; pending events must survive a stop")
+	}
+}
+
+func TestInterruptStopsRunUntilIdle(t *testing.T) {
+	e := NewEngine(1)
+	// A same-instant self-rescheduling loop: without the interrupt this
+	// would spin forever — the stall shape the watchdog exists for.
+	var loop func()
+	loop = func() { e.Schedule(e.Now(), loop) }
+	e.Schedule(0, loop)
+	polls := 0
+	e.SetInterrupt(1000, func() bool {
+		polls++
+		return polls == 2
+	})
+	n := e.RunUntilIdle()
+	if !e.Stopped() {
+		t.Fatal("engine not stopped")
+	}
+	if n != 2000 {
+		t.Fatalf("fired %d events, want 2000", n)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("same-instant loop advanced the clock to %v", e.Now())
+	}
+}
+
+func TestInterruptCleared(t *testing.T) {
+	e := NewEngine(1)
+	chain(e, Millisecond)
+	e.SetInterrupt(1, func() bool { return true })
+	e.Run(10 * Millisecond)
+	if !e.Stopped() {
+		t.Fatal("engine not stopped")
+	}
+	// Clearing the interrupt restores the plain run-to-horizon behaviour.
+	e.SetInterrupt(0, nil)
+	e.Run(20 * Millisecond)
+	if e.Stopped() {
+		t.Fatal("stopped again with the interrupt cleared")
+	}
+	if e.Now() != 20*Millisecond {
+		t.Fatalf("clock at %v, want the 20ms horizon", e.Now())
+	}
+}
+
+func TestInterruptNeverFiringIsHarmless(t *testing.T) {
+	a := NewEngine(7)
+	b := NewEngine(7)
+	na := chain(a, Millisecond)
+	nb := chain(b, Millisecond)
+	b.SetInterrupt(2, func() bool { return false })
+	a.Run(Second)
+	b.Run(Second)
+	if *na != *nb || a.Now() != b.Now() {
+		t.Fatalf("a false-returning interrupt changed the run: %d/%v vs %d/%v",
+			*na, a.Now(), *nb, b.Now())
+	}
+}
+
+func TestSetInterruptValidation(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetInterrupt(0, fn) did not panic")
+		}
+	}()
+	e.SetInterrupt(0, func() bool { return false })
+}
