@@ -387,11 +387,15 @@ func BenchmarkBatchReproduceTable(b *testing.B) {
 		w := w
 		b.Run(fmt.Sprintf("workers_%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := experiments.RunTableStatsBatch(context.Background(), "metbench",
-					seeds, experiments.BatchOptions{Workers: w})
+				sr, err := experiments.RunScenario(context.Background(), experiments.ScenarioSpec{
+					Workload: "metbench", Seeds: seeds,
+					Modes: experiments.TableModes("metbench"),
+					Exec:  experiments.ExecOptions{Workers: w},
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
+				_ = experiments.TableStatsOf(sr)
 			}
 		})
 	}

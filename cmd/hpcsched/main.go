@@ -217,14 +217,12 @@ func printClasses() {
 	fmt.Println("  semantics are preserved, SCHED_HPC outranks SCHED_NORMAL.")
 }
 
-// parseFaults parses a -faults spec, leaving through exit(2) on a bad one.
-func parseFaults(s string) faults.Spec {
-	spec, err := faults.Parse(s)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		exit(2)
+// stderrProgress is the shared -progress reporter.
+func stderrProgress(done, total int) {
+	fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+	if done == total {
+		fmt.Fprintln(os.Stderr)
 	}
-	return spec
 }
 
 func runTable(cmd string, args []string) {
@@ -234,73 +232,58 @@ func runTable(cmd string, args []string) {
 	replicas := fs.Int("replicas", 0, "replication count over seeds derived from -seed (prints mean ± stddev and 95% CI)")
 	workers := fs.Int("parallel", 0, "worker pool size (0 = one per CPU)")
 	progress := fs.Bool("progress", false, "report batch progress on stderr")
-	faultSpec := fs.String("faults", "", `fault-injection spec, e.g. "slow:n=2,factor=0.5;loss" (empty = none)`)
+	var fv faults.FlagValue
+	fs.Var(&fv, "faults", `fault-injection spec, e.g. "slow:n=2,factor=0.5;loss" (empty = none)`)
 	replicaTimeout := fs.Duration("replica-timeout", 0, "per-replica wall-clock deadline; a replica over it is aborted and retried (0 = none)")
 	maxRetries := fs.Int("max-retries", 0, "retries per failed replica, each on a fresh derived seed")
 	stallTimeout := fs.Duration("stall-timeout", 0, "per-replica liveness watchdog: abort if the sim clock stalls this long (0 = off)")
 	parseFlags(fs, args)
 	wl := tableWorkload(cmd)
-	spec := parseFaults(*faultSpec)
-	hardened := *replicaTimeout > 0 || *maxRetries > 0 || *stallTimeout > 0
-	if *replicas > 1 || *seeds > 1 {
-		repl := experiments.SeedsFrom(*seed, *replicas)
-		if *replicas <= 1 {
-			repl = experiments.DefaultSeeds(*seeds)
-		}
-		opts := experiments.BatchOptions{Workers: *workers}
-		if *progress {
-			opts.Progress = func(done, total int) {
-				fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
-		}
-		if hardened || !spec.Empty() {
-			// Fault-injected (or explicitly hardened) replication: failed
-			// replicas are reported instead of crashing the batch.
-			ts, err := experiments.RunTableStatsHardened(context.Background(), wl, repl, spec,
-				experiments.HardenedBatchOptions{
-					BatchOptions: opts,
-					Timeout:      *replicaTimeout,
-					MaxRetries:   *maxRetries,
-					StallTimeout: *stallTimeout,
-				})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				exit(1)
-			}
-			fmt.Print(ts.Format())
-			return
-		}
-		ts, err := experiments.RunTableStatsBatch(context.Background(), wl, repl, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			exit(1)
-		}
-		fmt.Print(ts.Format())
-		return
+
+	// The whole command is one ScenarioSpec: the flags only fill it in.
+	spec := experiments.ScenarioSpec{
+		Name:     cmd,
+		Workload: wl,
+		Modes:    experiments.TableModes(wl),
+		Seed:     *seed,
+		Faults:   fv.Spec,
+		Exec: experiments.ExecOptions{
+			Workers: *workers,
+			Timeout: *replicaTimeout, MaxRetries: *maxRetries,
+			StallTimeout: *stallTimeout,
+			// Fault-injected replicas may legitimately die; report them
+			// instead of crashing the batch.
+			Harden: !fv.Spec.Empty(),
+		},
 	}
-	if !spec.Empty() {
-		// Single-seed table under faults: run the mode rows with the spec
-		// and print each row's applied fault timeline after the table.
-		modes := experiments.TableModes(wl)
-		cfgs := make([]experiments.Config, len(modes))
-		for i, m := range modes {
-			cfgs[i] = experiments.Config{Workload: wl, Mode: m, Seed: *seed, Faults: spec}
-		}
-		br, err := experiments.RunBatch(context.Background(), cfgs, experiments.BatchOptions{Workers: *workers})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			exit(1)
-		}
-		tr := experiments.TableResult{Workload: wl, Rows: br.Results}
+	if *progress {
+		spec.Exec.Progress = stderrProgress
+	}
+	switch {
+	case *replicas > 1:
+		spec.Seeds = experiments.SeedsFrom(*seed, *replicas)
+	case *seeds > 1:
+		spec.Seeds = experiments.DefaultSeeds(*seeds)
+	}
+
+	sr, err := experiments.RunScenario(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
+	switch {
+	case len(spec.Seeds) > 0 && spec.Exec.Hardened():
+		fmt.Print(experiments.DegradedTableStatsOf(sr).Format())
+	case len(spec.Seeds) > 0:
+		fmt.Print(experiments.TableStatsOf(sr).Format())
+	default:
+		tr := experiments.TableResult{Workload: wl, Rows: sr.Results}
 		fmt.Print(tr.Format())
-		fmt.Printf("\nfault timeline (seed %d):\n%s\n", *seed, br.Results[0].FaultTimeline)
-		return
+		if !fv.Spec.Empty() {
+			// Print the applied fault timeline after the table.
+			fmt.Printf("\nfault timeline (seed %d):\n%s\n", *seed, sr.Results[0].FaultTimeline)
+		}
 	}
-	tr := experiments.RunTable(wl, *seed)
-	fmt.Print(tr.Format())
 }
 
 func runFigure(cmd string, args []string) {
@@ -350,7 +333,8 @@ func runOne(args []string) {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	doTrace := fs.Bool("trace", false, "render the execution trace")
 	width := fs.Int("width", 100, "timeline columns")
-	faultSpec := fs.String("faults", "", `fault-injection spec, e.g. "slow:n=2,factor=0.5;loss" (empty = none)`)
+	var fv faults.FlagValue
+	fs.Var(&fv, "faults", `fault-injection spec, e.g. "slow:n=2,factor=0.5;loss" (empty = none)`)
 	parseFlags(fs, args)
 	mode, err := modeFromName(*modeName)
 	if err != nil {
@@ -359,7 +343,7 @@ func runOne(args []string) {
 	}
 	r := experiments.Run(experiments.Config{
 		Workload: *wl, Mode: mode, Seed: *seed, Trace: *doTrace,
-		Faults: parseFaults(*faultSpec),
+		Faults: fv.Spec,
 	})
 	fmt.Printf("%s under %s: exec time %.2fs, imbalance %.3f\n",
 		*wl, mode, r.ExecTime.Seconds(), r.Imbalance)

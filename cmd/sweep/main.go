@@ -13,6 +13,13 @@
 // default; -format json or -format csv emit machine-readable rows,
 // including per-cell failed/degraded replica counts.
 //
+// -what select runs the SimAS-style scheduling-algorithm selection sweep
+// instead: every scheduler mode over a perturbation scenario grid
+// (-faults SPEC replaces the built-in three-scenario grid; -quick shrinks
+// the workloads to CI size), for both the chosen -workload and the
+// MatMulDAG workload, scoring each fault-delimited phase and reporting
+// per-phase winners plus the switch-at-phase-boundary oracle with 95% CI.
+//
 // Usage:
 //
 //	sweep -what gl         -workload metbenchvar
@@ -20,6 +27,8 @@
 //	sweep -what priorange  -workload metbench -seeds 5 -format csv
 //	sweep -what noise      -workload siesta -parallel 4 -format json
 //	sweep -what faults     -workload metbench -seeds 5 -format json
+//	sweep -what select     -workload metbench -quick
+//	sweep -what select     -workload siesta -faults "slow:n=2,dur=6s,by=20s"
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"hpcsched/internal/metrics"
 	"hpcsched/internal/noise"
 	"hpcsched/internal/power5"
+	"hpcsched/internal/selector"
 )
 
 // point is one sweep cell: a named configuration plus the baseline its
@@ -69,17 +79,42 @@ type row struct {
 }
 
 func main() {
-	what := flag.String("what", "gl", "gl | thresholds | priorange | noise | policy | faults")
+	what := flag.String("what", "gl", "gl | thresholds | priorange | noise | policy | faults | select")
 	wl := flag.String("workload", "metbench", "workload name")
 	seed := flag.Uint64("seed", 42, "base simulation seed")
 	nseeds := flag.Int("seeds", 1, "replicas per sweep point, over seeds derived from -seed")
 	workers := flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
 	format := flag.String("format", "table", "table | json | csv")
 	progress := flag.Bool("progress", false, "report batch progress on stderr")
+	var fv faults.FlagValue
+	flag.Var(&fv, "faults", `-what select: custom perturbation spec replacing the built-in scenario grid`)
+	quick := flag.Bool("quick", false, "-what select: shrink workloads to CI smoke size")
 	replicaTimeout := flag.Duration("replica-timeout", 0, "per-replica wall-clock deadline (0 = none)")
 	maxRetries := flag.Int("max-retries", 0, "retries per failed replica, each on a fresh derived seed")
 	stallTimeout := flag.Duration("stall-timeout", 0, "per-replica sim-clock liveness watchdog (0 = off)")
 	flag.Parse()
+
+	exec := experiments.ExecOptions{
+		Workers: *workers,
+		Timeout: *replicaTimeout, MaxRetries: *maxRetries,
+		StallTimeout: *stallTimeout,
+		// A replica that panics under a fault-heavy point is recorded as a
+		// failure instead of crashing the sweep, knobs or not.
+		Harden: true,
+	}
+	if *progress {
+		exec.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	if *what == "select" {
+		runSelect(*wl, fv, *quick, *seed, *nseeds, *format, exec)
+		return
+	}
 
 	points := buildPoints(*what, *wl)
 	if points == nil {
@@ -122,23 +157,10 @@ func main() {
 		}
 	}
 
-	opts := experiments.HardenedBatchOptions{
-		BatchOptions: experiments.BatchOptions{Workers: *workers},
-		Timeout:      *replicaTimeout,
-		MaxRetries:   *maxRetries,
-		StallTimeout: *stallTimeout,
-	}
-	if *progress {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
-	}
-	// The hardened batch keeps a failing cell (fault-heavy points can
-	// legitimately abort) from costing the whole sweep.
-	hb, err := experiments.RunBatchHardened(context.Background(), cfgs, opts)
+	// The sweep grid is heterogeneous (per-point Params/Noise/Faults), so
+	// it runs through RunConfigs, the unified pool's escape hatch; the
+	// hardened options keep a failing cell from costing the whole sweep.
+	res, oks, _, err := experiments.RunConfigs(context.Background(), cfgs, exec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -155,10 +177,10 @@ func main() {
 		imbs := make([]float64, len(seeds))
 		degraded := 0
 		for j := range seeds {
-			r := hb.Results[pointAt[i]+j]
-			b := hb.Results[baseAt[p.baseKey]+j]
-			execOK[j] = hb.OK[pointAt[i]+j]
-			baseOK[j] = hb.OK[baseAt[p.baseKey]+j]
+			r := res[pointAt[i]+j]
+			b := res[baseAt[p.baseKey]+j]
+			execOK[j] = oks[pointAt[i]+j]
+			baseOK[j] = oks[baseAt[p.baseKey]+j]
 			impOK[j] = execOK[j] && baseOK[j]
 			execs[j] = r.ExecTime.Seconds()
 			bases[j] = b.ExecTime.Seconds()
@@ -187,6 +209,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runSelect runs the scheduling-algorithm selection sweep: every mode over
+// a perturbation scenario grid for both the chosen workload and MatMulDAG,
+// scored per fault-delimited phase (see internal/selector). The default is
+// three replica seeds; -seeds N>1 replaces them with N seeds derived from
+// -seed. The report has exactly one shape, so only the table format exists.
+func runSelect(wl string, fv faults.FlagValue, quick bool, seed uint64, nseeds int, format string, exec experiments.ExecOptions) {
+	if format != "table" {
+		fmt.Fprintf(os.Stderr, "-what select emits its own report; -format %s is not supported\n", format)
+		os.Exit(2)
+	}
+	grid := func(workload string) []selector.Scenario {
+		if fv.Text != "" {
+			sc := selector.Scenario{
+				Name: "custom", Workload: workload,
+				Faults: fv.Spec, FaultText: fv.Text,
+			}
+			if quick {
+				sc.Tweak = selector.Shrink
+			}
+			return []selector.Scenario{sc}
+		}
+		if quick {
+			return selector.QuickScenarios(workload)
+		}
+		return selector.DefaultScenarios(workload)
+	}
+	scenarios := grid(wl)
+	if wl != "matmul" {
+		// The selection question is workload-shaped: always include the
+		// heterogeneous task-DAG workload next to the chosen MPI one.
+		scenarios = append(scenarios, grid("matmul")...)
+	}
+	opts := selector.Options{Exec: exec}
+	if nseeds > 1 {
+		opts.Seeds = experiments.SeedsFrom(seed, nseeds)
+	}
+	rep, err := selector.Run(context.Background(), scenarios, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Format())
 }
 
 // buildPoints enumerates the sweep grid; nil means an unknown sweep.

@@ -8,10 +8,17 @@ import (
 	"hpcsched/internal/power5"
 )
 
-// ExampleReproduceTable regenerates the paper's Table III and reads the
-// Uniform heuristic's improvement out of it.
-func ExampleReproduceTable() {
-	tr := hpcsched.ReproduceTable("metbench", 42)
+// ExampleRun regenerates the paper's Table III from one ScenarioSpec and
+// reads the Uniform heuristic's improvement out of it.
+func ExampleRun() {
+	sr, err := hpcsched.Run(context.Background(), hpcsched.ScenarioSpec{
+		Workload: "metbench", Seed: 42, Modes: hpcsched.TableModes("metbench"),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tr := hpcsched.TableResult{Workload: "metbench", Rows: sr.Results}
 	imp := tr.ImprovementOf(hpcsched.ModeUniform)
 	fmt.Printf("Uniform improves MetBench by more than 10%%: %v\n", imp > 0.10)
 	// Output:
@@ -53,28 +60,24 @@ func ExampleNewMachine() {
 	// P2: hw priority 6
 }
 
-// ExampleRunBatch fans four experiment runs out across the CPU cores
-// and reads the ordered results back. Same configs, same output at any
-// worker count — the batch layer's determinism contract — so replicated
-// evaluations are safe to parallelize.
-func ExampleRunBatch() {
-	var cfgs []hpcsched.ExperimentConfig
-	for _, seed := range hpcsched.ReplicaSeeds(42, 2) {
-		for _, mode := range []hpcsched.Mode{hpcsched.ModeBaseline, hpcsched.ModeUniform} {
-			cfgs = append(cfgs, hpcsched.ExperimentConfig{
-				Workload: "metbench", Mode: mode, Seed: seed,
-			})
-		}
+// ExampleSweep fans a replicated two-scenario comparison out on one
+// shared worker pool and reads the per-scenario results back. Same grid,
+// same output at any worker count — the pool's determinism contract — so
+// replicated evaluations are safe to parallelize.
+func ExampleSweep() {
+	grid := []hpcsched.ScenarioSpec{
+		{Workload: "metbench", Mode: hpcsched.ModeBaseline, Seed: 42, Replicas: 2},
+		{Workload: "metbench", Mode: hpcsched.ModeUniform, Seed: 42, Replicas: 2},
 	}
-	br, err := hpcsched.RunBatch(context.Background(), cfgs, hpcsched.BatchOptions{})
+	srs, err := hpcsched.Sweep(context.Background(), grid, hpcsched.ExecOptions{})
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	for i := 0; i < len(br.Results); i += 2 {
-		base, uni := br.Results[i], br.Results[i+1]
+	base, uni := srs[0].Results, srs[1].Results
+	for i := range base {
 		fmt.Printf("replica %d: uniform beats baseline: %v\n",
-			i/2, uni.ExecTime < base.ExecTime)
+			i, uni[i].ExecTime < base[i].ExecTime)
 	}
 	// Output:
 	// replica 0: uniform beats baseline: true

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"hpcsched"
@@ -14,18 +15,25 @@ func main() {
 	fmt.Println("exchange, per-iteration residual reduction (paper Table V)")
 	fmt.Println()
 
-	tr := hpcsched.ReproduceTable("btmz", 42)
-	fmt.Print(tr.Format())
+	ctx := context.Background()
+	table, err := hpcsched.Run(ctx, hpcsched.ScenarioSpec{
+		Workload: "btmz", Seed: 42, Modes: hpcsched.TableModes("btmz"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(hpcsched.FormatTable("btmz", table.Results))
 	fmt.Println()
 
 	// Zoom into a few iterations of the adaptive run, like Figure 5's
 	// excerpt traces.
-	r := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
-		Workload: "btmz",
-		Mode:     hpcsched.ModeAdaptive,
-		Seed:     42,
-		Trace:    true,
+	traced, err := hpcsched.Run(ctx, hpcsched.ScenarioSpec{
+		Workload: "btmz", Mode: hpcsched.ModeAdaptive, Seed: 42, Trace: true,
 	})
+	if err != nil {
+		panic(err)
+	}
+	r := traced.Results[0]
 	fmt.Printf("--- Adaptive, iterations ~10-16 (exec %.2fs) ---\n", r.ExecTime.Seconds())
 	fmt.Print(r.Recorder.Render(hpcsched.RenderOptions{
 		Width: 96,

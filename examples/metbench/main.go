@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"hpcsched"
@@ -15,18 +16,25 @@ func main() {
 	fmt.Println("(paper Table III / Figure 3)")
 	fmt.Println()
 
-	tr := hpcsched.ReproduceTable("metbench", 42)
-	fmt.Print(tr.Format())
+	ctx := context.Background()
+	table, err := hpcsched.Run(ctx, hpcsched.ScenarioSpec{
+		Workload: "metbench", Seed: 42, Modes: hpcsched.TableModes("metbench"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(hpcsched.FormatTable("metbench", table.Results))
 	fmt.Println()
 
-	for _, mode := range []hpcsched.Mode{hpcsched.ModeBaseline, hpcsched.ModeUniform} {
-		r := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
-			Workload: "metbench",
-			Mode:     mode,
-			Seed:     42,
-			Trace:    true,
-		})
-		fmt.Printf("--- %v (exec %.2fs) ---\n", mode, r.ExecTime.Seconds())
+	traced, err := hpcsched.Run(ctx, hpcsched.ScenarioSpec{
+		Workload: "metbench", Seed: 42, Trace: true,
+		Modes: []hpcsched.Mode{hpcsched.ModeBaseline, hpcsched.ModeUniform},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range traced.Results {
+		fmt.Printf("--- %v (exec %.2fs) ---\n", r.Config.Mode, r.ExecTime.Seconds())
 		fmt.Print(r.Recorder.Render(hpcsched.RenderOptions{Width: 96}))
 		fmt.Println()
 	}

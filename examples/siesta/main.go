@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"hpcsched"
@@ -16,19 +17,25 @@ func main() {
 	fmt.Println("(paper Table VI / Figure 6)")
 	fmt.Println()
 
-	tr := hpcsched.ReproduceTable("siesta", 42)
-	fmt.Print(tr.Format())
+	ctx := context.Background()
+	table, err := hpcsched.Run(ctx, hpcsched.ScenarioSpec{
+		Workload: "siesta", Seed: 42, Modes: hpcsched.TableModes("siesta"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(hpcsched.FormatTable("siesta", table.Results))
 	fmt.Println()
 
-	base := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
-		Workload: "siesta", Mode: hpcsched.ModeBaseline, Seed: 42,
+	// The ablation trio runs as one three-mode scenario.
+	abl, err := hpcsched.Run(ctx, hpcsched.ScenarioSpec{
+		Workload: "siesta", Seed: 42,
+		Modes: []hpcsched.Mode{hpcsched.ModeBaseline, hpcsched.ModeHPCOnly, hpcsched.ModeUniform},
 	})
-	policyOnly := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
-		Workload: "siesta", Mode: hpcsched.ModeHPCOnly, Seed: 42,
-	})
-	uniform := hpcsched.RunExperiment(hpcsched.ExperimentConfig{
-		Workload: "siesta", Mode: hpcsched.ModeUniform, Seed: 42,
-	})
+	if err != nil {
+		panic(err)
+	}
+	base, policyOnly, uniform := abl.Results[0], abl.Results[1], abl.Results[2]
 
 	imp := func(r hpcsched.ExperimentResult) float64 {
 		return 100 * (1 - r.ExecTime.Seconds()/base.ExecTime.Seconds())

@@ -17,11 +17,16 @@
 //   - the experiment harness that regenerates every table and figure of
 //     the paper's evaluation.
 //
-// Quick start:
+// Quick start — one ScenarioSpec describes what to simulate, how often
+// and how to execute it; Run executes it, Sweep fans a grid out on one
+// shared pool:
 //
-//	m := hpcsched.NewMachine(hpcsched.MachineConfig{Seed: 1})
-//	table := hpcsched.ReproduceTable("metbench", 42)
-//	fmt.Println(table.Format())
+//	sr, _ := hpcsched.Run(context.Background(), hpcsched.ScenarioSpec{
+//		Workload: "metbench",
+//		Seed:     42,
+//		Modes:    hpcsched.TableModes("metbench"),
+//	})
+//	fmt.Println(hpcsched.FormatTable("metbench", sr.Results))
 //
 // See examples/ for complete programs.
 package hpcsched
@@ -32,11 +37,13 @@ import (
 
 	"hpcsched/internal/core"
 	"hpcsched/internal/experiments"
+	"hpcsched/internal/faults"
 	"hpcsched/internal/metrics"
 	"hpcsched/internal/mpi"
 	"hpcsched/internal/noise"
 	"hpcsched/internal/power5"
 	"hpcsched/internal/sched"
+	"hpcsched/internal/selector"
 	"hpcsched/internal/sim"
 	"hpcsched/internal/trace"
 	"hpcsched/internal/workloads"
@@ -101,12 +108,46 @@ type (
 	TableResult = experiments.TableResult
 	// TableStats is a multi-seed, CI-quality reproduction of a table.
 	TableStats = experiments.TableStats
+	// DegradedTableStats is TableStats plus explicit per-mode failure
+	// accounting from a hardened run.
+	DegradedTableStats = experiments.DegradedTableStats
 	// Mode selects the scheduler configuration of an experiment.
 	Mode = experiments.Mode
 	// BatchOptions tunes the parallel batch runner (workers, progress).
+	//
+	// Deprecated: use ExecOptions (the zero value is the same soft pool).
 	BatchOptions = experiments.BatchOptions
 	// BatchResult holds a batch's results in submission order.
 	BatchResult = experiments.BatchResult
+
+	// ScenarioSpec is the unified run request: workload, scheduler
+	// mode(s), replica seeds, fault spec, horizon, trace sink and pool
+	// options in one value. Every other entry point is a thin expansion
+	// of it.
+	ScenarioSpec = experiments.ScenarioSpec
+	// ScenarioResult carries a scenario's replica runs (submission
+	// order) plus explicit failures when the pool ran hardened.
+	ScenarioResult = experiments.ScenarioResult
+	// ExecOptions is the one batch-execution options struct: the zero
+	// value is soft execution (no watchdog, no retries, absolute
+	// determinism); setting Timeout/MaxRetries/StallTimeout selects the
+	// hardened pool.
+	ExecOptions = experiments.ExecOptions
+	// FaultSpec is a deterministic fault-injection request (see
+	// ParseFaultSpec for the grammar).
+	FaultSpec = faults.Spec
+	// FaultParseError pinpoints the offending clause of a fault spec;
+	// its Indicate method renders the spec with a caret underneath.
+	FaultParseError = faults.ParseError
+
+	// SelectorScenario is one cell of a perturbation grid for
+	// scheduler selection (SelectSchedulers).
+	SelectorScenario = selector.Scenario
+	// SelectorOptions configures a selection sweep.
+	SelectorOptions = selector.Options
+	// SelectorReport is a scored selection sweep: per-phase winner
+	// tables and oracle composites.
+	SelectorReport = selector.Report
 )
 
 // Time units.
@@ -257,13 +298,87 @@ var (
 	Fixed Heuristic = core.FixedHeuristic{}
 )
 
+// Run executes one scenario: the spec's (seed × mode) replica grid on
+// the unified pool. Soft execution (zero ExecOptions) preserves absolute
+// determinism — identical results at any worker count, panics propagate;
+// hardened execution records per-replica failures instead.
+func Run(ctx context.Context, spec ScenarioSpec) (ScenarioResult, error) {
+	return experiments.RunScenario(ctx, spec)
+}
+
+// Sweep executes a scenario grid on one shared worker pool: all replicas
+// of all specs flatten into a single deterministic submission. opts
+// controls the shared pool (each spec's own Exec is ignored).
+func Sweep(ctx context.Context, grid []ScenarioSpec, opts ExecOptions) ([]ScenarioResult, error) {
+	return experiments.SweepScenarios(ctx, grid, opts)
+}
+
+// ParseFaultSpec parses the fault grammar
+// ("hetero|slow|stall|loss|storm|mpidelay:key=val,...;..."). Errors are
+// *FaultParseError values pinpointing the offending clause, so CLIs can
+// reject a bad spec before any simulation runs.
+func ParseFaultSpec(s string) (FaultSpec, error) { return faults.Parse(s) }
+
+// TableModes returns the mode rows the paper reports for a workload.
+func TableModes(workload string) []Mode { return experiments.TableModes(workload) }
+
+// FormatTable renders mode-row results in the paper's table layout.
+func FormatTable(workload string, rows []ExperimentResult) string {
+	return experiments.TableResult{Workload: workload, Rows: rows}.Format()
+}
+
+// TableStatsOf aggregates a replicated scenario's results into per-mode
+// mean / stddev / 95% CI statistics (the spec must replicate via Seeds
+// or Replicas, with Modes set to the workload's TableModes).
+func TableStatsOf(sr ScenarioResult) TableStats { return experiments.TableStatsOf(sr) }
+
+// DegradedTableStatsOf aggregates a hardened replicated scenario,
+// widening intervals over the finished replicas and reporting failures
+// next to them instead of dropping them silently.
+func DegradedTableStatsOf(sr ScenarioResult) DegradedTableStats {
+	return experiments.DegradedTableStatsOf(sr)
+}
+
+// SelectSchedulers sweeps perturbation scenarios across scheduler modes
+// and reports per-phase winners plus the switch-at-phase-boundary oracle
+// composite (with 95% CI) per scenario — simulation-assisted scheduler
+// selection in the SimAS sense.
+func SelectSchedulers(ctx context.Context, scenarios []SelectorScenario, opts SelectorOptions) (*SelectorReport, error) {
+	return selector.Run(ctx, scenarios, opts)
+}
+
+// DefaultSelectorScenarios returns the standard three-scenario
+// perturbation grid (heterogeneity, slowdown+storm, combined) for a
+// workload.
+func DefaultSelectorScenarios(workload string) []SelectorScenario {
+	return selector.DefaultScenarios(workload)
+}
+
 // RunExperiment executes one configured experiment run.
-func RunExperiment(cfg ExperimentConfig) ExperimentResult { return experiments.Run(cfg) }
+//
+// Deprecated: use Run with ScenarioSpec{Advanced: &cfg} (or the spec's
+// first-class fields); this wrapper remains for compatibility.
+func RunExperiment(cfg ExperimentConfig) ExperimentResult {
+	sr, err := Run(context.Background(), ScenarioSpec{Advanced: &cfg})
+	if err != nil {
+		panic(err) // unreachable: background context, soft pool
+	}
+	return sr.Results[0]
+}
 
 // ReproduceTable regenerates one of the paper's tables
 // ("metbench" → Table III, "metbenchvar" → IV, "btmz" → V, "siesta" → VI).
+//
+// Deprecated: use Run with Modes: TableModes(workload) and render with
+// FormatTable.
 func ReproduceTable(workload string, seed uint64) TableResult {
-	return experiments.RunTable(workload, seed)
+	sr, err := Run(context.Background(), ScenarioSpec{
+		Workload: workload, Seed: seed, Modes: TableModes(workload),
+	})
+	if err != nil {
+		panic(err) // unreachable: background context, soft pool
+	}
+	return TableResult{Workload: workload, Rows: sr.Results}
 }
 
 // RunBatch executes a slice of experiment configs on a worker pool
@@ -271,13 +386,29 @@ func ReproduceTable(workload string, seed uint64) TableResult {
 // and the determinism contract holds: same configs → identical results
 // at any worker count. Cancel ctx to stop early; see BatchOptions for
 // workers and progress reporting.
+//
+// Deprecated: use Sweep with one ScenarioSpec per config (Advanced
+// carries a verbatim config), or a single spec when the configs only
+// differ in seed or mode.
 func RunBatch(ctx context.Context, cfgs []ExperimentConfig, opts BatchOptions) (BatchResult, error) {
-	return experiments.RunBatch(ctx, cfgs, opts)
+	grid := make([]ScenarioSpec, len(cfgs))
+	for i := range cfgs {
+		grid[i] = ScenarioSpec{Advanced: &cfgs[i]}
+	}
+	srs, err := Sweep(ctx, grid, opts.Exec())
+	br := BatchResult{Results: make([]ExperimentResult, 0, len(cfgs))}
+	for _, sr := range srs {
+		br.Results = append(br.Results, sr.Results...)
+	}
+	return br, err
 }
 
 // ReproduceTableStats regenerates a paper table over several replication
 // seeds in parallel and aggregates mean, spread and 95% confidence
 // intervals per mode.
+//
+// Deprecated: use Run with Seeds and Modes set and aggregate from the
+// ScenarioResult, or keep this wrapper for the pre-rendered table.
 func ReproduceTableStats(ctx context.Context, workload string, seeds []uint64, opts BatchOptions) (TableStats, error) {
 	return experiments.RunTableStatsBatch(ctx, workload, seeds, opts)
 }

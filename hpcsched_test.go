@@ -92,7 +92,7 @@ func TestFacadeHeuristicsExported(t *testing.T) {
 			t.Error("heuristic without name")
 		}
 	}
-	if len(hpcsched.Workloads()) != 4 {
+	if len(hpcsched.Workloads()) != 5 {
 		t.Errorf("Workloads() = %v", hpcsched.Workloads())
 	}
 }

@@ -10,6 +10,8 @@ import (
 // BatchOptions controls the parallel execution of a batch of experiment
 // runs. The zero value runs on runtime.NumCPU() workers with no progress
 // reporting — determinism never depends on these knobs.
+//
+// Deprecated: use ExecOptions (the zero value is the same soft execution).
 type BatchOptions struct {
 	// Workers is the pool size; <= 0 means runtime.NumCPU().
 	Workers int
@@ -17,6 +19,11 @@ type BatchOptions struct {
 	// number of completed runs and the total (serialized, strictly
 	// increasing).
 	Progress func(done, total int)
+}
+
+// Exec converts to the unified options struct.
+func (o BatchOptions) Exec() ExecOptions {
+	return ExecOptions{Workers: o.Workers, Progress: o.Progress}
 }
 
 // BatchResult carries the results of a batch in submission order:
@@ -34,16 +41,19 @@ type BatchResult struct {
 // On cancellation it stops submitting new runs, waits for the in-flight
 // ones, and returns ctx.Err(); entries whose run never started are zero
 // Results.
+//
+// Deprecated: use RunScenario with ScenarioSpec.Advanced, or execConfigs
+// via SweepScenarios for heterogeneous grids.
 func RunBatch(ctx context.Context, cfgs []Config, opts BatchOptions) (BatchResult, error) {
-	res, err := batch.Map(ctx, batch.Options{Workers: opts.Workers, Progress: opts.Progress}, cfgs,
-		func(_ context.Context, _ int, cfg Config) Result {
-			return Run(cfg)
-		})
+	res, _, _, err := execConfigs(ctx, cfgs, opts.Exec())
 	return BatchResult{Results: res}, err
 }
 
 // HardenedBatchOptions extends BatchOptions with the unattended-fleet
 // protections of batch.MapHardened.
+//
+// Deprecated: use ExecOptions — setting any protection knob selects
+// hardened execution.
 type HardenedBatchOptions struct {
 	BatchOptions
 
@@ -58,6 +68,17 @@ type HardenedBatchOptions struct {
 	Backoff time.Duration
 	// StallTimeout arms each replica's sim-clock liveness watchdog.
 	StallTimeout time.Duration
+}
+
+// Exec converts to the unified options struct. Harden is set: the legacy
+// hardened entry points recover panics even with every knob at zero.
+func (o HardenedBatchOptions) Exec() ExecOptions {
+	return ExecOptions{
+		Workers: o.Workers, Progress: o.Progress,
+		Timeout: o.Timeout, MaxRetries: o.MaxRetries,
+		Backoff: o.Backoff, StallTimeout: o.StallTimeout,
+		Harden: true,
+	}
 }
 
 // retrySalt separates retry attempts' derived seeds from every other seed
@@ -84,32 +105,12 @@ type HardenedBatchResult struct {
 // seeds, and the batch completes with explicit per-replica failures rather
 // than all-or-nothing. The error return reports batch-level cancellation
 // only.
+//
+// Deprecated: use RunScenario with protection knobs set in
+// ScenarioSpec.Exec.
 func RunBatchHardened(ctx context.Context, cfgs []Config, opts HardenedBatchOptions) (HardenedBatchResult, error) {
-	res, failed, err := batch.MapHardened(ctx,
-		batch.HardenedOptions{
-			Options:    batch.Options{Workers: opts.Workers, Progress: opts.Progress},
-			Timeout:    opts.Timeout,
-			MaxRetries: opts.MaxRetries,
-			Backoff:    opts.Backoff,
-		},
-		cfgs,
-		func(jctx context.Context, _, attempt int, cfg Config) (Result, error) {
-			if attempt > 0 {
-				cfg.Seed = batch.DeriveSeed(cfg.Seed, retrySalt+uint64(attempt))
-			}
-			if opts.StallTimeout > 0 {
-				cfg.StallTimeout = opts.StallTimeout
-			}
-			return RunCtx(jctx, cfg)
-		})
-	hb := HardenedBatchResult{Results: res, OK: make([]bool, len(res)), Failed: failed}
-	for i := range hb.OK {
-		hb.OK[i] = true
-	}
-	for _, je := range failed {
-		hb.OK[je.Index] = false
-	}
-	return hb, err
+	res, ok, failed, err := execHardened(ctx, cfgs, opts.Exec())
+	return HardenedBatchResult{Results: res, OK: ok, Failed: failed}, err
 }
 
 // ReplicaConfigs builds the (seed × mode) grid for a workload's table in

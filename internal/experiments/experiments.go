@@ -65,9 +65,14 @@ func (m Mode) UsesHPCClass() bool {
 	return m == ModeUniform || m == ModeAdaptive || m == ModeHybrid || m == ModeHPCOnly
 }
 
+// MachineCPUs is the simulated machine's hardware context count: every
+// experiment runs on the paper's 2-core × 2-SMT POWER5 chip, so fault
+// schedules for an experiment run always compile against 4 contexts.
+const MachineCPUs = 4
+
 // Config is one experiment run.
 type Config struct {
-	Workload string // metbench | metbenchvar | btmz | siesta
+	Workload string // metbench | metbenchvar | btmz | siesta | matmul
 	Mode     Mode
 	Seed     uint64
 
@@ -96,6 +101,12 @@ type Config struct {
 	// with the run seed into a fixed fault timeline before the run starts.
 	// The zero Spec is a provable no-op (nothing installed at all).
 	Faults faults.Spec
+	// FaultSeed, when non-nil, pins the fault-compile seed independently of
+	// the run seed: every replica of a scenario then shares one fault
+	// timeline, so phase boundaries line up across seeds and modes (the
+	// selector's per-phase scoring depends on this). Nil keeps the legacy
+	// behaviour: the timeline is drawn from the run seed.
+	FaultSeed *uint64
 	// StallTimeout arms the liveness watchdog (RunCtx only): if the
 	// simulated clock fails to advance for this much wall-clock time while
 	// events keep firing, the run is aborted with a diagnostic dump. 0
@@ -108,12 +119,19 @@ type Config struct {
 	// as stall loops for the watchdog).
 	Prelude func(*sched.Kernel)
 
+	// Probe, when non-nil, runs after fault installation, just before the
+	// clock starts, with the assembled kernel and job. Unlike Prelude it
+	// sees the job's tasks, so pure-read instrumentation (the selector's
+	// phase-boundary progress sampling) hooks in here.
+	Probe func(*sched.Kernel, *workloads.Job)
+
 	// WorkloadTweak, when non-nil, may mutate the default workload
 	// configuration before the job is built (used by sweeps and tests).
 	TweakMetBench    func(*workloads.MetBenchConfig)
 	TweakMetBenchVar func(*workloads.MetBenchVarConfig)
 	TweakBTMZ        func(*workloads.BTMZConfig)
 	TweakSiesta      func(*workloads.SiestaConfig)
+	TweakMatMulDAG   func(*workloads.MatMulDAGConfig)
 }
 
 // Result carries everything the tables and figures need.
@@ -139,6 +157,8 @@ func staticPrios(workload string) []power5.Priority {
 		return workloads.MetBenchStaticPrios()
 	case "btmz":
 		return workloads.BTMZStaticPrios()
+	case "matmul":
+		return workloads.MatMulDAGStaticPrios()
 	default:
 		// The paper reports no static configuration for SIESTA
 		// (its behaviour defeats hand tuning); run with defaults.
@@ -268,6 +288,14 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 			cfg.TweakSiesta(&wc)
 		}
 		job = workloads.BuildSiesta(kernel, wc)
+	case "matmul":
+		wc := workloads.DefaultMatMulDAG()
+		wc.Policy = policy
+		wc.StaticPrios = prios
+		if cfg.TweakMatMulDAG != nil {
+			cfg.TweakMatMulDAG(&wc)
+		}
+		job = workloads.BuildMatMulDAG(kernel, wc)
 	default:
 		panic(fmt.Sprintf("experiments: unknown workload %q", cfg.Workload))
 	}
@@ -281,8 +309,16 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	// zero-fault spec skips both steps entirely.
 	var inj *faults.Injector
 	if !cfg.Faults.Empty() {
-		sc := faults.Compile(cfg.Faults, cfg.Seed, kernel.NumCPUs())
+		fseed := cfg.Seed
+		if cfg.FaultSeed != nil {
+			fseed = *cfg.FaultSeed
+		}
+		sc := faults.Compile(cfg.Faults, fseed, kernel.NumCPUs())
 		inj = faults.Install(kernel, job.World, sc)
+	}
+
+	if cfg.Probe != nil {
+		cfg.Probe(kernel, job)
 	}
 
 	// Cancellation and liveness ride the engine's interrupt poll: nil when
@@ -343,15 +379,16 @@ type TableResult struct {
 
 // RunTable reproduces one of Tables III-VI. The mode rows run as a
 // parallel batch; the row order (and therefore the rendered table) is
-// identical to a serial run.
+// identical to a serial run. It is one ScenarioSpec: the workload's mode
+// rows over a single seed, soft execution.
 func RunTable(workload string, seed uint64) TableResult {
-	modes := TableModes(workload)
-	cfgs := make([]Config, len(modes))
-	for i, m := range modes {
-		cfgs[i] = Config{Workload: workload, Mode: m, Seed: seed}
+	sr, err := RunScenario(context.Background(), ScenarioSpec{
+		Workload: workload, Seed: seed, Modes: TableModes(workload),
+	})
+	if err != nil {
+		panic(err) // unreachable: background context, soft pool
 	}
-	br, _ := RunBatch(context.Background(), cfgs, BatchOptions{})
-	return TableResult{Workload: workload, Rows: br.Results}
+	return TableResult{Workload: workload, Rows: sr.Results}
 }
 
 // Baseline returns the table's baseline row.

@@ -42,23 +42,38 @@ func RunTableStats(workload string, seeds []uint64) TableStats {
 }
 
 // RunTableStatsBatch fans the workload's (seed × mode) grid out on the
-// batch layer and aggregates per mode. The aggregation reads the batch's
-// ordered results seed-major, exactly as the serial loop did, so the
-// output — down to the formatted bytes — is independent of the worker
-// count. On cancellation the partial aggregate is discarded and ctx's
-// error returned.
+// batch layer and aggregates per mode.
+//
+// Deprecated: use RunScenario with Seeds and TableModes, then TableStatsOf.
 func RunTableStatsBatch(ctx context.Context, workload string, seeds []uint64, opts BatchOptions) (TableStats, error) {
-	ts := TableStats{Workload: workload, Seeds: seeds}
-	modes := TableModes(workload)
-	br, err := RunBatch(ctx, ReplicaConfigs(workload, seeds), opts)
-	if err != nil {
-		return ts, err
+	spec := ScenarioSpec{
+		Workload: workload, Seeds: seeds, Modes: TableModes(workload), Exec: opts.Exec(),
 	}
+	sr := ScenarioResult{Spec: spec}
+	if len(seeds) > 0 {
+		var err error
+		sr, err = RunScenario(ctx, spec)
+		if err != nil {
+			return TableStats{Workload: workload, Seeds: seeds}, err
+		}
+	}
+	return TableStatsOf(sr), nil
+}
+
+// TableStatsOf aggregates a table scenario per mode: sr must come from a
+// replicated ScenarioSpec (explicit Seeds or Replicas) with the
+// workload's TableModes (the canonical seed-major grid, baseline mode
+// first). The aggregation reads
+// the ordered results exactly as the serial loop did, so the output — down
+// to the formatted bytes — is independent of the worker count.
+func TableStatsOf(sr ScenarioResult) TableStats {
+	ts := TableStats{Workload: sr.Spec.Workload, Seeds: statsSeeds(sr)}
+	modes := sr.Spec.ModeList()
 	execs := make(map[Mode][]float64, len(modes))
 	imps := make(map[Mode][]float64, len(modes))
-	for s := range seeds {
-		rows := br.Results[s*len(modes) : (s+1)*len(modes)]
-		base := rows[0].ExecTime // ReplicaConfigs puts the baseline first
+	for s := range ts.Seeds {
+		rows := sr.Results[s*len(modes) : (s+1)*len(modes)]
+		base := rows[0].ExecTime // the grid puts the baseline first
 		for _, r := range rows {
 			m := r.Config.Mode
 			execs[m] = append(execs[m], r.ExecTime.Seconds())
@@ -74,7 +89,18 @@ func RunTableStatsBatch(ctx context.Context, workload string, seeds []uint64, op
 			MeanImp: i.Mean, StdImp: i.Std, CIImp: i.CI95,
 		})
 	}
-	return ts, nil
+	return ts
+}
+
+// statsSeeds recovers the replica-seed axis of an executed scenario:
+// explicit Seeds verbatim, otherwise (Replicas/Seed specs) the derived
+// seeds — but only when the scenario actually ran, so a never-run result
+// still aggregates to zero rows.
+func statsSeeds(sr ScenarioResult) []uint64 {
+	if len(sr.Spec.Seeds) > 0 || len(sr.Results) == 0 {
+		return sr.Spec.Seeds
+	}
+	return sr.Spec.ReplicaSeeds()
 }
 
 // DegradedModeStats is ModeStats for a batch with failed replicas: the
@@ -99,29 +125,42 @@ type DegradedTableStats struct {
 
 // RunTableStatsHardened is RunTableStatsBatch on the hardened batch layer,
 // optionally with a fault spec applied to every replica (compiled with each
-// replica's own seed). A seed whose baseline run failed cannot anchor
-// improvement percentages, so that seed's surviving rows contribute
-// execution times only.
+// replica's own seed).
+//
+// Deprecated: use RunScenario with Faults set and ExecOptions protection
+// knobs (or Harden), then DegradedTableStatsOf.
 func RunTableStatsHardened(ctx context.Context, workload string, seeds []uint64, spec faults.Spec, opts HardenedBatchOptions) (DegradedTableStats, error) {
-	ts := DegradedTableStats{Workload: workload, Seeds: seeds}
-	modes := TableModes(workload)
-	cfgs := ReplicaConfigs(workload, seeds)
-	for i := range cfgs {
-		cfgs[i].Faults = spec
+	sspec := ScenarioSpec{
+		Workload: workload, Seeds: seeds, Modes: TableModes(workload),
+		Faults: spec, Exec: opts.Exec(),
 	}
-	hb, err := RunBatchHardened(ctx, cfgs, opts)
-	if err != nil {
-		return ts, err
+	sr := ScenarioResult{Spec: sspec}
+	if len(seeds) > 0 {
+		var err error
+		sr, err = RunScenario(ctx, sspec)
+		if err != nil {
+			return DegradedTableStats{Workload: workload, Seeds: seeds}, err
+		}
 	}
-	ts.Failures = hb.Failed
+	return DegradedTableStatsOf(sr), nil
+}
+
+// DegradedTableStatsOf aggregates a hardened table scenario per mode. A
+// seed whose baseline run failed cannot anchor improvement percentages, so
+// that seed's surviving rows contribute execution times only.
+func DegradedTableStatsOf(sr ScenarioResult) DegradedTableStats {
+	ts := DegradedTableStats{
+		Workload: sr.Spec.Workload, Seeds: statsSeeds(sr), Failures: sr.Failed,
+	}
+	modes := sr.Spec.ModeList()
 	execs := make(map[Mode][]float64, len(modes))
 	oks := make(map[Mode][]bool, len(modes))
 	imps := make(map[Mode][]float64, len(modes))
 	impOKs := make(map[Mode][]bool, len(modes))
-	for s := range seeds {
+	for s := range ts.Seeds {
 		lo := s * len(modes)
-		rows := hb.Results[lo : lo+len(modes)]
-		rowOK := hb.OK[lo : lo+len(modes)]
+		rows := sr.Results[lo : lo+len(modes)]
+		rowOK := sr.OK[lo : lo+len(modes)]
 		base := rows[0].ExecTime
 		baseOK := rowOK[0]
 		for i, r := range rows {
@@ -148,7 +187,7 @@ func RunTableStatsHardened(ctx context.Context, workload string, seeds []uint64,
 			Failed: e.Failed,
 		})
 	}
-	return ts, nil
+	return ts
 }
 
 // Format renders the degraded aggregate: per-mode finished/failed counts in

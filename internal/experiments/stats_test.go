@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -33,6 +34,37 @@ func TestRunTableStats(t *testing.T) {
 	out := ts.Format()
 	if !strings.Contains(out, "±") || !strings.Contains(out, "3 seeds") {
 		t.Fatalf("format wrong:\n%s", out)
+	}
+}
+
+// A Replicas-based spec must aggregate just like an explicit-Seeds one:
+// statsSeeds recovers the derived seed axis from an executed scenario.
+func TestTableStatsOfReplicasSpec(t *testing.T) {
+	sr, err := RunScenario(context.Background(), ScenarioSpec{
+		Workload: "metbench", Seed: 42, Replicas: 2, Modes: TableModes("metbench"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TableStatsOf(sr)
+	if len(ts.Seeds) != 2 || len(ts.Stats) == 0 || ts.Stats[0].Runs != 2 {
+		t.Fatalf("stats = %+v", ts)
+	}
+	if !strings.Contains(ts.Format(), "over 2 seeds") {
+		t.Fatalf("format: %s", ts.Format())
+	}
+	// A never-run result still aggregates to a zero-row table (the legacy
+	// empty-seeds contract).
+	empty := TableStatsOf(ScenarioResult{Spec: ScenarioSpec{
+		Workload: "metbench", Seed: 42, Modes: TableModes("metbench"),
+	}})
+	if len(empty.Seeds) != 0 || len(empty.Stats) != len(TableModes("metbench")) {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+	for _, s := range empty.Stats {
+		if s.Runs != 0 {
+			t.Fatalf("empty stats ran: %+v", s)
+		}
 	}
 }
 

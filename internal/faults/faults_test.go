@@ -136,3 +136,125 @@ func TestCompileRespectsPinnedLoss(t *testing.T) {
 		t.Fatalf("pinned loss compiled to %+v", a)
 	}
 }
+
+func TestParseHetero(t *testing.T) {
+	spec := MustParse("hetero")
+	if len(spec.Hetero) != 1 || spec.Hetero[0].Spread != 0.3 || spec.Hetero[0].Scales != nil {
+		t.Fatalf("default hetero = %+v", spec.Hetero)
+	}
+	spec = MustParse("hetero:spread=0.45")
+	if spec.Hetero[0].Spread != 0.45 {
+		t.Fatalf("spread = %v", spec.Hetero[0].Spread)
+	}
+	spec = MustParse("hetero:scales=1/0.8/0.6")
+	want := []float64{1, 0.8, 0.6}
+	got := spec.Hetero[0].Scales
+	if len(got) != len(want) {
+		t.Fatalf("scales = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scales = %v, want %v", got, want)
+		}
+	}
+	for _, s := range []string{
+		"hetero:spread=1.0",  // spread out of [0,1)
+		"hetero:spread=-0.1", // negative spread
+		"hetero:scales=0/1",  // scale out of (0,1]
+		"hetero:scales=1.5",  // scale above 1
+		"hetero:scales=1/x",  // malformed scale
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestCompileHeteroExplicitScales(t *testing.T) {
+	sc := Compile(MustParse("hetero:scales=1/0.5"), 1, 4)
+	// The profile repeats across contexts; exact 1.0 scales are skipped,
+	// so only cpu1 and cpu3 get actions.
+	if len(sc.Actions) != 2 {
+		t.Fatalf("actions:\n%s", sc.Format())
+	}
+	for i, a := range sc.Actions {
+		if a.Kind != ActHetero || a.At != 0 || a.Factor != 0.5 || a.CPU != 2*i+1 {
+			t.Fatalf("action %d = %+v", i, a)
+		}
+	}
+}
+
+func TestCompileHeteroSpreadDraws(t *testing.T) {
+	sc := Compile(MustParse("hetero:spread=0.5"), 9, 4)
+	if len(sc.Actions) == 0 {
+		t.Fatal("no hetero actions drawn")
+	}
+	for _, a := range sc.Actions {
+		if a.Kind != ActHetero || a.At != 0 {
+			t.Fatalf("action = %+v", a)
+		}
+		if a.Factor < 0.5 || a.Factor >= 1 {
+			t.Fatalf("factor %v outside [0.5, 1)", a.Factor)
+		}
+	}
+}
+
+// An explicit-scales hetero clause draws nothing from the RNG stream the
+// other fault kinds use, so adding one leaves a pre-existing spec's
+// transient timeline frozen. (Spread-based hetero does draw — but the
+// hetero draws come first, so specs without any hetero clause are
+// untouched either way.)
+func TestCompileHeteroPreservesLegacyStreams(t *testing.T) {
+	legacy := Compile(MustParse("slow:n=2,by=10s;storm:n=1,by=10s;mpidelay:n=1,by=10s"), 42, 4)
+	mixed := Compile(MustParse("hetero:scales=1/0.7/0.9/0.6;slow:n=2,by=10s;storm:n=1,by=10s;mpidelay:n=1,by=10s"), 42, 4)
+	var rest []string
+	for _, a := range mixed.Actions {
+		if a.Kind != ActHetero {
+			rest = append(rest, a.String())
+		}
+	}
+	if strings.Join(rest, "\n") != legacy.Format() {
+		t.Fatalf("hetero clause shifted the legacy timeline:\n%s\n--- vs ---\n%s",
+			strings.Join(rest, "\n"), legacy.Format())
+	}
+}
+
+func TestParseErrorOffsetAndIndicate(t *testing.T) {
+	_, err := Parse("slow:n=1; slw:n=2 ;loss")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Clause != "slw:n=2" || pe.Off != 10 {
+		t.Fatalf("clause %q at %d", pe.Clause, pe.Off)
+	}
+	want := "slow:n=1; slw:n=2 ;loss\n          ^^^^^^^"
+	if got := pe.Indicate(); got != want {
+		t.Fatalf("Indicate:\n%q\nwant:\n%q", got, want)
+	}
+	if !strings.Contains(pe.Error(), `"slw:n=2"`) {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+}
+
+func TestFlagValue(t *testing.T) {
+	var fv FlagValue
+	if err := fv.Set("slow:n=1,by=5s"); err != nil {
+		t.Fatal(err)
+	}
+	if fv.Text != "slow:n=1,by=5s" || len(fv.Spec.Slowdowns) != 1 {
+		t.Fatalf("fv = %+v", fv)
+	}
+	err := fv.Set("slow:n=1;quake")
+	if err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	// The message must carry the caret line pointing at the clause.
+	if !strings.Contains(err.Error(), "quake") || !strings.Contains(err.Error(), "^^^^^") {
+		t.Fatalf("flag error lacks the indicator:\n%s", err)
+	}
+	// A failed Set leaves the previous value intact.
+	if fv.Text != "slow:n=1,by=5s" {
+		t.Fatalf("failed Set clobbered the value: %+v", fv)
+	}
+}

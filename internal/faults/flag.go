@@ -1,0 +1,37 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FlagValue is a flag.Value that validates a fault spec as the flag set
+// parses it, so a typo fails before any simulation runs. On a parse error
+// the flag package's message carries the offending clause underlined:
+//
+//	invalid value "slow:n=1;slw:n=2" for flag -faults: faults: clause "slw:n=2": unknown fault kind "slw"
+//	slow:n=1;slw:n=2
+//	         ^^^^^^^
+//
+// Register with fs.Var(&fv, "faults", ...); read fv.Spec after parsing.
+type FlagValue struct {
+	Text string // the accepted input, verbatim
+	Spec Spec
+}
+
+func (f *FlagValue) String() string { return f.Text }
+
+// Set parses and validates s, decorating *ParseError values with the
+// caret indicator.
+func (f *FlagValue) Set(s string) error {
+	spec, err := Parse(s)
+	if err != nil {
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			return fmt.Errorf("%w\n%s", err, pe.Indicate())
+		}
+		return err
+	}
+	f.Text, f.Spec = s, spec
+	return nil
+}

@@ -80,6 +80,13 @@ func (inj *Injector) apply(a Action) {
 	k := inj.kernel
 	now := k.Now()
 	switch a.Kind {
+	case ActHetero:
+		// Persistent heterogeneity: the factor is pushed once at t=0 and
+		// never popped, composing multiplicatively with any transient
+		// slowdown/stall windows that later touch the same context.
+		inj.factors[a.CPU] = append(inj.factors[a.CPU], a.Factor)
+		scale := inj.applyScale(a.CPU)
+		inj.logf("%v hetero cpu%d factor=%.3f scale=%.3g", now, a.CPU, a.Factor, scale)
 	case ActSlowOn:
 		inj.factors[a.CPU] = append(inj.factors[a.CPU], a.Factor)
 		scale := inj.applyScale(a.CPU)

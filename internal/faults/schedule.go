@@ -13,7 +13,8 @@ import (
 type ActionKind int
 
 const (
-	ActSlowOn ActionKind = iota
+	ActHetero ActionKind = iota
+	ActSlowOn
 	ActSlowOff
 	ActStallOn
 	ActStallOff
@@ -25,6 +26,8 @@ const (
 
 func (k ActionKind) String() string {
 	switch k {
+	case ActHetero:
+		return "hetero"
 	case ActSlowOn:
 		return "slow-on"
 	case ActSlowOff:
@@ -69,6 +72,8 @@ type Action struct {
 // String renders the action for the timeline.
 func (a Action) String() string {
 	switch a.Kind {
+	case ActHetero:
+		return fmt.Sprintf("%v %v cpu%d factor=%.3f", a.At, a.Kind, a.CPU, a.Factor)
 	case ActSlowOn, ActSlowOff:
 		return fmt.Sprintf("%v %v cpu%d factor=%.3f", a.At, a.Kind, a.CPU, a.Factor)
 	case ActStallOn, ActStallOff:
@@ -137,6 +142,22 @@ func Compile(spec Spec, seed uint64, numCPUs int) *Schedule {
 	}
 	// Draw order is fixed — kind by kind, spec by spec, window by window —
 	// so the stream assigns the same values to the same windows always.
+	// Hetero draws come first: a spec without hetero clauses consumes
+	// nothing here, leaving every pre-existing spec's stream untouched.
+	for _, f := range spec.Hetero {
+		for cpu := 0; cpu < numCPUs; cpu++ {
+			var scale float64
+			if len(f.Scales) > 0 {
+				scale = f.Scales[cpu%len(f.Scales)]
+			} else {
+				scale = 1 - f.Spread + f.Spread*rng.Float64()
+			}
+			if scale == 1 {
+				continue
+			}
+			add(Action{At: 0, Kind: ActHetero, CPU: cpu, Factor: scale})
+		}
+	}
 	for _, f := range spec.Slowdowns {
 		for i := 0; i < f.Count; i++ {
 			cpu := rng.Intn(numCPUs)

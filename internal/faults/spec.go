@@ -74,9 +74,21 @@ type MPIDelaySpec struct {
 	By    sim.Time
 }
 
+// HeteroSpec pins persistent per-context speed scales for the whole run —
+// the per-core heterogeneity axis of the SiL perturbation taxonomy. When
+// Scales is non-empty, context i runs at Scales[i % len(Scales)] of nominal
+// speed; otherwise every context draws its scale uniformly from
+// [1-Spread, 1]. Scales of exactly 1 install nothing for that context, so a
+// fully nominal profile stays a no-op.
+type HeteroSpec struct {
+	Scales []float64 // explicit per-context scales in (0, 1]
+	Spread float64   // random draw width in [0, 1) when Scales is empty
+}
+
 // Spec is the full fault-injection request of one run. The zero value is
 // the (provably no-op) zero-fault spec.
 type Spec struct {
+	Hetero    []HeteroSpec
 	Slowdowns []SlowdownSpec
 	Stalls    []StallSpec
 	CoreLoss  []CoreLossSpec
@@ -86,14 +98,45 @@ type Spec struct {
 
 // Empty reports whether the spec requests no faults at all.
 func (s Spec) Empty() bool {
-	return len(s.Slowdowns) == 0 && len(s.Stalls) == 0 &&
+	return len(s.Hetero) == 0 && len(s.Slowdowns) == 0 && len(s.Stalls) == 0 &&
 		len(s.CoreLoss) == 0 && len(s.Storms) == 0 && len(s.MPIDelays) == 0
+}
+
+// ParseError pinpoints the clause of a fault spec that failed to parse, so
+// the CLI can reject a bad -faults flag before any simulation runs and show
+// the user exactly which clause is wrong.
+type ParseError struct {
+	Spec   string // the full input string
+	Off    int    // byte offset of the offending clause within Spec
+	Clause string // the offending clause text
+	Err    error  // the underlying error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("faults: clause %q: %v", e.Clause, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Indicate renders the full spec with a caret line underlining the
+// offending clause:
+//
+//	slow:n=1;slw:n=2
+//	         ^^^^^^^
+func (e *ParseError) Indicate() string {
+	width := len(e.Clause)
+	if width < 1 {
+		width = 1
+	}
+	return e.Spec + "\n" + strings.Repeat(" ", e.Off) + strings.Repeat("^", width)
 }
 
 // Parse builds a Spec from a compact string: semicolon-separated clauses of
 // the form "kind:key=val,key=val". Kinds and their keys (all optional, with
 // defaults):
 //
+//	hetero:spread=0.3                        persistent per-context speed scales
+//	hetero:scales=1/0.8/0.6/0.9              (explicit profile, '/'-separated)
 //	slow:n=1,factor=0.5,dur=5s,by=60s        speed degradation windows
 //	stall:n=1,dur=250ms,by=60s               transient core stalls
 //	loss:n=1,core=-1,at=0,by=60s             permanent core loss
@@ -101,69 +144,92 @@ func (s Spec) Empty() bool {
 //	mpidelay:n=1,extra=200us,dur=5s,by=60s   injected message delay
 //
 // Durations use Go syntax ("250ms", "5s"). An empty string parses to the
-// zero-fault Spec.
+// zero-fault Spec. Errors are *ParseError values carrying the offending
+// clause and its position, so callers can point at it (see Indicate).
 func Parse(s string) (Spec, error) {
 	var spec Spec
 	s = strings.TrimSpace(s)
 	if s == "" || s == "none" {
 		return spec, nil
 	}
-	for _, clause := range strings.Split(s, ";") {
-		clause = strings.TrimSpace(clause)
+	off := 0
+	for _, raw := range strings.SplitAfter(s, ";") {
+		clauseOff := off
+		off += len(raw)
+		raw = strings.TrimSuffix(raw, ";")
+		clause := strings.TrimSpace(raw)
+		clauseOff += strings.Index(raw, clause)
 		if clause == "" {
 			continue
 		}
-		kind, rest, _ := strings.Cut(clause, ":")
-		kv, err := parseKV(rest)
-		if err != nil {
-			return spec, fmt.Errorf("faults: clause %q: %w", clause, err)
-		}
-		switch kind {
-		case "slow":
-			f := SlowdownSpec{Count: 1, Factor: 0.5, Dur: 5 * sim.Second, By: 60 * sim.Second}
-			err = kv.apply(map[string]any{
-				"n": &f.Count, "factor": &f.Factor, "dur": &f.Dur, "by": &f.By,
-			})
-			if err == nil && (f.Factor <= 0 || f.Factor > 1) {
-				err = fmt.Errorf("factor %v out of (0,1]", f.Factor)
-			}
-			spec.Slowdowns = append(spec.Slowdowns, f)
-		case "stall":
-			f := StallSpec{Count: 1, Dur: 250 * sim.Millisecond, By: 60 * sim.Second}
-			err = kv.apply(map[string]any{"n": &f.Count, "dur": &f.Dur, "by": &f.By})
-			spec.Stalls = append(spec.Stalls, f)
-		case "loss":
-			f := CoreLossSpec{Count: 1, Core: -1, By: 60 * sim.Second}
-			err = kv.apply(map[string]any{
-				"n": &f.Count, "core": &f.Core, "at": &f.At, "by": &f.By,
-			})
-			spec.CoreLoss = append(spec.CoreLoss, f)
-		case "storm":
-			f := StormSpec{Count: 1, Dur: 2 * sim.Second, By: 60 * sim.Second,
-				Daemons: 2, Duty: 0.25, Burst: 500 * sim.Microsecond}
-			err = kv.apply(map[string]any{
-				"n": &f.Count, "dur": &f.Dur, "by": &f.By,
-				"daemons": &f.Daemons, "duty": &f.Duty, "burst": &f.Burst,
-			})
-			if err == nil && (f.Duty <= 0 || f.Duty >= 1) {
-				err = fmt.Errorf("duty %v out of (0,1)", f.Duty)
-			}
-			spec.Storms = append(spec.Storms, f)
-		case "mpidelay":
-			f := MPIDelaySpec{Count: 1, Extra: 200 * sim.Microsecond,
-				Dur: 5 * sim.Second, By: 60 * sim.Second}
-			err = kv.apply(map[string]any{
-				"n": &f.Count, "extra": &f.Extra, "dur": &f.Dur, "by": &f.By,
-			})
-			spec.MPIDelays = append(spec.MPIDelays, f)
-		default:
-			return spec, fmt.Errorf("faults: unknown fault kind %q in %q", kind, clause)
-		}
-		if err != nil {
-			return spec, fmt.Errorf("faults: clause %q: %w", clause, err)
+		if err := parseClause(&spec, clause); err != nil {
+			return spec, &ParseError{Spec: s, Off: clauseOff, Clause: clause, Err: err}
 		}
 	}
 	return spec, nil
+}
+
+// parseClause applies one "kind:key=val,..." clause to spec.
+func parseClause(spec *Spec, clause string) error {
+	kind, rest, _ := strings.Cut(clause, ":")
+	kv, err := parseKV(rest)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "hetero":
+		f := HeteroSpec{Spread: 0.3}
+		err = kv.apply(map[string]any{"spread": &f.Spread, "scales": &f.Scales})
+		if err == nil && (f.Spread < 0 || f.Spread >= 1) {
+			err = fmt.Errorf("spread %v out of [0,1)", f.Spread)
+		}
+		for _, sc := range f.Scales {
+			if err == nil && (sc <= 0 || sc > 1) {
+				err = fmt.Errorf("scale %v out of (0,1]", sc)
+			}
+		}
+		spec.Hetero = append(spec.Hetero, f)
+	case "slow":
+		f := SlowdownSpec{Count: 1, Factor: 0.5, Dur: 5 * sim.Second, By: 60 * sim.Second}
+		err = kv.apply(map[string]any{
+			"n": &f.Count, "factor": &f.Factor, "dur": &f.Dur, "by": &f.By,
+		})
+		if err == nil && (f.Factor <= 0 || f.Factor > 1) {
+			err = fmt.Errorf("factor %v out of (0,1]", f.Factor)
+		}
+		spec.Slowdowns = append(spec.Slowdowns, f)
+	case "stall":
+		f := StallSpec{Count: 1, Dur: 250 * sim.Millisecond, By: 60 * sim.Second}
+		err = kv.apply(map[string]any{"n": &f.Count, "dur": &f.Dur, "by": &f.By})
+		spec.Stalls = append(spec.Stalls, f)
+	case "loss":
+		f := CoreLossSpec{Count: 1, Core: -1, By: 60 * sim.Second}
+		err = kv.apply(map[string]any{
+			"n": &f.Count, "core": &f.Core, "at": &f.At, "by": &f.By,
+		})
+		spec.CoreLoss = append(spec.CoreLoss, f)
+	case "storm":
+		f := StormSpec{Count: 1, Dur: 2 * sim.Second, By: 60 * sim.Second,
+			Daemons: 2, Duty: 0.25, Burst: 500 * sim.Microsecond}
+		err = kv.apply(map[string]any{
+			"n": &f.Count, "dur": &f.Dur, "by": &f.By,
+			"daemons": &f.Daemons, "duty": &f.Duty, "burst": &f.Burst,
+		})
+		if err == nil && (f.Duty <= 0 || f.Duty >= 1) {
+			err = fmt.Errorf("duty %v out of (0,1)", f.Duty)
+		}
+		spec.Storms = append(spec.Storms, f)
+	case "mpidelay":
+		f := MPIDelaySpec{Count: 1, Extra: 200 * sim.Microsecond,
+			Dur: 5 * sim.Second, By: 60 * sim.Second}
+		err = kv.apply(map[string]any{
+			"n": &f.Count, "extra": &f.Extra, "dur": &f.Dur, "by": &f.By,
+		})
+		spec.MPIDelays = append(spec.MPIDelays, f)
+	default:
+		return fmt.Errorf("unknown fault kind %q", kind)
+	}
+	return err
 }
 
 // MustParse is Parse, panicking on error (for tests and literals).
@@ -214,6 +280,16 @@ func (kv kvPairs) apply(dests map[string]any) error {
 				return fmt.Errorf("key %q: %w", key, err)
 			}
 			*d = f
+		case *[]float64:
+			var list []float64
+			for _, part := range strings.Split(val, "/") {
+				f, err := strconv.ParseFloat(part, 64)
+				if err != nil {
+					return fmt.Errorf("key %q: %w", key, err)
+				}
+				list = append(list, f)
+			}
+			*d = list
 		case *sim.Time:
 			dur, err := time.ParseDuration(val)
 			if err != nil {

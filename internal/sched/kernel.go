@@ -1006,10 +1006,12 @@ func (k *Kernel) unplanBurst(t *Task) {
 	k.Engine.Cancel(t.finishEv)
 	t.finishEv = nil
 	elapsed := k.Now() - t.planAt
-	t.remaining -= float64(elapsed) * t.planSpeed
-	if t.remaining < 0 {
-		t.remaining = 0
+	done := float64(elapsed) * t.planSpeed
+	if done > t.remaining {
+		done = t.remaining
 	}
+	t.SumWork += done
+	t.remaining -= done
 }
 
 // burstDone fires when the running task finishes its compute burst.
@@ -1018,6 +1020,7 @@ func (k *Kernel) burstDone(t *Task) {
 		panic(fmt.Sprintf("sched: burst completion for non-running %v", t))
 	}
 	t.finishEv = nil
+	t.SumWork += t.remaining // the whole planned remainder was consumed
 	t.remaining = 0
 	rq := k.rqs[t.CPU]
 	// The burst ends mid-grid: replay the elided instants of a busy-parked
@@ -1066,10 +1069,12 @@ func (k *Kernel) coreSpeedChanged(co *power5.Core, mask int) {
 			panic(fmt.Sprintf("sched: context %d has zero speed for running task", rq.CPU))
 		}
 		elapsed := now - t.planAt
-		t.remaining -= float64(elapsed) * t.planSpeed
-		if t.remaining < 0 {
-			t.remaining = 0
+		done := float64(elapsed) * t.planSpeed
+		if done > t.remaining {
+			done = t.remaining
 		}
+		t.SumWork += done
+		t.remaining -= done
 		t.planAt = now
 		t.planSpeed = newSpeed
 		if t.remaining > 0 {

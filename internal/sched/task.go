@@ -145,9 +145,16 @@ type Task struct {
 	planSpeed float64  // speed assumed by the current plan
 
 	// Accounting (exact, transition-driven).
-	SumExec    sim.Time // total on-CPU time
-	SumWait    sim.Time // total runnable-but-not-running time
-	SumSleep   sim.Time // total sleeping time
+	SumExec  sim.Time // total on-CPU time
+	SumWait  sim.Time // total runnable-but-not-running time
+	SumSleep sim.Time // total sleeping time
+	// SumWork is the completed compute work, in nominal single-thread
+	// nanoseconds: the speed-integrated amount of each burst actually
+	// consumed, settled at the same points the burst planner settles
+	// `remaining` (completion, preemption, speed change). Unlike SumExec it
+	// discounts time spent on a degraded or SMT-contended context, so it is
+	// the progress metric the selector's per-phase scoring reads.
+	SumWork    float64
 	lastUpdate sim.Time // time of the last accounting update
 	queuedAt   sim.Time // when the task last became runnable (cache-hot check)
 	wakeAt     sim.Time // set while a wakeup latency measurement is open
@@ -200,6 +207,26 @@ func (t *Task) MayRunOn(cpu int) bool {
 // migration cost (task_hot): the balancer must not move it.
 func (t *Task) CacheHot(now, migrationCost sim.Time) bool {
 	return now-t.queuedAt < migrationCost
+}
+
+// WorkDone returns the task's cumulative completed compute work at the
+// virtual instant now, in nominal single-thread nanoseconds: SumWork plus
+// the speed-scaled progress of the in-flight burst plan, if any. It is a
+// pure read — sampling it from an engine event perturbs nothing — and is
+// exact at any instant because the planner settles SumWork whenever the
+// plan's speed assumption changes.
+func (t *Task) WorkDone(now sim.Time) float64 {
+	w := t.SumWork
+	if t.finishEv != nil {
+		done := float64(now-t.planAt) * t.planSpeed
+		if done > t.remaining {
+			done = t.remaining
+		}
+		if done > 0 {
+			w += done
+		}
+	}
+	return w
 }
 
 // AvgWakeupLatency returns the mean wakeup→dispatch latency observed.

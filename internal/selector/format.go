@@ -1,0 +1,104 @@
+package selector
+
+import (
+	"fmt"
+	"strings"
+
+	"hpcsched/internal/metrics"
+	"hpcsched/internal/sim"
+)
+
+// Format renders the full report: one winner table and oracle line per
+// scenario. Pure function of the report — byte-identical across runs and
+// worker counts.
+func (r *Report) Format() string {
+	var b strings.Builder
+	for i := range r.Scenarios {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(r.Scenarios[i].Format())
+	}
+	return b.String()
+}
+
+// Format renders one scenario's winner table, fixed-mode execution
+// summary and oracle composite.
+func (sr *ScenarioReport) Format() string {
+	var b strings.Builder
+	faultText := sr.Scenario.FaultText
+	if faultText == "" {
+		faultText = "none"
+	}
+	fmt.Fprintf(&b, "=== scenario %s · workload %s · faults %s · %d seed(s)",
+		sr.Scenario.Name, sr.Scenario.Workload, faultText, len(sr.Seeds))
+	if sr.Skipped > 0 {
+		fmt.Fprintf(&b, " · %d skipped", sr.Skipped)
+	}
+	b.WriteString("\n")
+
+	header := []string{"Phase", "Window"}
+	for _, m := range sr.Modes {
+		header = append(header, m.String())
+	}
+	header = append(header, "Winner")
+	rows := make([][]string, 0, len(sr.Phases))
+	for i, ph := range sr.Phases {
+		row := []string{fmt.Sprintf("%d", i+1), window(ph)}
+		for m := range sr.Modes {
+			if ph.Done[m] {
+				row = append(row, "done")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", ph.MeanRate[m]))
+			}
+		}
+		win := winnerName(sr.Modes, ph.Winner)
+		if ph.Winner >= 0 {
+			win = fmt.Sprintf("%s (%d/%d)", win, ph.Wins[ph.Winner], len(sr.Seeds)-sr.Skipped)
+		}
+		rows = append(rows, append(row, win))
+	}
+	b.WriteString(metrics.Table(header, rows))
+
+	b.WriteString("\nfixed-mode execution time over seeds:\n")
+	erows := make([][]string, 0, len(sr.Modes))
+	for m, s := range sr.Exec {
+		mark := ""
+		if m == sr.BestFixed {
+			mark = "*"
+		}
+		erows = append(erows, []string{
+			sr.Modes[m].String() + mark,
+			fmt.Sprintf("%.2fs ± %.2f", s.Mean, s.Std),
+			fmt.Sprintf("[%.2f, %.2f]", s.Mean-s.CI95, s.Mean+s.CI95),
+		})
+	}
+	b.WriteString(metrics.Table([]string{"Test", "Exec. Time", "95% CI"}, erows))
+
+	if sr.BestFixed >= 0 {
+		best := sr.Exec[sr.BestFixed]
+		gain := 0.0
+		if best.Mean > 0 {
+			gain = 100 * (best.Mean - sr.Oracle.Mean) / best.Mean
+		}
+		fmt.Fprintf(&b,
+			"\noracle (switch at phase boundaries): %.2fs ± %.2f (95%% CI [%.2f, %.2f]) vs best fixed %s %.2fs → %+.1f%%\n",
+			sr.Oracle.Mean, sr.Oracle.Std,
+			sr.Oracle.Mean-sr.Oracle.CI95, sr.Oracle.Mean+sr.Oracle.CI95,
+			winnerName(sr.Modes, sr.BestFixed), best.Mean, -gain)
+	}
+	return b.String()
+}
+
+// window renders a phase's [start, end) span; the last phase is open
+// (its end is just the slowest observed run).
+func window(ph PhaseReport) string {
+	if ph.Open {
+		return fmt.Sprintf("[%s, end)", fmtT(ph.Start))
+	}
+	return fmt.Sprintf("[%s, %s)", fmtT(ph.Start), fmtT(ph.End))
+}
+
+func fmtT(t sim.Time) string {
+	return fmt.Sprintf("%.2fs", t.Seconds())
+}

@@ -1,0 +1,64 @@
+// Package selector is the simulation-assisted scheduling-algorithm
+// selection subsystem (after SimAS): it sweeps perturbation scenarios —
+// fault timelines and per-core heterogeneity profiles from the faults
+// grammar — across every scheduler mode, partitions each scenario's
+// sim-time into phases at the fault-schedule boundaries, scores every
+// mode's compute capability per phase, and reports the per-phase winner
+// plus an oracle estimate of what switching schedulers at each phase
+// boundary would achieve.
+//
+// Determinism contract: a scenario's fault timeline is compiled once from
+// a pinned fault seed shared by every replica and mode, so all runs see
+// identical phase boundaries; scoring reads only settled per-task work
+// accounting and pre-scheduled pure-read probes. The whole report is a
+// pure function of (scenarios, modes, seeds) — byte-identical at any
+// worker count.
+package selector
+
+import (
+	"hpcsched/internal/faults"
+	"hpcsched/internal/sim"
+)
+
+// Phase is one segment of a scenario's sim-time: [Start, End).
+type Phase struct {
+	Start, End sim.Time
+}
+
+// Partition returns the phase boundaries of a compiled fault schedule:
+// the unique action instants in (0, ∞), ascending. Persistent actions at
+// t=0 (hetero profiles) shape the whole run rather than starting a new
+// phase, so they contribute no boundary; same-instant actions (paired
+// on/off draws, overlapping windows) collapse into one boundary, which is
+// what keeps zero-length phases out of the partition.
+func Partition(sc *faults.Schedule) []sim.Time {
+	if sc.Empty() {
+		return nil
+	}
+	var bounds []sim.Time
+	for _, a := range sc.Actions { // sorted by (At, seq) at compile time
+		if a.At <= 0 {
+			continue
+		}
+		if n := len(bounds); n > 0 && bounds[n-1] == a.At {
+			continue
+		}
+		bounds = append(bounds, a.At)
+	}
+	return bounds
+}
+
+// Phases closes the partition over a run that ended at end: one phase per
+// boundary gap plus the open tail [last boundary, end). The phase count
+// is len(bounds)+1 regardless of end, so every replica of a scenario
+// produces the same table shape even when its run finished before the
+// last boundary (those phases score as already-done).
+func Phases(bounds []sim.Time, end sim.Time) []Phase {
+	ph := make([]Phase, 0, len(bounds)+1)
+	start := sim.Time(0)
+	for _, b := range bounds {
+		ph = append(ph, Phase{Start: start, End: b})
+		start = b
+	}
+	return append(ph, Phase{Start: start, End: end})
+}

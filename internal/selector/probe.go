@@ -1,0 +1,57 @@
+package selector
+
+import (
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+	"hpcsched/internal/workloads"
+)
+
+// runProbe samples one run's cumulative compute work at each phase
+// boundary. It is installed through Config.Probe (after the workload and
+// faults are assembled, before the clock starts) and schedules one
+// pure-read engine event per boundary: the event sums Task.WorkDone over
+// the job's rank tasks and stores it in the probe's slot. Reading work
+// mutates nothing — no model state, no RNG draws — so a probed run is
+// timing-identical to an unprobed one. Boundaries past the run's end
+// simply never fire; scoring substitutes the run's settled total.
+type runProbe struct {
+	bounds  []sim.Time
+	samples []float64
+	fired   []bool
+}
+
+func newRunProbe(bounds []sim.Time) *runProbe {
+	return &runProbe{
+		bounds:  bounds,
+		samples: make([]float64, len(bounds)),
+		fired:   make([]bool, len(bounds)),
+	}
+}
+
+// install is the Config.Probe hook. Each run owns its probe, so the slots
+// are race-free at any batch parallelism.
+func (p *runProbe) install(k *sched.Kernel, job *workloads.Job) {
+	tasks := job.Tasks
+	for i, b := range p.bounds {
+		i := i
+		k.Engine.Schedule(b, func() {
+			now := k.Now()
+			var sum float64
+			for _, t := range tasks {
+				sum += t.WorkDone(now)
+			}
+			p.samples[i] = sum
+			p.fired[i] = true
+		})
+	}
+}
+
+// workAt returns the run's cumulative work at boundary index b (the
+// sample if the boundary fired, else the run's settled total — the run
+// was already finished when the boundary passed).
+func (p *runProbe) workAt(b int, total float64) float64 {
+	if p.fired[b] {
+		return p.samples[b]
+	}
+	return total
+}

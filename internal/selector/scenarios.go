@@ -1,0 +1,71 @@
+package selector
+
+import (
+	"hpcsched/internal/experiments"
+	"hpcsched/internal/faults"
+	"hpcsched/internal/workloads"
+)
+
+// defaultSpecs is the standard perturbation grid: the three axes the SiL
+// taxonomy distinguishes — persistent per-core heterogeneity, transient
+// CPU-speed degradation plus noise storms, and a combined profile with
+// core stalls and network degradation on top of a fixed heterogeneity
+// pattern. Windows are drawn within the first 20 simulated seconds so
+// every calibrated workload sees all of its phases.
+var defaultSpecs = []struct{ name, spec string }{
+	{"hetero", "hetero:spread=0.35"},
+	{"slow+storm", "slow:n=2,factor=0.45,dur=6s,by=20s;storm:n=1,dur=5s,by=20s,daemons=2,duty=0.3"},
+	{"hetero+stall+mpidelay", "hetero:scales=1/0.75/0.9/0.6;stall:n=2,dur=1500ms,by=20s;mpidelay:n=1,extra=300us,dur=8s,by=20s"},
+}
+
+// DefaultScenarios returns the standard three-scenario perturbation grid
+// for a workload.
+func DefaultScenarios(workload string) []Scenario {
+	out := make([]Scenario, 0, len(defaultSpecs))
+	for _, d := range defaultSpecs {
+		out = append(out, Scenario{
+			Name:      d.name,
+			Workload:  workload,
+			Faults:    faults.MustParse(d.spec),
+			FaultText: d.spec,
+		})
+	}
+	return out
+}
+
+// quickSpecs is the shrunken grid the CI smoke job runs: the same three
+// perturbation shapes with windows inside the first 6 simulated seconds,
+// matched to the shortened workloads of QuickScenarios.
+var quickSpecs = []struct{ name, spec string }{
+	{"hetero", "hetero:spread=0.35"},
+	{"slow+storm", "slow:n=2,factor=0.45,dur=2s,by=6s;storm:n=1,dur=1500ms,by=6s,daemons=2,duty=0.3"},
+	{"hetero+stall+mpidelay", "hetero:scales=1/0.75/0.9/0.6;stall:n=2,dur=500ms,by=6s;mpidelay:n=1,extra=300us,dur=2s,by=6s"},
+}
+
+// QuickScenarios is DefaultScenarios shrunk for CI: the same perturbation
+// shapes over shortened workloads (a few seconds of sim-time per run), so
+// a full 3-scenario × 6-mode × 3-seed sweep stays in smoke-test budget.
+func QuickScenarios(workload string) []Scenario {
+	out := make([]Scenario, 0, len(quickSpecs))
+	for _, d := range quickSpecs {
+		out = append(out, Scenario{
+			Name:      d.name,
+			Workload:  workload,
+			Faults:    faults.MustParse(d.spec),
+			FaultText: d.spec,
+			Tweak:     Shrink,
+		})
+	}
+	return out
+}
+
+// Shrink shortens every workload to a handful of iterations: just enough
+// sim-time to cross the quick grid's fault windows. QuickScenarios applies
+// it; custom quick scenarios can reuse it as their Tweak.
+func Shrink(cfg *experiments.Config) {
+	cfg.TweakMetBench = func(c *workloads.MetBenchConfig) { c.Iterations = 6 }
+	cfg.TweakMetBenchVar = func(c *workloads.MetBenchVarConfig) { c.Iterations = 9; c.K = 3 }
+	cfg.TweakBTMZ = func(c *workloads.BTMZConfig) { c.Iterations = 25 }
+	cfg.TweakSiesta = func(c *workloads.SiestaConfig) { c.SCFIterations = 5; c.SubSteps = 12 }
+	cfg.TweakMatMulDAG = func(c *workloads.MatMulDAGConfig) { c.Panels = 16 }
+}

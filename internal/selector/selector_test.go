@@ -1,0 +1,171 @@
+package selector
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"hpcsched/internal/experiments"
+	"hpcsched/internal/faults"
+	"hpcsched/internal/sim"
+)
+
+// --- phase partition ------------------------------------------------------
+
+func TestPartitionEmptySchedule(t *testing.T) {
+	sc := faults.Compile(faults.Spec{}, 1, experiments.MachineCPUs)
+	if got := Partition(sc); got != nil {
+		t.Fatalf("empty schedule → boundaries %v, want none", got)
+	}
+}
+
+func TestPartitionHeteroOnlyHasNoBoundaries(t *testing.T) {
+	spec := faults.MustParse("hetero:spread=0.4")
+	sc := faults.Compile(spec, 7, experiments.MachineCPUs)
+	if sc.Empty() {
+		t.Fatal("hetero spec compiled to an empty schedule")
+	}
+	if got := Partition(sc); len(got) != 0 {
+		t.Fatalf("persistent t=0 actions produced boundaries %v", got)
+	}
+}
+
+// Overlapping windows and same-instant actions must not create duplicate
+// or zero-length phases.
+func TestPartitionDedupsSameInstantActions(t *testing.T) {
+	spec := faults.MustParse("slow:n=3,dur=5s,by=10s;stall:n=2,dur=1s,by=10s")
+	sc := faults.Compile(spec, 3, experiments.MachineCPUs)
+	bounds := Partition(sc)
+	if len(bounds) == 0 {
+		t.Fatal("no boundaries from a transient spec")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("boundaries not strictly increasing: %v", bounds)
+		}
+	}
+	// Every boundary must be a positive action instant of the schedule.
+	at := map[sim.Time]bool{}
+	for _, a := range sc.Actions {
+		at[a.At] = true
+	}
+	for _, b := range bounds {
+		if b <= 0 || !at[b] {
+			t.Fatalf("boundary %v is not a schedule instant", b)
+		}
+	}
+}
+
+func TestPhasesShape(t *testing.T) {
+	bounds := []sim.Time{2 * sim.Second, 5 * sim.Second}
+	ph := Phases(bounds, 4*sim.Second) // the run ended before the last boundary
+	if len(ph) != 3 {
+		t.Fatalf("phase count %d, want 3", len(ph))
+	}
+	if ph[0] != (Phase{0, 2 * sim.Second}) ||
+		ph[1] != (Phase{2 * sim.Second, 5 * sim.Second}) ||
+		ph[2] != (Phase{5 * sim.Second, 4 * sim.Second}) {
+		t.Fatalf("phases %v", ph)
+	}
+	// Zero boundaries → a single phase covering the whole run.
+	ph = Phases(nil, 9*sim.Second)
+	if len(ph) != 1 || ph[0] != (Phase{0, 9 * sim.Second}) {
+		t.Fatalf("phases %v", ph)
+	}
+}
+
+// phaseWinner: a finished mode beats any running one; ties break toward
+// the earlier mode; an all-done phase casts no vote.
+func TestPhaseWinnerRules(t *testing.T) {
+	inf := func() float64 { return math.Inf(1) }
+	if w := phaseWinner([]float64{1.0, 2.0, 1.5}); w != 1 {
+		t.Fatalf("winner %d, want 1", w)
+	}
+	if w := phaseWinner([]float64{2.0, 2.0}); w != 0 {
+		t.Fatalf("tie winner %d, want 0", w)
+	}
+	if w := phaseWinner([]float64{1.0, inf()}); w != 1 {
+		t.Fatalf("done-mode winner %d, want 1", w)
+	}
+	if w := phaseWinner([]float64{inf(), inf()}); w != -1 {
+		t.Fatalf("all-done winner %d, want -1", w)
+	}
+}
+
+// --- sweep determinism ----------------------------------------------------
+
+// quickOpts keeps the determinism sweeps inside test budget: two seeds,
+// two scenarios, all six modes.
+func quickSweep(t *testing.T, workers int) string {
+	t.Helper()
+	rep, err := Run(context.Background(), QuickScenarios("metbench")[:2], Options{
+		Seeds: []uint64{42, 1043},
+		Exec:  experiments.ExecOptions{Workers: workers},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Format()
+}
+
+func TestSelectorDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	want := quickSweep(t, 1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := quickSweep(t, workers); got != want {
+			t.Fatalf("winner table differs at %d workers:\n got:\n%s\nwant:\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+func TestSelectorDeterministicAcrossRepeatedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	a := quickSweep(t, 0)
+	b := quickSweep(t, 0)
+	if a != b {
+		t.Fatalf("repeated sweep differs:\n first:\n%s\n second:\n%s", a, b)
+	}
+}
+
+// --- golden winner table --------------------------------------------------
+
+// The golden file pins the full quick-grid report for MatMulDAG: the
+// selector-smoke CI job re-derives it and any nondeterminism or scoring
+// change shows up as a byte diff. Regenerate with:
+//
+//	go test ./internal/selector/ -run Golden -update
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestGoldenWinnerTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	rep, err := Run(context.Background(), QuickScenarios("matmul"), Options{
+		Seeds: []uint64{42, 1043},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Format()
+	path := filepath.Join("testdata", "golden_select_matmul.txt")
+	if update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("winner table differs from golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

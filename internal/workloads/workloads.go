@@ -456,7 +456,9 @@ func BuildSiesta(k *sched.Kernel, cfg SiestaConfig) *Job {
 }
 
 // Names lists the available workloads.
-func Names() []string { return []string{"metbench", "metbenchvar", "btmz", "siesta"} }
+func Names() []string {
+	return []string{"metbench", "metbenchvar", "btmz", "siesta", "matmul"}
+}
 
 // Describe returns a one-line description of a workload.
 func Describe(name string) string {
@@ -469,6 +471,8 @@ func Describe(name string) string {
 		return "NAS BT Multi-Zone analogue: uneven zones, neighbour exchange (Table V)"
 	case "siesta":
 		return "SIESTA analogue: irregular master/worker ab-initio run (Table VI)"
+	case "matmul":
+		return "heterogeneous matrix-multiply task DAG: rotating panel owner, dependency-gated updates"
 	default:
 		return fmt.Sprintf("unknown workload %q", name)
 	}

@@ -219,7 +219,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestNamesAndDescribe(t *testing.T) {
 	names := Names()
-	if len(names) != 4 {
+	if len(names) != 5 {
 		t.Fatalf("Names = %v", names)
 	}
 	for _, n := range names {
@@ -282,4 +282,67 @@ func TestJitterChangesTimingNotStructure(t *testing.T) {
 	if jittered >= 10*sim.Second {
 		t.Error("jittered run deadlocked")
 	}
+}
+
+func TestMatMulDAGStructure(t *testing.T) {
+	k := newKernel(1)
+	cfg := DefaultMatMulDAG()
+	cfg.Panels = 12
+	job := BuildMatMulDAG(k, cfg)
+	if len(job.Tasks) != 4 {
+		t.Fatalf("tasks = %d, want one per UpdateWork entry", len(job.Tasks))
+	}
+	end := k.RunUntilWatchedExit(60 * sim.Second)
+	if end >= 60*sim.Second {
+		t.Fatal("MatMulDAG deadlocked")
+	}
+	// Panels are broadcast: n-1 sends per step plus the init barrier.
+	if job.World.MsgCount == 0 {
+		t.Fatal("no messages exchanged")
+	}
+	// Built-in imbalance: utilization follows the uneven update costs.
+	if job.Tasks[3].Utilization() <= job.Tasks[0].Utilization() {
+		t.Errorf("heavy rank not busier: %v vs %v",
+			job.Tasks[3].Utilization(), job.Tasks[0].Utilization())
+	}
+	// Ownership rotates: every rank owns some panels, so every rank both
+	// waits on panels (wakeups) and computes.
+	for i, task := range job.Tasks {
+		if task.WakeupCount == 0 {
+			t.Errorf("rank %d never blocked on a panel", i)
+		}
+	}
+	k.Shutdown()
+}
+
+func TestMatMulDAGValidation(t *testing.T) {
+	k := newKernel(1)
+	for name, f := range map[string]func(){
+		"ranks":  func() { BuildMatMulDAG(k, MatMulDAGConfig{Panels: 2, UpdateWork: []sim.Time{1}}) },
+		"panels": func() { BuildMatMulDAG(k, MatMulDAGConfig{UpdateWork: []sim.Time{1, 2}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: invalid config did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatMulDAGStaticPriosApplied(t *testing.T) {
+	k := newKernel(1)
+	cfg := DefaultMatMulDAG()
+	cfg.Panels = 4
+	cfg.StaticPrios = MatMulDAGStaticPrios()
+	job := BuildMatMulDAG(k, cfg)
+	k.RunUntilWatchedExit(60 * sim.Second)
+	for i, want := range MatMulDAGStaticPrios() {
+		if job.Tasks[i].HWPrio != want {
+			t.Errorf("rank %d priority = %v, want %v", i, job.Tasks[i].HWPrio, want)
+		}
+	}
+	k.Shutdown()
 }
