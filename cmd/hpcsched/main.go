@@ -10,6 +10,7 @@
 //	    [-faults SPEC] [-replica-timeout D] [-max-retries N] [-stall-timeout D]
 //	hpcsched fig3|fig4|fig5|fig6 [-seed N] [-width N]
 //	hpcsched run -workload metbench -mode uniform [-seed N] [-trace] [-faults SPEC]
+//	    [-nodes N] [-topology flat|ring|star] [-shards N]
 //	hpcsched list                   # available workloads
 package main
 
@@ -333,6 +334,9 @@ func runOne(args []string) {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	doTrace := fs.Bool("trace", false, "render the execution trace")
 	width := fs.Int("width", 100, "timeline columns")
+	nodes := fs.Int("nodes", 1, "simulated cluster nodes (>1 scales the workload across a multi-node PDES run)")
+	topology := fs.String("topology", "flat", "inter-node latency shape: flat|ring|star")
+	shards := fs.Int("shards", 0, "PDES parallelism for -nodes > 1 (0 = GOMAXPROCS; results are shard-invariant)")
 	var fv faults.FlagValue
 	fs.Var(&fv, "faults", `fault-injection spec, e.g. "slow:n=2,factor=0.5;loss" (empty = none)`)
 	parseFlags(fs, args)
@@ -341,10 +345,25 @@ func runOne(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		exit(2)
 	}
-	r := experiments.Run(experiments.Config{
+	r, err := experiments.RunCtx(context.Background(), experiments.Config{
 		Workload: *wl, Mode: mode, Seed: *seed, Trace: *doTrace,
 		Faults: fv.Spec,
+		Nodes:  *nodes, Topology: *topology, Shards: *shards,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	}
+	if r.Cluster != nil {
+		fmt.Printf("%s under %s on %d nodes (%s, %d shard(s)): exec time %.2fs\n",
+			*wl, mode, r.Cluster.Nodes, r.Cluster.Topology, r.Cluster.Shards,
+			r.ExecTime.Seconds())
+		fmt.Print(experiments.ClusterTimeline(r))
+		if *doTrace && r.Recorder != nil {
+			fmt.Print(r.Recorder.Render(trace.RenderOptions{Width: *width, Prios: mode.UsesHPCClass()}))
+		}
+		return
+	}
 	fmt.Printf("%s under %s: exec time %.2fs, imbalance %.3f\n",
 		*wl, mode, r.ExecTime.Seconds(), r.Imbalance)
 	if r.FaultTimeline != "" {

@@ -89,6 +89,9 @@ func main() {
 	var fv faults.FlagValue
 	flag.Var(&fv, "faults", `-what select: custom perturbation spec replacing the built-in scenario grid`)
 	quick := flag.Bool("quick", false, "-what select: shrink workloads to CI smoke size")
+	nodes := flag.Int("nodes", 1, "simulated cluster nodes per run (>1 sweeps the multi-node PDES configuration)")
+	topology := flag.String("topology", "flat", "inter-node latency shape for -nodes > 1: flat|ring|star")
+	shards := flag.Int("shards", 0, "PDES parallelism per run for -nodes > 1 (0 = GOMAXPROCS; results are shard-invariant)")
 	replicaTimeout := flag.Duration("replica-timeout", 0, "per-replica wall-clock deadline (0 = none)")
 	maxRetries := flag.Int("max-retries", 0, "retries per failed replica, each on a fresh derived seed")
 	stallTimeout := flag.Duration("stall-timeout", 0, "per-replica sim-clock liveness watchdog (0 = off)")
@@ -116,7 +119,13 @@ func main() {
 		return
 	}
 
-	points := buildPoints(*what, *wl)
+	points := buildPoints(*what, *wl, func(c *experiments.Config) {
+		// Cluster knobs apply to every sweep point AND its baseline, so
+		// improvements compare multi-node runs against multi-node runs.
+		c.Nodes = *nodes
+		c.Topology = *topology
+		c.Shards = *shards
+	})
 	if points == nil {
 		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *what)
 		os.Exit(2)
@@ -255,11 +264,16 @@ func runSelect(wl string, fv faults.FlagValue, quick bool, seed uint64, nseeds i
 	fmt.Print(rep.Format())
 }
 
-// buildPoints enumerates the sweep grid; nil means an unknown sweep.
-func buildPoints(what, wl string) []point {
+// buildPoints enumerates the sweep grid; nil means an unknown sweep. every
+// is applied to every config (points and baselines alike) — the cluster
+// knobs ride it.
+func buildPoints(what, wl string, every func(*experiments.Config)) []point {
 	mk := func(mode experiments.Mode, mut func(*experiments.Config)) func(uint64) experiments.Config {
 		return func(seed uint64) experiments.Config {
 			c := experiments.Config{Workload: wl, Mode: mode, Seed: seed}
+			if every != nil {
+				every(&c)
+			}
 			if mut != nil {
 				mut(&c)
 			}

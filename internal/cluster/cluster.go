@@ -1,0 +1,752 @@
+// Package cluster simulates a whole machine room: N node-local kernels —
+// each the single-node engine of internal/sim + internal/sched — coupled
+// by an inter-node MPI latency model and advanced in parallel by a
+// conservative (null-message) parallel discrete-event simulation.
+//
+// The correctness argument is the classic Chandy–Misra–Bryant bound. Every
+// inter-node message costs at least the latency floor L (the interconnect's
+// RemoteLatency plus the smallest topology add-on over cross-node rank
+// pairs). A node publishes its clock c only after every event at ≤ c has
+// fired, so any message it has not yet handed to the transport fires at
+// ≥ c+1 and arrives at ≥ c+1+L. Node i may therefore simulate up to
+//
+//	h_i = min_{j≠i} c_j + L
+//
+// without ever receiving a message in its past. L ≤ 0 would make that
+// horizon vacuous — a zero-lookahead deadlock — and is rejected with a
+// structured *LookaheadError before the run starts.
+//
+// Determinism is the headline property: the event sequence of every node —
+// and therefore timelines, traces and fault logs — is byte-identical at any
+// shard count. Cross-node deliveries are injected by a window-invariant
+// protocol (see stepNode) so the lookahead window boundaries, which do
+// depend on shard scheduling, are invisible to the simulation.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hpcsched/internal/batch"
+	"hpcsched/internal/mpi"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+// nodeEngineSalt separates the per-node engine RNG streams from every other
+// derived stream in the tree (batch replicas, storms, fault compiles).
+const nodeEngineSalt = 0xc105_7e20_0000_0000
+
+// Config describes a sharded cluster simulation.
+type Config struct {
+	// Nodes is the number of simulated nodes (≥ 1).
+	Nodes int
+	// Shards is the number of goroutines advancing node engines; ≤ 0 means
+	// GOMAXPROCS. Nodes are dealt round-robin over shards, and any shard
+	// count yields the identical simulation.
+	Shards int
+	// Topology shapes the inter-node latency add-ons: "flat" (uniform
+	// interconnect, the default), "ring" (latency grows with hop distance)
+	// or "star" (leaf↔leaf traffic pays one extra hub hop).
+	Topology string
+	// Seed drives all randomness; node i's engine seeds from
+	// DeriveSeed(Seed, nodeEngineSalt+i).
+	Seed uint64
+	// MPI parameterises the transport. RemoteLatency (plus the smallest
+	// topology add-on) is the lookahead floor and must be positive.
+	MPI mpi.Options
+	// NewNode builds node i's kernel on the given engine — the caller's
+	// hook for chips, scheduler options, HPC classes, noise and tracers.
+	NewNode func(node int, eng *sim.Engine) *sched.Kernel
+	// OnNodeStop, when non-nil, is consulted when a node's engine is
+	// stopped by an interrupt (a watchdog or context hook installed by the
+	// caller) with ranks still pending: the returned error aborts the run.
+	// Nil treats any such stop as a generic interrupt error.
+	OnNodeStop func(node int) error
+}
+
+// LookaheadError reports a lookahead floor too small to make progress: the
+// conservative horizon is min(other clocks)+floor−1 (strict — a message can
+// arrive at exactly clock+floor, so the window must stop one tick short),
+// and with floor < 2ns that horizon never advances past the slowest clock:
+// the parallel simulation would deadlock (or livelock in zero-sized steps).
+// It is returned by Finalize before any event runs.
+type LookaheadError struct {
+	Floor    sim.Time
+	Topology string
+}
+
+func (e *LookaheadError) Error() string {
+	return fmt.Sprintf("cluster: lookahead floor %v on %q topology is too small; "+
+		"inter-node latency (mpi.Options.RemoteLatency plus topology add-ons) must be ≥ 2ns",
+		e.Floor, e.Topology)
+}
+
+// InterruptError reports that a node's engine was stopped (watchdog,
+// context cancellation) before its ranks completed.
+type InterruptError struct {
+	Node  int
+	Cause error
+}
+
+func (e *InterruptError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("cluster: node %d interrupted: %v", e.Node, e.Cause)
+	}
+	return fmt.Sprintf("cluster: node %d interrupted with ranks pending", e.Node)
+}
+
+func (e *InterruptError) Unwrap() error { return e.Cause }
+
+// xmsg is one cross-shard message in flight: the arrival instant is stamped
+// by the sender, and (arrival, srcNode, seq) is a total order — seq is the
+// sender's running counter for the directed node pair, so two messages can
+// only tie on (arrival, srcNode) if they are the same message.
+type xmsg struct {
+	arrival sim.Time
+	srcNode int
+	seq     uint64
+	dst     *mpi.Rank
+	src     int
+	tag     int
+	size    int64
+}
+
+// pairQueue carries messages for one directed node pair. Pushes never
+// block: a full channel spills to the mutexed overflow slice, so a sender
+// mid-window can never deadlock against a receiver mid-window. The drain
+// sorts everything it collects, restoring the total order the ch/overflow
+// split may scramble.
+type pairQueue struct {
+	ch       chan xmsg
+	mu       sync.Mutex
+	overflow []xmsg
+	seq      uint64 // owner-shard only: per-pair send counter
+
+	// n counts queued-but-undrained messages; the sender increments it
+	// before enqueueing. A zero read lets drainInto skip the channel poll
+	// and overflow mutex entirely — with N nodes the drain runs N-1 times
+	// per lookahead window, and most pairs are silent in most windows. A
+	// racing non-zero-but-not-yet-enqueued message is safe to miss: its
+	// arrival is stamped beyond the reader's current horizon (see
+	// drainInto).
+	n atomic.Int64
+}
+
+const pairQueueCap = 1024
+
+// inject is one pooled target-side delivery: a pre-bound engine callback
+// per object, so injecting a cross-node message allocates nothing in steady
+// state (the per-event alloc budget is ≤ 0.01 and a 4-node exchange-heavy
+// run injects tens of thousands of deliveries).
+type inject struct {
+	dst  *mpi.Rank
+	src  int
+	tag  int
+	size int64
+	next *inject
+	fire func()
+}
+
+// injectPool is a per-node free list; only the node's owner shard touches it.
+type injectPool struct {
+	free *inject
+}
+
+func (p *injectPool) draw(m xmsg) *inject {
+	in := p.free
+	if in == nil {
+		in = &inject{}
+		in.fire = func() {
+			d, src, tag, size := in.dst, in.src, in.tag, in.size
+			in.dst = nil
+			in.next = p.free
+			p.free = in
+			d.Deliver(src, tag, size)
+		}
+	} else {
+		p.free = in.next
+		in.next = nil
+	}
+	in.dst = m.dst
+	in.src = m.src
+	in.tag = m.tag
+	in.size = m.size
+	return in
+}
+
+// Cluster is a set of simulated nodes advanced in parallel.
+type Cluster struct {
+	Engines []*sim.Engine
+	Kernels []*sched.Kernel
+	World   *mpi.World
+
+	cfg     Config
+	shards  int
+	horizon sim.Time
+	floor   sim.Time
+
+	queues  [][]*pairQueue // [srcNode][dstNode], nil on the diagonal
+	clocks  []atomic.Int64 // published per-node clocks (MaxTime once done)
+	pools   []injectPool
+	staging [][]xmsg // per-node drained-but-not-yet-due messages
+
+	pending  []int  // per-node unexited spawned ranks (owner shard only)
+	done     []bool // owner shard only
+	ends     []sim.Time
+	capped   []bool // node hit the horizon with ranks pending
+	rankNode []int
+
+	watched []map[*sched.Task]bool
+
+	abort    atomic.Bool
+	abortMu  sync.Mutex
+	abortErr error
+
+	// progress is broadcast whenever any node publishes a new clock,
+	// finishes, or the run aborts. Shards whose nodes cannot advance park
+	// here instead of spinning: a node's horizon moves only when a peer's
+	// clock does, so every event that could unblock a shard bumps the
+	// generation. The generation and the parked-waiter count are atomics so
+	// the hot path (bump with no one parked — the common case, once per
+	// lookahead window) costs two uncontended atomic ops, not a mutex and a
+	// broadcast; parked is only modified under progressMu.
+	progressMu  sync.Mutex
+	progress    sync.Cond
+	progressGen atomic.Uint64
+	parked      atomic.Int32
+
+	finalized bool
+}
+
+// New builds the node engines and kernels. Ranks are placed with SpawnRank;
+// call Finalize after the last spawn, then Run.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.NewNode == nil {
+		return nil, fmt.Errorf("cluster: Config.NewNode is required")
+	}
+	switch cfg.Topology {
+	case "", "flat", "ring", "star":
+	default:
+		return nil, fmt.Errorf("cluster: unknown topology %q (flat|ring|star)", cfg.Topology)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		shards:  shards,
+		queues:  make([][]*pairQueue, cfg.Nodes),
+		clocks:  make([]atomic.Int64, cfg.Nodes),
+		pools:   make([]injectPool, cfg.Nodes),
+		staging: make([][]xmsg, cfg.Nodes),
+		pending: make([]int, cfg.Nodes),
+		done:    make([]bool, cfg.Nodes),
+		ends:    make([]sim.Time, cfg.Nodes),
+		capped:  make([]bool, cfg.Nodes),
+		watched: make([]map[*sched.Task]bool, cfg.Nodes),
+	}
+	c.progress.L = &c.progressMu
+	for i := 0; i < cfg.Nodes; i++ {
+		eng := sim.NewEngine(batch.DeriveSeed(cfg.Seed, nodeEngineSalt+uint64(i)))
+		c.Engines = append(c.Engines, eng)
+		c.Kernels = append(c.Kernels, cfg.NewNode(i, eng))
+		c.queues[i] = make([]*pairQueue, cfg.Nodes)
+		for j := 0; j < cfg.Nodes; j++ {
+			if j != i {
+				c.queues[i][j] = &pairQueue{ch: make(chan xmsg, pairQueueCap)}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Shards returns the effective shard count.
+func (c *Cluster) Shards() int { return c.shards }
+
+// Floor returns the lookahead floor (valid after Finalize).
+func (c *Cluster) Floor() sim.Time { return c.floor }
+
+// NewWorld creates the MPI world spanning the cluster: node 0's kernel
+// anchors it, every further node is attached, and the cluster itself is
+// installed as the cross-shard router.
+func (c *Cluster) NewWorld(size int, opts mpi.Options) *mpi.World {
+	w := mpi.NewWorld(c.Kernels[0], size, opts)
+	for i := 1; i < len(c.Kernels); i++ {
+		w.AttachNode(i, c.Kernels[i])
+	}
+	w.SetRouter(c)
+	c.World = w
+	c.rankNode = make([]int, size)
+	return w
+}
+
+// SpawnRank places rank i on the given node and registers it for
+// completion tracking: a node is finished when its last spawned rank
+// exits, which stops the node's engine mid-window.
+func (c *Cluster) SpawnRank(i, node int, spec sched.TaskSpec, body func(*mpi.Rank)) *sched.Task {
+	if c.World == nil {
+		panic("cluster: SpawnRank before NewWorld")
+	}
+	if node < 0 || node >= len(c.Kernels) {
+		panic(fmt.Sprintf("cluster: node %d out of range", node))
+	}
+	task := c.World.SpawnAt(i, c.Kernels[node], node, spec, body)
+	c.rankNode[i] = node
+	c.pending[node]++
+	if c.watched[node] == nil {
+		c.watched[node] = make(map[*sched.Task]bool)
+		k := c.Kernels[node]
+		prev := k.OnTaskExit
+		k.OnTaskExit = func(t *sched.Task) {
+			if prev != nil {
+				prev(t)
+			}
+			if c.watched[node][t] {
+				delete(c.watched[node], t)
+				c.pending[node]--
+				if c.pending[node] == 0 {
+					k.Engine.Stop()
+				}
+			}
+		}
+	}
+	c.watched[node][task] = true
+	return task
+}
+
+// RankNode returns the node rank i was placed on.
+func (c *Cluster) RankNode(i int) int { return c.rankNode[i] }
+
+// Finalize applies the topology's per-rank-pair latency add-ons (placement
+// must be complete) and computes the lookahead floor, rejecting a
+// non-positive floor with *LookaheadError. It must be called once, after
+// the last SpawnRank and before Run.
+func (c *Cluster) Finalize() error {
+	if c.World == nil {
+		return fmt.Errorf("cluster: Finalize before NewWorld")
+	}
+	c.finalized = true
+	if len(c.Kernels) == 1 {
+		c.floor = sim.MaxTime // no cross-shard traffic; horizon-capped only
+		return nil
+	}
+	floor := sim.MaxTime
+	cross := false
+	size := c.World.Size()
+	for s := 0; s < size; s++ {
+		for d := 0; d < size; d++ {
+			if s == d || c.rankNode[s] == c.rankNode[d] {
+				continue
+			}
+			cross = true
+			extra := topologyExtra(c.cfg.Topology, c.rankNode[s], c.rankNode[d],
+				len(c.Kernels), c.cfg.MPI.RemoteLatency)
+			if extra > 0 {
+				c.World.SetPairExtraDelay(s, d, extra)
+			}
+			if lat := c.cfg.MPI.RemoteLatency + extra; lat < floor {
+				floor = lat
+			}
+		}
+	}
+	if !cross {
+		c.floor = sim.MaxTime
+		return nil
+	}
+	c.floor = floor
+	if floor <= 1 {
+		return &LookaheadError{Floor: floor, Topology: topologyName(c.cfg.Topology)}
+	}
+	return nil
+}
+
+// topologyName normalises the default.
+func topologyName(t string) string {
+	if t == "" {
+		return "flat"
+	}
+	return t
+}
+
+// topologyExtra returns the latency added on top of RemoteLatency for a
+// message between nodes a and b. All shapes keep at least one zero-add-on
+// pair, so the lookahead floor is RemoteLatency itself.
+func topologyExtra(topology string, a, b, nodes int, remote sim.Time) sim.Time {
+	switch topology {
+	case "", "flat":
+		return 0
+	case "ring":
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if rd := nodes - d; rd < d {
+			d = rd
+		}
+		return sim.Time(d-1) * (remote / 2)
+	case "star":
+		if a == 0 || b == 0 {
+			return 0 // hub traffic is direct
+		}
+		return remote // leaf↔leaf pays the extra hub hop
+	default:
+		panic(fmt.Sprintf("cluster: unknown topology %q", topology))
+	}
+}
+
+// RouteMessage implements mpi.Router: it runs on the sender's shard at the
+// virtual instant the send fired, with the arrival pre-stamped. The push
+// never blocks (overflow spills to a slice) so two shards can never
+// deadlock pushing to each other mid-window.
+func (c *Cluster) RouteMessage(srcNode, dstNode int, arrival sim.Time, dst *mpi.Rank, src, tag int, size int64) {
+	q := c.queues[srcNode][dstNode]
+	q.seq++
+	m := xmsg{arrival: arrival, srcNode: srcNode, seq: q.seq,
+		dst: dst, src: src, tag: tag, size: size}
+	q.n.Add(1)
+	select {
+	case q.ch <- m:
+	default:
+		q.mu.Lock()
+		q.overflow = append(q.overflow, m)
+		q.mu.Unlock()
+	}
+}
+
+// drainInto appends every message queued for node i to its staging buffer.
+// It must run after the horizon's clock reads: anything pushed later
+// carries an arrival beyond the horizon, so missing it is harmless.
+func (c *Cluster) drainInto(i int) {
+	st := c.staging[i]
+	for j := range c.queues {
+		if j == i || c.queues[j] == nil {
+			continue
+		}
+		q := c.queues[j][i]
+		if q == nil || q.n.Load() == 0 {
+			// A sender racing between its n.Add and the enqueue is missed
+			// here, but such a message was stamped after this node's clock
+			// reads: its arrival lies beyond the current horizon, and the
+			// next window's drain picks it up.
+			continue
+		}
+		drained := 0
+		for {
+			select {
+			case m := <-q.ch:
+				st = append(st, m)
+				drained++
+				continue
+			default:
+			}
+			break
+		}
+		q.mu.Lock()
+		if len(q.overflow) > 0 {
+			st = append(st, q.overflow...)
+			drained += len(q.overflow)
+			q.overflow = q.overflow[:0]
+		}
+		q.mu.Unlock()
+		if drained > 0 {
+			q.n.Add(int64(-drained))
+		}
+	}
+	c.staging[i] = st
+}
+
+// horizonFor computes node i's safe simulation horizon from the other
+// nodes' published clocks and the lookahead floor, capped at the run
+// horizon (done nodes publish MaxTime and stop constraining anyone).
+//
+// The horizon is STRICT: a peer sitting exactly at minOther can still send
+// a message with the minimum delay, which arrives at exactly
+// minOther+floor. Running through that instant inclusively would fire the
+// node's own events at minOther+floor before the late arrival is staged —
+// an ordering that depends on where the window boundary fell, i.e. on the
+// shard count. Stopping one tick short keeps every arrival strictly ahead
+// of the window, so any window cut injects the identical Schedule sequence.
+func (c *Cluster) horizonFor(i int) sim.Time {
+	minOther := sim.MaxTime
+	for j := range c.clocks {
+		if j == i {
+			continue
+		}
+		if cj := sim.Time(c.clocks[j].Load()); cj < minOther {
+			minOther = cj
+		}
+	}
+	if minOther >= c.horizon || c.floor-1 >= c.horizon-minOther {
+		return c.horizon
+	}
+	return minOther + c.floor - 1
+}
+
+// afterRun classifies why a node's engine came back from Run: still going
+// (false), finished its ranks, or interrupted — the latter aborts the whole
+// cluster. It returns true when the node must not be stepped further.
+func (c *Cluster) afterRun(i int) bool {
+	eng := c.Engines[i]
+	if !eng.Stopped() {
+		return false
+	}
+	if c.pending[i] == 0 {
+		c.finish(i, false)
+		return true
+	}
+	var cause error
+	if c.cfg.OnNodeStop != nil {
+		cause = c.cfg.OnNodeStop(i)
+	}
+	c.abortWith(&InterruptError{Node: i, Cause: cause})
+	return true
+}
+
+// finish marks node i complete: its end is its engine's current instant
+// (the last rank's exit, or the run horizon when capped), and its
+// published clock becomes MaxTime so it stops constraining the others.
+func (c *Cluster) finish(i int, capped bool) {
+	c.done[i] = true
+	c.capped[i] = capped
+	c.ends[i] = c.Engines[i].Now()
+	c.clocks[i].Store(int64(sim.MaxTime))
+	c.bump()
+}
+
+func (c *Cluster) abortWith(err error) {
+	c.abortMu.Lock()
+	if c.abortErr == nil {
+		c.abortErr = err
+	}
+	c.abortMu.Unlock()
+	c.abort.Store(true)
+	c.bump()
+}
+
+// bump publishes cluster-wide progress and wakes any parked shard. The
+// generation increment is sequenced before the waiter check, and a parking
+// shard increments parked (under progressMu) before re-checking the
+// generation — so either the parker sees the new generation and never
+// waits, or this bump sees parked > 0 and broadcasts under the mutex the
+// parker holds until its Wait releases it. No wakeup can be lost.
+func (c *Cluster) bump() {
+	c.progressGen.Add(1)
+	if c.parked.Load() == 0 {
+		return
+	}
+	c.progressMu.Lock()
+	c.progress.Broadcast()
+	c.progressMu.Unlock()
+}
+
+// stepNode advances node i by one lookahead window. It returns true if the
+// node made progress (fired events or moved its clock).
+//
+// The injection protocol is what makes window boundaries — which depend on
+// shard interleaving — invisible: staged messages are sorted into the total
+// order (arrival, srcNode, seq); for each distinct arrival T the engine
+// first runs to exactly T−1 (so all local events before T hold their event
+// sequence numbers), then the deliveries at T are scheduled in sorted
+// order; finally the engine runs to the window horizon. Any shard count
+// executes the identical Schedule-call sequence on this engine.
+func (c *Cluster) stepNode(i int) bool {
+	eng := c.Engines[i]
+	now := eng.Now()
+	h := c.horizonFor(i)
+	if h <= now {
+		return false
+	}
+	c.drainInto(i)
+	st := c.staging[i]
+	if len(st) > 1 {
+		sort.Slice(st, func(a, b int) bool {
+			if st[a].arrival != st[b].arrival {
+				return st[a].arrival < st[b].arrival
+			}
+			if st[a].srcNode != st[b].srcNode {
+				return st[a].srcNode < st[b].srcNode
+			}
+			return st[a].seq < st[b].seq
+		})
+	}
+	pos := 0
+	for pos < len(st) {
+		t := st[pos].arrival
+		if t > h {
+			break
+		}
+		eng.Run(t - 1)
+		if c.afterRun(i) {
+			c.consumeStaged(i, pos)
+			return true
+		}
+		for pos < len(st) && st[pos].arrival == t {
+			in := c.pools[i].draw(st[pos])
+			eng.Schedule(t, in.fire)
+			pos++
+		}
+	}
+	c.consumeStaged(i, pos)
+	eng.Run(h)
+	if c.afterRun(i) {
+		return true
+	}
+	c.clocks[i].Store(int64(eng.Now()))
+	if eng.Now() >= c.horizon {
+		c.finish(i, c.pending[i] > 0)
+	} else {
+		c.bump()
+	}
+	return true
+}
+
+// consumeStaged drops the first n staged messages (they were injected).
+func (c *Cluster) consumeStaged(i, n int) {
+	st := c.staging[i]
+	c.staging[i] = st[:copy(st, st[n:])]
+}
+
+// shardSpinPasses bounds how many fruitless passes a shard burns yielding
+// the OS thread before it parks on the progress condition. A couple of
+// spins cover the common case where a peer's window is about to land;
+// beyond that, spinning only steals cycles from the engines doing the
+// actual work (catastrophically so under the race detector, where every
+// polled atomic is instrumented).
+const shardSpinPasses = 8
+
+// runShard advances the nodes dealt to shard s until they all finish or
+// the cluster aborts. Shards never block on each other's windows: a node
+// that cannot advance (its horizon has not moved) is skipped. A pass with
+// no progress first yields the OS thread, then — after shardSpinPasses
+// fruitless passes — parks until any peer publishes a clock, finishes, or
+// aborts (every such event bumps the progress generation).
+func (c *Cluster) runShard(s int) {
+	n := len(c.Engines)
+	spins := 0
+	for {
+		if c.abort.Load() {
+			return
+		}
+		gen := c.progressGen.Load()
+		progress, left := false, 0
+		for i := s; i < n; i += c.shards {
+			if c.done[i] {
+				continue
+			}
+			left++
+			if c.stepNode(i) {
+				progress = true
+			}
+		}
+		if left == 0 {
+			return
+		}
+		if progress {
+			spins = 0
+			continue
+		}
+		if spins < shardSpinPasses {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		c.progressMu.Lock()
+		c.parked.Add(1)
+		for c.progressGen.Load() == gen && !c.abort.Load() {
+			c.progress.Wait()
+		}
+		c.parked.Add(-1)
+		c.progressMu.Unlock()
+		spins = 0
+	}
+}
+
+// Run advances all nodes until every spawned rank has exited or the horizon
+// passes, and returns the cluster end time — the latest node end. The
+// error is non-nil only when a node was interrupted (watchdog or context
+// hook); the caller still owns Settle/Shutdown.
+func (c *Cluster) Run(horizon sim.Time) (sim.Time, error) {
+	if !c.finalized {
+		if err := c.Finalize(); err != nil {
+			return 0, err
+		}
+	}
+	if horizon <= 0 || horizon >= sim.MaxTime {
+		horizon = 3600 * sim.Second
+	}
+	c.horizon = horizon
+	var wg sync.WaitGroup
+	for s := 1; s < c.shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c.runShard(s)
+		}(s)
+	}
+	c.runShard(0)
+	wg.Wait()
+	var end sim.Time
+	for i := range c.ends {
+		if !c.done[i] {
+			// Aborted mid-flight: report how far the node got.
+			c.ends[i] = c.Engines[i].Now()
+		}
+		if c.ends[i] > end {
+			end = c.ends[i]
+		}
+	}
+	c.abortMu.Lock()
+	err := c.abortErr
+	c.abortMu.Unlock()
+	return end, err
+}
+
+// NodeEnd returns node i's end instant (after Run).
+func (c *Cluster) NodeEnd(i int) sim.Time { return c.ends[i] }
+
+// Capped reports whether node i hit the run horizon with ranks pending.
+func (c *Cluster) Capped(i int) bool { return c.capped[i] }
+
+// GVT returns the global virtual time: the minimum over all node ends and
+// published clocks — every event before it has fired on every node.
+func (c *Cluster) GVT() sim.Time {
+	gvt := sim.MaxTime
+	for i := range c.clocks {
+		cl := sim.Time(c.clocks[i].Load())
+		if c.done[i] {
+			cl = c.ends[i]
+		}
+		if cl < gvt {
+			gvt = cl
+		}
+	}
+	return gvt
+}
+
+// Settle closes the open busy-accounting stretches of every node, the step
+// a single-node RunUntilWatchedExit performs on return. Call it after Run,
+// before reading metrics or finishing trace recorders.
+func (c *Cluster) Settle() {
+	for _, k := range c.Kernels {
+		k.Settle()
+	}
+}
+
+// Shutdown releases every node's background goroutines. The cluster must
+// not be used afterwards.
+func (c *Cluster) Shutdown() {
+	for _, k := range c.Kernels {
+		k.Shutdown()
+	}
+}

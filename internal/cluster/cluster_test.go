@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hpcsched/internal/mpi"
+	"hpcsched/internal/power5"
+	"hpcsched/internal/sched"
+	"hpcsched/internal/sim"
+)
+
+func newTestNode(node int, eng *sim.Engine) *sched.Kernel {
+	return sched.NewKernel(eng, power5.NewChip(2, power5.NewCalibratedPerfModel()), sched.Options{})
+}
+
+// buildRingJob spawns two ranks per node running a global ring exchange:
+// every iteration each rank computes, sends to its successor and receives
+// from its predecessor, so every node border carries traffic both ways.
+func buildRingJob(t *testing.T, cfg Config, iterations int) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.Nodes * 2
+	c.NewWorld(n, cfg.MPI)
+	for i := 0; i < n; i++ {
+		i := i
+		rng := rankRNG(cfg.Seed, i)
+		c.SpawnRank(i, i/2, sched.TaskSpec{}, func(r *mpi.Rank) {
+			for it := 0; it < iterations; it++ {
+				r.Compute(rng.Jitter(200*sim.Microsecond, 0.3))
+				r.Send((i+1)%n, it, 4096)
+				r.Recv((i+n-1)%n, it)
+			}
+		})
+	}
+	return c
+}
+
+// fingerprint renders everything observable about a finished run.
+func fingerprint(c *Cluster, end sim.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "end=%v gvt=%v floor=%v\n", end, c.GVT(), c.Floor())
+	for i := range c.Kernels {
+		count, bytes, remote := c.World.NodeMsgStats(i)
+		fmt.Fprintf(&b, "n%d end=%v capped=%v msgs=%d bytes=%d remote=%d\n",
+			i, c.NodeEnd(i), c.Capped(i), count, bytes, remote)
+	}
+	return b.String()
+}
+
+func runRing(t *testing.T, nodes, shards int, topology string, seed uint64) string {
+	t.Helper()
+	c := buildRingJob(t, Config{
+		Nodes: nodes, Shards: shards, Topology: topology, Seed: seed,
+		MPI: mpi.DefaultOptions(), NewNode: newTestNode,
+	}, 40)
+	defer c.Shutdown()
+	end, err := c.Run(0)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	for i := range c.Kernels {
+		if c.Capped(i) {
+			t.Fatalf("node %d capped at the horizon; the exchange deadlocked", i)
+		}
+	}
+	return fingerprint(c, end)
+}
+
+// TestShardInvariance is the core PDES property: the simulation is
+// byte-identical at 1 shard (sequential), 4 shards and GOMAXPROCS shards,
+// on every topology.
+func TestShardInvariance(t *testing.T) {
+	for _, topo := range []string{"flat", "ring", "star"} {
+		t.Run(topo, func(t *testing.T) {
+			want := runRing(t, 4, 1, topo, 42)
+			for _, shards := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+				if got := runRing(t, 4, shards, topo, 42); got != want {
+					t.Errorf("shards=%d diverges from sequential:\n got:\n%s\nwant:\n%s",
+						shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSeedsDiffer guards against the fingerprint being insensitive: two
+// different seeds must not produce the identical run.
+func TestSeedsDiffer(t *testing.T) {
+	if runRing(t, 2, 2, "flat", 1) == runRing(t, 2, 2, "flat", 2) {
+		t.Fatal("different seeds produced identical runs; fingerprint is blind")
+	}
+}
+
+// TestZeroLookaheadRejected pins the deadlock regression: a latency floor
+// of zero would make the conservative horizon vacuous, so Finalize must
+// reject it with a structured error before anything runs.
+func TestZeroLookaheadRejected(t *testing.T) {
+	opts := mpi.DefaultOptions()
+	opts.RemoteLatency = 0
+	c := buildRingJob(t, Config{
+		Nodes: 2, Shards: 1, Seed: 1, MPI: opts, NewNode: newTestNode,
+	}, 1)
+	defer c.Shutdown()
+	err := c.Finalize()
+	var le *LookaheadError
+	if !errors.As(err, &le) {
+		t.Fatalf("Finalize = %v, want *LookaheadError", err)
+	}
+	if le.Floor != 0 {
+		t.Errorf("LookaheadError.Floor = %v, want 0", le.Floor)
+	}
+	// Run must surface the same rejection when Finalize was skipped.
+	c2 := buildRingJob(t, Config{
+		Nodes: 2, Shards: 1, Seed: 1, MPI: opts, NewNode: newTestNode,
+	}, 1)
+	defer c2.Shutdown()
+	if _, err := c2.Run(0); !errors.As(err, &le) {
+		t.Fatalf("Run after skipped Finalize = %v, want *LookaheadError", err)
+	}
+}
+
+// TestUnknownTopologyRejected: the topology is validated up front.
+func TestUnknownTopologyRejected(t *testing.T) {
+	_, err := New(Config{Nodes: 2, Topology: "mesh", MPI: mpi.DefaultOptions(), NewNode: newTestNode})
+	if err == nil {
+		t.Fatal("New accepted an unknown topology")
+	}
+}
+
+// TestHorizonCap: ranks that outlive the horizon leave their nodes marked
+// capped, at exactly the horizon, identically at any shard count.
+func TestHorizonCap(t *testing.T) {
+	run := func(shards int) string {
+		c, err := New(Config{
+			Nodes: 2, Shards: shards, Seed: 7,
+			MPI: mpi.DefaultOptions(), NewNode: newTestNode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		c.NewWorld(2, mpi.DefaultOptions())
+		for i := 0; i < 2; i++ {
+			i := i
+			c.SpawnRank(i, i, sched.TaskSpec{}, func(r *mpi.Rank) {
+				for it := 0; ; it++ {
+					r.Compute(1 * sim.Millisecond)
+					r.Send(1-i, it, 64)
+					r.Recv(1-i, it)
+				}
+			})
+		}
+		end, err := c.Run(20 * sim.Millisecond)
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		if end != 20*sim.Millisecond {
+			t.Fatalf("end = %v, want the 20ms horizon", end)
+		}
+		for i := 0; i < 2; i++ {
+			if !c.Capped(i) {
+				t.Errorf("node %d not capped", i)
+			}
+		}
+		return fingerprint(c, end)
+	}
+	if a, b := run(1), run(2); a != b {
+		t.Errorf("capped run diverges across shards:\n got:\n%s\nwant:\n%s", b, a)
+	}
+}
+
+// TestInterruptAborts: an engine interrupt (the hook watchdogs and contexts
+// ride) with ranks still pending aborts the whole cluster with a structured
+// *InterruptError naming the node.
+func TestInterruptAborts(t *testing.T) {
+	c := buildRingJob(t, Config{
+		Nodes: 2, Shards: 2, Seed: 3,
+		MPI: mpi.DefaultOptions(), NewNode: newTestNode,
+		OnNodeStop: func(node int) error { return fmt.Errorf("stopped by test (node %d)", node) },
+	}, 1_000_000)
+	defer c.Shutdown()
+	eng := c.Engines[1]
+	eng.SetInterrupt(64, func() bool { return eng.Now() > 5*sim.Millisecond })
+	_, err := c.Run(0)
+	var ie *InterruptError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Run = %v, want *InterruptError", err)
+	}
+	if ie.Node != 1 {
+		t.Errorf("InterruptError.Node = %d, want 1", ie.Node)
+	}
+	if ie.Cause == nil || !strings.Contains(ie.Cause.Error(), "stopped by test") {
+		t.Errorf("InterruptError.Cause = %v, want the OnNodeStop verdict", ie.Cause)
+	}
+}
+
+// TestCollectivesCrossNode: Barrier and the rooted collectives must work
+// over the interconnect (the cluster barrier is message-based).
+func TestCollectivesCrossNode(t *testing.T) {
+	run := func(shards int) sim.Time {
+		c, err := New(Config{
+			Nodes: 2, Shards: shards, Seed: 11,
+			MPI: mpi.DefaultOptions(), NewNode: newTestNode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		c.NewWorld(4, mpi.DefaultOptions())
+		for i := 0; i < 4; i++ {
+			i := i
+			c.SpawnRank(i, i/2, sched.TaskSpec{}, func(r *mpi.Rank) {
+				for it := 0; it < 10; it++ {
+					r.Compute(sim.Time(100+50*i) * sim.Microsecond)
+					r.Barrier()
+				}
+				r.Allreduce(1024)
+				r.Bcast(0, 2048)
+			})
+		}
+		end, err := c.Run(0)
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		for i := 0; i < 2; i++ {
+			if c.Capped(i) {
+				t.Fatalf("node %d capped; a collective hung", i)
+			}
+		}
+		return end
+	}
+	if a, b := run(1), run(2); a != b {
+		t.Errorf("collective run diverges across shards: %v vs %v", a, b)
+	}
+}

@@ -76,6 +76,19 @@ type Config struct {
 	Mode     Mode
 	Seed     uint64
 
+	// Nodes, when > 1, scales the workload across a simulated cluster of
+	// that many nodes — each a full copy of the paper's machine with its
+	// own kernel, noise and (per-node-scoped) faults — coupled by the
+	// inter-node MPI latency model and advanced as a sharded conservative
+	// PDES (internal/cluster). 0 or 1 is the classic single-node run.
+	Nodes int
+	// Topology shapes inter-node latencies for cluster runs: "flat"
+	// (default), "ring" or "star".
+	Topology string
+	// Shards is the parallelism of a cluster run (≤ 0 → GOMAXPROCS). Any
+	// shard count produces the byte-identical simulation.
+	Shards int
+
 	// Noise overrides the default OS noise (nil → noise.DefaultConfig).
 	Noise *noise.Config
 	// Params overrides the HPC tunables (zero → core.DefaultParams).
@@ -147,7 +160,11 @@ type Result struct {
 	Kernel    *sched.Kernel // shut down; inspect counters only
 	// FaultTimeline is the applied fault-action log, one line per action
 	// (empty without faults). Same seed and spec → byte-identical timeline.
+	// Cluster runs prefix each line with its node ("n0 ", "n1 ", ...).
 	FaultTimeline string
+	// Cluster carries the per-node artifacts of a multi-node run
+	// (Config.Nodes > 1); nil for single-node runs.
+	Cluster *ClusterInfo
 }
 
 // staticPrios returns the paper's hand-tuned priorities per workload.
@@ -187,6 +204,9 @@ func Run(cfg Config) Result {
 // leaked process goroutines). A panic out of the model layers shuts the
 // kernel down and re-panics, so batch-level recovery sees a clean process.
 func RunCtx(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.Nodes > 1 {
+		return runClusterCtx(ctx, cfg)
+	}
 	engine := sim.NewEngine(cfg.Seed)
 	pm := cfg.PerfModel
 	if pm == nil {
@@ -348,6 +368,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	if wd != nil && wd.reason != "" {
 		// Aborted: capture the machine state before teardown destroys it.
 		aerr := &AbortError{Reason: wd.reason, Cause: wd.cause, Dump: DiagnosticDump(kernel)}
+		writeDiagDump(cfg.Workload, aerr)
 		kernel.Shutdown()
 		return res, aerr
 	}

@@ -73,6 +73,14 @@ type ScenarioSpec struct {
 	Seeds    []uint64
 	Replicas int
 
+	// Nodes/Topology/Shards select a cluster run (see Config): Nodes > 1
+	// scales the workload across that many simulated nodes, Topology shapes
+	// the interconnect, Shards sets the PDES parallelism (results are
+	// shard-invariant).
+	Nodes    int
+	Topology string
+	Shards   int
+
 	// Faults is the perturbation request (zero → provably no faults).
 	// FaultSeed pins the fault timeline independently of the run seed so
 	// all replicas and modes of the scenario share one set of phase
@@ -109,6 +117,15 @@ func (s ScenarioSpec) baseConfig() Config {
 	c.Workload = s.Workload
 	c.Mode = s.Mode
 	c.Seed = s.Seed
+	if s.Nodes > 0 {
+		c.Nodes = s.Nodes
+	}
+	if s.Topology != "" {
+		c.Topology = s.Topology
+	}
+	if s.Shards != 0 {
+		c.Shards = s.Shards
+	}
 	c.Faults = s.Faults
 	c.FaultSeed = s.FaultSeed
 	if s.Horizon > 0 {

@@ -3,7 +3,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"hpcsched/internal/sched"
@@ -135,4 +138,25 @@ func DiagnosticDump(k *sched.Kernel) string {
 		shown++
 	}
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// diagSeq disambiguates multiple dumps from one process (parallel batch
+// replicas can abort concurrently).
+var diagSeq atomic.Uint64
+
+// writeDiagDump persists an abort diagnostic to $HPCSCHED_DIAG_DIR when that
+// variable is set — CI points it at a scratch directory and uploads the
+// files as a failure artifact. Unset, or on any write error, it does
+// nothing: diagnostics must never mask the abort they describe.
+func writeDiagDump(label string, e *AbortError) {
+	dir := os.Getenv("HPCSCHED_DIAG_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	name := fmt.Sprintf("diag-%s-%d-%d.txt", label, os.Getpid(), diagSeq.Add(1))
+	body := fmt.Sprintf("reason: %s\n\n%s\n", e.Reason, e.Dump)
+	_ = os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644)
 }

@@ -28,6 +28,7 @@ import (
 type Injector struct {
 	kernel *sched.Kernel
 	world  *mpi.World
+	node   int // the cluster node this injector's faults are scoped to
 	sc     *Schedule
 
 	factors  [][]float64 // per context: active speed factors
@@ -43,12 +44,21 @@ type Injector struct {
 // and touches no model state — provably a no-op. The returned Injector
 // records the applied timeline for determinism checks and reports.
 func Install(k *sched.Kernel, w *mpi.World, sc *Schedule) *Injector {
+	return InstallAt(k, w, 0, sc)
+}
+
+// InstallAt is Install scoped to one cluster node: k is the node's kernel,
+// and MPI-delay windows drive mpi.World.SetNodeExtraDelay(node, ·) so the
+// fault add-on composes with the rank-pair topology extras and with other
+// nodes' injectors instead of overwriting a global knob.
+func InstallAt(k *sched.Kernel, w *mpi.World, node int, sc *Schedule) *Injector {
 	if sc.Empty() {
 		return nil
 	}
 	inj := &Injector{
 		kernel:  k,
 		world:   w,
+		node:    node,
 		sc:      sc,
 		factors: make([][]float64, k.NumCPUs()),
 	}
@@ -135,7 +145,7 @@ func (inj *Injector) apply(a Action) {
 		for _, e := range inj.extras {
 			sum += e
 		}
-		inj.world.SetExtraDelay(sum)
+		inj.world.SetNodeExtraDelay(inj.node, sum)
 		inj.logf("%v %v extra=%v total=%v", now, a.Kind, a.Extra, sum)
 	}
 }

@@ -47,8 +47,8 @@ func TestCrossNodeMessaging(t *testing.T) {
 	if got != 1<<20 {
 		t.Fatalf("recv = %d", got)
 	}
-	if w.RemoteMsgCount != 1 {
-		t.Fatalf("RemoteMsgCount = %d, want 1", w.RemoteMsgCount)
+	if w.RemoteMsgCount() != 1 {
+		t.Fatalf("RemoteMsgCount = %d, want 1", w.RemoteMsgCount())
 	}
 	// 1 MB at ~1 GB/s ≈ 1 ms of transfer on top of the compute.
 	if end < 2*sim.Millisecond {

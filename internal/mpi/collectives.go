@@ -16,14 +16,15 @@ import (
 // like the real thing.
 
 const (
-	collBcastTag  = 1 << 24
-	collReduceTag = 1 << 25
-	collGatherTag = 1 << 26
+	collBcastTag   = 1 << 24
+	collReduceTag  = 1 << 25
+	collGatherTag  = 1 << 26
+	collBarrierTag = 1 << 27
 )
 
 // collSeq tracks per-collective invocation counts for tag generation.
 type collSeq struct {
-	bcast, reduce, gather int
+	bcast, reduce, gather, barrier int
 }
 
 // Bcast broadcasts size bytes from root to every rank; it returns the

@@ -25,8 +25,8 @@ func TestBcast(t *testing.T) {
 			t.Fatalf("rank %d got %d", i, v)
 		}
 	}
-	if w.MsgCount != 3 {
-		t.Fatalf("Bcast used %d messages, want 3", w.MsgCount)
+	if w.MsgCount() != 3 {
+		t.Fatalf("Bcast used %d messages, want 3", w.MsgCount())
 	}
 	k.Shutdown()
 }

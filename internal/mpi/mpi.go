@@ -93,30 +93,82 @@ type delivery struct {
 // with deeper backlogs grow it by doubling.
 const initialInboxCap = 16
 
-// World is one MPI job: a set of ranks over one kernel (the common case)
-// or spread over the kernels of a simulated cluster sharing one engine.
-type World struct {
-	engine        *sim.Engine
-	defaultKernel *sched.Kernel
-	opts          Options
-	ranks         []*Rank
+// Router delivers messages between ranks whose nodes run on different
+// engines (the sharded-cluster transport, internal/cluster). RouteMessage
+// is called on the *sender's* engine goroutine at the virtual instant the
+// send overhead completes, with the arrival instant already stamped; the
+// router must hand the message to dst's engine so that dst.Deliver runs
+// there at exactly that instant. Stamping the arrival at send time — not
+// enqueueing at arrival time — is what makes the conservative-lookahead
+// bound sound: every message a node has not yet pushed is guaranteed to
+// arrive strictly later than its published clock plus the latency floor.
+type Router interface {
+	RouteMessage(srcNode, dstNode int, arrival sim.Time, dst *Rank, src, tag int, size int64)
+}
+
+// nodeState is the per-node half of the transport: everything Send touches
+// that would be shared mutable state across cluster shards lives here, so
+// two nodes on different engines never write the same memory. Single-node
+// worlds have exactly one, and the hot path is unchanged: the rank carries
+// a pointer, and the counter increments and pool operations cost the same
+// as the former World fields.
+type nodeState struct {
+	id     int
+	engine *sim.Engine
 
 	freeDeliv *delivery
+	freeRoute *routeReq
 
-	// extraDelay is added to every message's transport latency while a
+	// extraDelay is added to every message this node sends while a
 	// fault-injected network-delay window is active (internal/faults); zero
 	// otherwise. One integer add on the Send path, no allocation.
 	extraDelay sim.Time
 
+	msgCount       int64
+	msgBytes       int64
+	remoteMsgCount int64
+}
+
+// routeReq is one in-flight cross-node send: pooled per node like delivery,
+// with a pre-bound fire callback, so a routed send allocates nothing in
+// steady state. fire runs as a deferred step on the sender's engine at the
+// virtual instant the send overhead has been charged — it stamps the
+// arrival and hands the message to the router.
+type routeReq struct {
+	w      *World
+	target *Rank
+	src    int
+	tag    int
+	size   int64
+	delay  sim.Time
+	next   *routeReq
+	fire   func()
+}
+
+// World is one MPI job: a set of ranks over one kernel (the common case),
+// spread over the kernels of a simulated cluster sharing one engine
+// (internal/gang), or spread over per-node engines coupled by a Router
+// (internal/cluster).
+type World struct {
+	defaultKernel *sched.Kernel
+	opts          Options
+	ranks         []*Rank
+
+	// nodes holds the per-node transport state; single-node (and
+	// single-engine gang) worlds have exactly one entry. AttachNode
+	// registers additional engines.
+	nodes  []*nodeState
+	router Router
+
+	// pairExtra, when non-nil, is a flat size×size matrix of per-rank-pair
+	// latency add-ons (row = sender, column = receiver): the inter-node
+	// topology model. It composes additively with the per-node extraDelay
+	// the mpidelay: fault clause drives, so neither overwrites the other.
+	pairExtra []sim.Time
+
 	barrierGen     int
 	barrierArrived int
 	barrierWaiters []*Rank
-
-	// MsgCount / MsgBytes aggregate transport statistics.
-	MsgCount int64
-	MsgBytes int64
-	// RemoteMsgCount counts inter-node messages.
-	RemoteMsgCount int64
 }
 
 // NewWorld creates a world of size ranks. Ranks are created unstarted;
@@ -126,15 +178,16 @@ func NewWorld(k *sched.Kernel, size int, opts Options) *World {
 		panic("mpi: world size must be positive")
 	}
 	w := &World{
-		engine:         k.Engine,
 		defaultKernel:  k,
 		opts:           opts,
+		nodes:          []*nodeState{{id: 0, engine: k.Engine}},
 		barrierWaiters: make([]*Rank, 0, size),
 	}
 	for i := 0; i < size; i++ {
 		r := &Rank{
 			world: w,
 			id:    i,
+			ns:    w.nodes[0],
 			inbox: make([]message, initialInboxCap),
 		}
 		// Pre-bind the fused-wait checks once per rank: the hot blocking
@@ -147,50 +200,201 @@ func NewWorld(k *sched.Kernel, size int, opts Options) *World {
 	return w
 }
 
-// ExtraDelay returns the current fault-injected per-message latency add-on.
-func (w *World) ExtraDelay() sim.Time { return w.extraDelay }
+// AttachNode registers cluster node `node` as running on k's engine. Nodes
+// must be attached densely (1, 2, ...) before any rank is spawned there;
+// node 0 is the world's creating kernel. Returns the world for chaining.
+func (w *World) AttachNode(node int, k *sched.Kernel) *World {
+	if node != len(w.nodes) {
+		panic(fmt.Sprintf("mpi: AttachNode(%d) out of order (have %d nodes)", node, len(w.nodes)))
+	}
+	w.nodes = append(w.nodes, &nodeState{id: node, engine: k.Engine})
+	return w
+}
 
-// SetExtraDelay sets a latency add-on applied to every subsequent Send (the
-// fault layer's injected MPI message delay; negative values are clamped to
-// zero). Messages already in flight are unaffected.
-func (w *World) SetExtraDelay(d sim.Time) {
+// SetRouter installs the cross-node transport. Worlds whose nodes share one
+// engine (single-node runs, internal/gang) leave it nil and deliver
+// remote-latency messages on that engine directly.
+func (w *World) SetRouter(rt Router) { w.router = rt }
+
+// Nodes returns the number of attached nodes.
+func (w *World) Nodes() int { return len(w.nodes) }
+
+// ExtraDelay returns node 0's fault-injected per-message latency add-on.
+func (w *World) ExtraDelay() sim.Time { return w.nodes[0].extraDelay }
+
+// SetExtraDelay sets a latency add-on applied to every subsequent Send from
+// node 0 (the fault layer's injected MPI message delay; negative values are
+// clamped to zero). Messages already in flight are unaffected. Cluster runs
+// scope the knob per node with SetNodeExtraDelay.
+func (w *World) SetExtraDelay(d sim.Time) { w.SetNodeExtraDelay(0, d) }
+
+// SetNodeExtraDelay scopes the fault-injected latency add-on to one node's
+// outgoing messages: per-node fault schedules then compose with the
+// rank-pair topology extras instead of overwriting each other, and two
+// nodes' injectors never write the same word from different shards.
+func (w *World) SetNodeExtraDelay(node int, d sim.Time) {
 	if d < 0 {
 		d = 0
 	}
-	w.extraDelay = d
+	if node < 0 || node >= len(w.nodes) {
+		node = 0
+	}
+	w.nodes[node].extraDelay = d
+}
+
+// NodeExtraDelay returns the given node's current latency add-on.
+func (w *World) NodeExtraDelay(node int) sim.Time {
+	if node < 0 || node >= len(w.nodes) {
+		node = 0
+	}
+	return w.nodes[node].extraDelay
+}
+
+// SetPairExtraDelay adds a fixed latency to every message from rank src to
+// rank dst — the per-rank-pair half of the latency model (topological
+// distance). It composes additively with the per-node extraDelay, so an
+// mpidelay: fault window and the inter-node topology never clobber each
+// other. The matrix is allocated on first use; worlds that never set a pair
+// extra pay one nil check per send.
+func (w *World) SetPairExtraDelay(src, dst int, d sim.Time) {
+	if src < 0 || src >= len(w.ranks) || dst < 0 || dst >= len(w.ranks) {
+		panic(fmt.Sprintf("mpi: SetPairExtraDelay(%d, %d) out of range", src, dst))
+	}
+	if d < 0 {
+		d = 0
+	}
+	if w.pairExtra == nil {
+		w.pairExtra = make([]sim.Time, len(w.ranks)*len(w.ranks))
+	}
+	w.pairExtra[src*len(w.ranks)+dst] = d
+}
+
+// PairExtraDelay returns the per-pair latency add-on from src to dst.
+func (w *World) PairExtraDelay(src, dst int) sim.Time {
+	if w.pairExtra == nil {
+		return 0
+	}
+	return w.pairExtra[src*len(w.ranks)+dst]
+}
+
+// MinPairExtraDelay returns the smallest add-on over the given rank pairs
+// (the lookahead-floor contribution of the topology). pairs is a list of
+// (src, dst) index pairs; an empty list returns 0.
+func (w *World) MinPairExtraDelay(pairs [][2]int) sim.Time {
+	if len(pairs) == 0 {
+		return 0
+	}
+	min := sim.MaxTime
+	for _, p := range pairs {
+		d := w.PairExtraDelay(p[0], p[1])
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MsgCount returns the number of messages sent, summed over nodes. Read it
+// only after the run completes (cluster shards update per-node counters
+// concurrently while running).
+func (w *World) MsgCount() int64 {
+	var n int64
+	for _, ns := range w.nodes {
+		n += ns.msgCount
+	}
+	return n
+}
+
+// MsgBytes returns the payload bytes sent, summed over nodes.
+func (w *World) MsgBytes() int64 {
+	var n int64
+	for _, ns := range w.nodes {
+		n += ns.msgBytes
+	}
+	return n
+}
+
+// RemoteMsgCount returns the number of inter-node messages sent.
+func (w *World) RemoteMsgCount() int64 {
+	var n int64
+	for _, ns := range w.nodes {
+		n += ns.remoteMsgCount
+	}
+	return n
+}
+
+// NodeMsgStats returns one node's transport counters (messages, payload
+// bytes, inter-node messages) — the per-node lines of cluster reports.
+func (w *World) NodeMsgStats(node int) (count, bytes, remote int64) {
+	ns := w.nodes[node]
+	return ns.msgCount, ns.msgBytes, ns.remoteMsgCount
 }
 
 // post schedules the delivery of m to target after delay — the immediate,
 // engine-side path (tests, future eager transports). Send instead defers
 // the equivalent via drawDelivery + Env.DeferAfter so the post rides the
-// rank's batched exchange.
+// rank's batched exchange. post is same-node only: it draws from and
+// schedules on the target's own node.
 func (w *World) post(target *Rank, m message, delay sim.Time) {
-	d := w.drawDelivery(target, m)
-	w.engine.After(delay, d.fire)
+	d := target.ns.drawDelivery(target, m)
+	target.ns.engine.After(delay, d.fire)
 }
 
 // drawDelivery takes a pooled delivery object, loads it with target and
 // payload, and returns it; its pre-bound fire callback is then scheduled by
 // the caller — immediately, or as a deferred step at the virtual instant
-// the sender's overhead charge completes.
-func (w *World) drawDelivery(target *Rank, m message) *delivery {
-	d := w.freeDeliv
+// the sender's overhead charge completes. The pool is per node, so cluster
+// shards never contend on the free list.
+func (ns *nodeState) drawDelivery(target *Rank, m message) *delivery {
+	d := ns.freeDeliv
 	if d == nil {
 		d = &delivery{}
 		d.fire = func() {
 			t, msg := d.target, d.m
 			d.target = nil
-			d.next = w.freeDeliv
-			w.freeDeliv = d
+			d.next = ns.freeDeliv
+			ns.freeDeliv = d
 			t.deliver(msg)
 		}
 	} else {
-		w.freeDeliv = d.next
+		ns.freeDeliv = d.next
 		d.next = nil
 	}
 	d.target = target
 	d.m = m
 	return d
+}
+
+// drawRoute takes a pooled cross-node route request. Its pre-bound fire
+// callback runs as a deferred zero-delay step on the sender's engine — at
+// the virtual instant the send overhead charge has settled — where it
+// stamps the arrival (now + transport delay) and hands the message to the
+// router. The object returns to the pool before RouteMessage is called, so
+// steady-state cross-node sends allocate nothing.
+func (ns *nodeState) drawRoute(w *World, target *Rank, src, tag int, size int64, delay sim.Time) *routeReq {
+	rr := ns.freeRoute
+	if rr == nil {
+		rr = &routeReq{}
+		rr.fire = func() {
+			w, t := rr.w, rr.target
+			arrival := ns.engine.Now() + rr.delay
+			src, tag, size := rr.src, rr.tag, rr.size
+			rr.w, rr.target = nil, nil
+			rr.next = ns.freeRoute
+			ns.freeRoute = rr
+			w.router.RouteMessage(ns.id, t.ns.id, arrival, t, src, tag, size)
+		}
+	} else {
+		ns.freeRoute = rr.next
+		rr.next = nil
+	}
+	rr.w = w
+	rr.target = target
+	rr.src = src
+	rr.tag = tag
+	rr.size = size
+	rr.delay = delay
+	return rr
 }
 
 // Size returns the number of ranks.
@@ -221,26 +425,40 @@ func (w *World) Spawn(i int, spec sched.TaskSpec, body func(*Rank)) *sched.Task 
 
 // SpawnAt launches rank i on the given kernel (a cluster node). The task
 // is NOT auto-watched: cluster runners track completion across kernels
-// themselves.
+// themselves. When node is an attached node (AttachNode), k must run that
+// node's engine and the rank binds to its transport state; otherwise —
+// gang-style placement, where node numbers only select remote pricing — k
+// must share node 0's engine.
 func (w *World) SpawnAt(i int, k *sched.Kernel, node int, spec sched.TaskSpec,
 	body func(*Rank)) *sched.Task {
 	r := w.ranks[i]
 	if r.task != nil {
 		panic(fmt.Sprintf("mpi: rank %d spawned twice", i))
 	}
-	if k.Engine != w.engine {
-		panic("mpi: SpawnAt kernel does not share the world's engine")
+	ns := w.nodes[0]
+	if node >= 0 && node < len(w.nodes) {
+		ns = w.nodes[node]
+	}
+	if k.Engine != ns.engine {
+		panic(fmt.Sprintf("mpi: SpawnAt kernel does not run node %d's engine", node))
 	}
 	if spec.Name == "" {
 		spec.Name = fmt.Sprintf("P%d", i+1) // the paper numbers processes P1..P4
 	}
+	// Bind the transport state BEFORE AddProcess: run-to-block starts the
+	// body eagerly and runs it to its first blocking call, and any Send it
+	// issues on the way must already see the rank's real node — binding
+	// afterwards would price those messages as node-local and thread them
+	// through node 0's delivery pool from another node's engine.
+	r.kernel = k
+	r.node = node
+	r.ns = ns
 	task := k.AddProcess(spec, func(env *sched.Env) {
 		r.env = env
+		r.task = env.Task()
 		body(r)
 	})
 	r.task = task
-	r.kernel = k
-	r.node = node
 	return task
 }
 
@@ -252,6 +470,7 @@ type Rank struct {
 	task   *sched.Task
 	kernel *sched.Kernel
 	node   int
+	ns     *nodeState // transport state of the node this rank runs on
 
 	// inbox is a ring of undelivered messages in arrival order.
 	inbox  []message
@@ -332,16 +551,28 @@ func (r *Rank) Send(dst, tag int, size int64) {
 	if w.opts.SendOverhead > 0 {
 		r.env.DeferCompute(w.opts.SendOverhead)
 	}
-	w.MsgCount++
-	w.MsgBytes += size
+	ns := r.ns
+	ns.msgCount++
+	ns.msgBytes += size
 	target := w.ranks[dst]
 	delay := w.opts.Latency + sim.Time(float64(size)*w.opts.ByteCost)
 	if target.node != r.node {
-		w.RemoteMsgCount++
+		ns.remoteMsgCount++
 		delay = w.opts.RemoteLatency + sim.Time(float64(size)*w.opts.RemoteByteCost)
 	}
-	delay += w.extraDelay
-	d := w.drawDelivery(target, message{src: r.id, tag: tag, size: size})
+	delay += ns.extraDelay
+	if w.pairExtra != nil {
+		delay += w.pairExtra[r.id*len(w.ranks)+dst]
+	}
+	if target.ns != ns {
+		// Cross-shard: defer a zero-delay route step so the arrival is
+		// stamped at the exact instant the overhead charge completes, then
+		// let the router carry it to the target's engine.
+		rr := ns.drawRoute(w, target, r.id, tag, size, delay)
+		r.env.DeferAfter(0, rr.fire)
+		return
+	}
+	d := ns.drawDelivery(target, message{src: r.id, tag: tag, size: size})
 	r.env.DeferAfter(delay, d.fire)
 }
 
@@ -386,6 +617,14 @@ func (r *Rank) ibRemove(i int) {
 		}
 	}
 	r.ibLen--
+}
+
+// Deliver injects a message into the rank's inbox, waking the rank if it is
+// blocked on a matching receive. It is the router's target-side entry point
+// and MUST run on the rank's own engine at the message's stamped arrival
+// instant (internal/cluster schedules a pooled event there).
+func (r *Rank) Deliver(src, tag int, size int64) {
+	r.deliver(message{src: src, tag: tag, size: size})
 }
 
 // deliver runs on the engine side when a message arrives.
@@ -576,8 +815,43 @@ func (r *Rank) waitallCheckFn() (done bool, reply any) {
 // virtual instant the rank's deferred work has settled — the same instant
 // the former flush-then-arrive sequence used — so the entire barrier costs
 // each rank one rendezvous.
+//
+// Routed (sharded-cluster) worlds take a message fan-in/fan-out instead:
+// the shared-counter release wakes tasks on other kernels directly, which
+// is only sound when all kernels share one engine. The message barrier
+// rides the ordinary routed Send/Recv paths, so it is correct — and
+// deterministic — across shard boundaries.
 func (r *Rank) Barrier() {
+	if r.world.router != nil {
+		r.clusterBarrier()
+		return
+	}
 	r.env.InvokeWait(r.barrierCheck)
+}
+
+// clusterBarrier is a rank-0-rooted gather + release over point-to-point
+// messages: every rank sends a zero-byte arrival to rank 0; rank 0 sleeps
+// the configured barrier latency after the last arrival, then releases
+// everyone. Per-rank generation counters in the tag keep back-to-back
+// barriers from cross-matching.
+func (r *Rank) clusterBarrier() {
+	w := r.world
+	tag := collBarrierTag + r.seq.barrier
+	r.seq.barrier++
+	if r.id == 0 {
+		for src := 1; src < len(w.ranks); src++ {
+			r.Recv(src, tag)
+		}
+		if w.opts.BarrierLatency > 0 {
+			r.env.Sleep(w.opts.BarrierLatency)
+		}
+		for dst := 1; dst < len(w.ranks); dst++ {
+			r.Send(dst, tag, 0)
+		}
+		return
+	}
+	r.Send(0, tag, 0)
+	r.Recv(0, tag)
 }
 
 // barrierCheckFn is Barrier's engine-side wait predicate. The first

@@ -29,8 +29,8 @@ func TestSendRecv(t *testing.T) {
 	if got != 4096 {
 		t.Fatalf("Recv size = %d, want 4096", got)
 	}
-	if w.MsgCount != 1 || w.MsgBytes != 4096 {
-		t.Fatalf("stats = %d msgs / %d bytes", w.MsgCount, w.MsgBytes)
+	if w.MsgCount() != 1 || w.MsgBytes() != 4096 {
+		t.Fatalf("stats = %d msgs / %d bytes", w.MsgCount(), w.MsgBytes())
 	}
 	// Receiver slept ~1ms waiting.
 	r1 := w.Rank(1).Task()
@@ -182,8 +182,8 @@ func TestIsendIrecvWaitall(t *testing.T) {
 	if finish >= sim.Second {
 		t.Fatal("ring exchange deadlocked")
 	}
-	if w.MsgCount != 3*5*2 {
-		t.Fatalf("MsgCount = %d, want 30", w.MsgCount)
+	if w.MsgCount() != 3*5*2 {
+		t.Fatalf("MsgCount = %d, want 30", w.MsgCount())
 	}
 	k.Shutdown()
 }

@@ -51,6 +51,12 @@ func Suite() []Scenario {
 			Quick: true,
 			Run:   runIdleImbalance,
 		},
+		{
+			Name:  "cluster-btmz-4node",
+			Desc:  "4-node BT-MZ on the sharded cluster PDES under Uniform (shards = GOMAXPROCS)",
+			Quick: true,
+			Run:   runClusterBTMZ,
+		},
 	}
 }
 
@@ -146,6 +152,28 @@ func runIdleImbalance() uint64 {
 		panic("perf: idle-imbalance scenario lost its ranks")
 	}
 	return kernelEvents(k)
+}
+
+// runClusterBTMZ measures the multi-node PDES: BT-MZ scaled over four
+// simulated nodes (16 ranks, one global exchange chain crossing the
+// interconnect three times), advanced by GOMAXPROCS shards. The event
+// count sums every node kernel, so events/sec measures whole-cluster
+// throughput; determinism across shard counts is asserted by the cluster
+// test suite, here it keeps the count repetition-stable.
+func runClusterBTMZ() uint64 {
+	r, err := experiments.RunCtx(context.Background(), experiments.Config{
+		Workload: "btmz", Mode: experiments.ModeUniform, Seed: 42,
+		Nodes:     4,
+		TweakBTMZ: func(c *workloads.BTMZConfig) { c.Iterations = 60 },
+	})
+	if err != nil {
+		panic(err)
+	}
+	var events uint64
+	for _, k := range r.Cluster.Kernels {
+		events += kernelEvents(k)
+	}
+	return events
 }
 
 func runBatchMetBench() uint64 {

@@ -412,6 +412,13 @@ func (k *Kernel) RunUntilWatchedExit(horizon sim.Time) sim.Time {
 	return k.Now()
 }
 
+// Settle closes every still-open busy-parked accounting stretch, the step
+// RunUntilWatchedExit performs after its Run returns. Externally-stepped
+// drivers (the sharded cluster runner advances each node's engine in
+// lookahead windows itself) call it once their stepping is finished, before
+// reading metrics or finishing trace recorders.
+func (k *Kernel) Settle() { k.settleBusyStretches() }
+
 // Shutdown releases the goroutines of every process that has not exited
 // (daemons and abandoned tasks). The kernel must not be used afterwards.
 // Call it when a simulation run is complete; it is what keeps long test

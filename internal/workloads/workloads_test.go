@@ -135,7 +135,7 @@ func TestBTMZStructure(t *testing.T) {
 	}
 	// Messages flow: 2 boundary exchanges per inner rank per phase plus
 	// the reduction.
-	if job.World.MsgCount == 0 {
+	if job.World.MsgCount() == 0 {
 		t.Fatal("no messages exchanged")
 	}
 	// Pairing: P1 with P4, P2 with P3 (identified from the paper's
@@ -297,7 +297,7 @@ func TestMatMulDAGStructure(t *testing.T) {
 		t.Fatal("MatMulDAG deadlocked")
 	}
 	// Panels are broadcast: n-1 sends per step plus the init barrier.
-	if job.World.MsgCount == 0 {
+	if job.World.MsgCount() == 0 {
 		t.Fatal("no messages exchanged")
 	}
 	// Built-in imbalance: utilization follows the uneven update costs.
