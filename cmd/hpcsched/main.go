@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"hpcsched/internal/calibrate"
+	"hpcsched/internal/cluster"
 	"hpcsched/internal/experiments"
 	"hpcsched/internal/faults"
 	"hpcsched/internal/metrics"
@@ -342,6 +343,10 @@ func runOne(args []string) {
 	parseFlags(fs, args)
 	mode, err := modeFromName(*modeName)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	if err := cluster.ValidateShards(*shards, *nodes); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		exit(2)
 	}

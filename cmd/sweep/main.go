@@ -40,6 +40,7 @@ import (
 	"os"
 
 	"hpcsched/internal/batch"
+	"hpcsched/internal/cluster"
 	"hpcsched/internal/core"
 	"hpcsched/internal/experiments"
 	"hpcsched/internal/faults"
@@ -96,6 +97,11 @@ func main() {
 	maxRetries := flag.Int("max-retries", 0, "retries per failed replica, each on a fresh derived seed")
 	stallTimeout := flag.Duration("stall-timeout", 0, "per-replica sim-clock liveness watchdog (0 = off)")
 	flag.Parse()
+
+	if err := cluster.ValidateShards(*shards, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	exec := experiments.ExecOptions{
 		Workers: *workers,

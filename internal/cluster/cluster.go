@@ -16,6 +16,35 @@
 // horizon vacuous — a zero-lookahead deadlock — and is rejected with a
 // structured *LookaheadError before the run starts.
 //
+// The clock bound is only the fallback. The default pacing is Nicol-style
+// EOT/EIT lookahead, organised around CUSTODY: at every instant, each
+// not-yet-delivered future event chain is covered by exactly the node
+// currently holding it. Node i publishes S_i, a lower bound over its
+// whole custody set — pending engine events (Engine.NextEventAt),
+// drained-but-uninjected arrivals, unflushed deferred sends, and pushed-
+// but-undrained outbound messages capped at their fire instants. Every
+// chain adds at least the pair latency per hop, so with R = the min-plus
+// path closure of the per-pair latency floors (shortest nonempty path,
+// computed once in Finalize), node i's earliest input time is
+//
+//	EIT_i = min_j (S_j + R_{j→i})
+//
+// — its earliest output toward k being EOT_{i→k} = S_i + L_{i→k}, folded
+// into the closure so a publish is one atomic store and an EIT read is N
+// loads. The node advances in ONE window to EIT_i − 1 (same strictness
+// tick as the floor bound), not in floor-sized steps: idle and
+// compute-only stretches collapse into single windows (WindowsElided
+// counts the collapse), and the per-pair closure keeps ring/star
+// topologies from serialising on the global minimum. Custody of an
+// in-flight message hands off receiver-first (drainInto lowers the
+// receiver's bound before the sender may raise past its fire cap), and
+// EIT scans detect mid-scan handoffs through an epoch counter — the pair
+// of rules that keeps the horizon sound without acknowledgements or
+// null-message relaxation (publishing min(origin, EIT)+L instead would
+// creep by one floor per sweep: floor cadence in disguise).
+// Config.FloorPacing restores the clock+floor cadence; the simulation is
+// byte-identical either way.
+//
 // Determinism is the headline property: the event sequence of every node —
 // and therefore timelines, traces and fault logs — is byte-identical at any
 // shard count. Cross-node deliveries are injected by a window-invariant
@@ -66,6 +95,12 @@ type Config struct {
 	// caller) with ranks still pending: the returned error aborts the run.
 	// Nil treats any such stop as a generic interrupt error.
 	OnNodeStop func(node int) error
+	// FloorPacing, when true, disables the EOT/EIT lookahead and paces
+	// windows with the clock+floor protocol alone (every window ≈ one
+	// latency floor). The simulation is byte-identical either way — the
+	// knob exists for the equivalence suite that proves it
+	// (TestLookaheadFloorEquivalence) and for window-cadence comparisons.
+	FloorPacing bool
 }
 
 // LookaheadError reports a lookahead floor too small to make progress: the
@@ -83,6 +118,36 @@ func (e *LookaheadError) Error() string {
 	return fmt.Sprintf("cluster: lookahead floor %v on %q topology is too small; "+
 		"inter-node latency (mpi.Options.RemoteLatency plus topology add-ons) must be ≥ 2ns",
 		e.Floor, e.Topology)
+}
+
+// ShardsError reports a shard count exceeding the node count. The library
+// itself silently clamps (a node is the unit of parallelism, so extra
+// shards could only idle), but user-facing entry points reject the request
+// instead of quietly over-provisioning workers — same contract as
+// *LookaheadError: a structured error before the run starts.
+type ShardsError struct {
+	Shards int
+	Nodes  int
+}
+
+func (e *ShardsError) Error() string {
+	return fmt.Sprintf("cluster: %d shards requested for %d node(s); "+
+		"a node is the unit of parallelism, so -shards must be ≤ nodes (or ≤ 0 for GOMAXPROCS)",
+		e.Shards, e.Nodes)
+}
+
+// ValidateShards rejects an explicit shard request larger than the node
+// count with a *ShardsError. Non-positive shards (meaning GOMAXPROCS,
+// clamped to nodes) are always valid; nodes ≤ 0 normalises to 1 the same
+// way Config.Nodes does.
+func ValidateShards(shards, nodes int) error {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	if shards > nodes {
+		return &ShardsError{Shards: shards, Nodes: nodes}
+	}
+	return nil
 }
 
 // InterruptError reports that a node's engine was stopped (watchdog,
@@ -134,6 +199,18 @@ type pairQueue struct {
 	// arrival is stamped beyond the reader's current horizon (see
 	// drainInto).
 	n atomic.Int64
+
+	// capW is the fire instant of the oldest undrained message in this
+	// queue, MaxTime when the sender last observed it empty. Sender-owned
+	// (armed by RouteMessage on the first push into an observed-empty
+	// queue — fires are monotone per sender, so first-armed is oldest —
+	// and cleared at publish once n reads 0); the receiver never touches
+	// it. It caps the sender's published origin bound while a message is
+	// in flight: until the receiver takes custody, the chain the message
+	// carries is covered only by the sender's slot, and any continuation
+	// leaves the receiver no earlier than capW plus the pair latency —
+	// which the reach closure already folds in.
+	capW sim.Time
 }
 
 const pairQueueCap = 1024
@@ -193,6 +270,48 @@ type Cluster struct {
 	clocks  []atomic.Int64 // published per-node clocks (MaxTime once done)
 	pools   []injectPool
 	staging [][]xmsg // per-node drained-but-not-yet-due messages
+
+	// eot[i] is node i's published coverage bound S_i: a lower bound on
+	// the earliest future virtual instant of any event chain currently in
+	// i's custody — its engine's pending events, its drained-but-
+	// uninjected staging, its unflushed deferred sends, and its pushed-
+	// but-undrained outbound messages (capped at their fire instants, see
+	// pairQueue.capW). Written only by i's owner shard; everyone reads.
+	// i's earliest output toward k is eot[i] + nodeLat[i][k]; k's earliest
+	// input folds the whole forwarding closure: min_j(eot[j] +
+	// reach[j][k]). The cluster invariant is continuous coverage: at every
+	// instant, every not-yet-injected future event is covered by the slot
+	// of the node holding custody of its chain. Custody of an in-flight
+	// message hands off sender→receiver through drainInto, which LOWERS
+	// the receiver's slot to the staged arrival (bumping eotEpoch) before
+	// decrementing the queue count the sender's next publish reads — so
+	// the sender only raises past the fire cap once the receiver's slot
+	// already covers the chain.
+	eot []atomic.Int64
+	// eotEpoch is bumped on every custody LOWER of an eot slot. eitFor
+	// re-reads it around its scan: coverage can hop between slots only at
+	// a lower/raise pair, so a scan that straddles no lower saw every
+	// chain covered by at least one of the values it read.
+	eotEpoch atomic.Uint64
+	// nodeLat[i][k] is the smallest transport latency from node i to node
+	// k over all placed rank pairs (MaxTime when no such pair exists):
+	// RemoteLatency plus the topology add-on, computed once in Finalize.
+	// Fault-injected mpidelay windows only ever add latency on top.
+	nodeLat [][]sim.Time
+	// reach[j][i] is the min-plus path closure of nodeLat — the cheapest
+	// nonempty forwarding path j→…→i (reach[i][i] is the cheapest round
+	// trip). A message chain originating at j cannot reach i faster, so
+	// EIT_i = min_j (eot[j] + reach[j][i]) bounds every possible arrival,
+	// including multi-hop forwards the senders' own probes cannot see.
+	// Static is conservative: a finished node only removes paths.
+	reach [][]sim.Time
+	// windows/elided count executed lookahead windows per node and the
+	// estimated floor-cadence windows the EOT/EIT horizon collapsed
+	// (owner shard only; read after Run). Shard interleaving perturbs the
+	// counts, so they are reported as diagnostics (ClusterInfo, BENCH)
+	// and must never feed a determinism-pinned artifact.
+	windows []int64
+	elided  []int64
 
 	pending  []int  // per-node unexited spawned ranks (owner shard only)
 	done     []bool // owner shard only
@@ -255,6 +374,9 @@ func New(cfg Config) (*Cluster, error) {
 		ends:    make([]sim.Time, cfg.Nodes),
 		capped:  make([]bool, cfg.Nodes),
 		watched: make([]map[*sched.Task]bool, cfg.Nodes),
+		eot:     make([]atomic.Int64, cfg.Nodes),
+		windows: make([]int64, cfg.Nodes),
+		elided:  make([]int64, cfg.Nodes),
 	}
 	c.progress.L = &c.progressMu
 	for i := 0; i < cfg.Nodes; i++ {
@@ -264,7 +386,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.queues[i] = make([]*pairQueue, cfg.Nodes)
 		for j := 0; j < cfg.Nodes; j++ {
 			if j != i {
-				c.queues[i][j] = &pairQueue{ch: make(chan xmsg, pairQueueCap)}
+				c.queues[i][j] = &pairQueue{ch: make(chan xmsg, pairQueueCap), capW: sim.MaxTime}
 			}
 		}
 	}
@@ -337,8 +459,18 @@ func (c *Cluster) Finalize() error {
 		return fmt.Errorf("cluster: Finalize before NewWorld")
 	}
 	c.finalized = true
-	if len(c.Kernels) == 1 {
+	nodes := len(c.Kernels)
+	c.nodeLat = make([][]sim.Time, nodes)
+	for i := range c.nodeLat {
+		row := make([]sim.Time, nodes)
+		for k := range row {
+			row[k] = sim.MaxTime // no rank pair: this direction can't carry traffic
+		}
+		c.nodeLat[i] = row
+	}
+	if nodes == 1 {
 		c.floor = sim.MaxTime // no cross-shard traffic; horizon-capped only
+		c.closeReach()
 		return nil
 	}
 	floor := sim.MaxTime
@@ -355,20 +487,54 @@ func (c *Cluster) Finalize() error {
 			if extra > 0 {
 				c.World.SetPairExtraDelay(s, d, extra)
 			}
-			if lat := c.cfg.MPI.RemoteLatency + extra; lat < floor {
+			lat := c.cfg.MPI.RemoteLatency + extra
+			if lat < floor {
 				floor = lat
+			}
+			if lat < c.nodeLat[c.rankNode[s]][c.rankNode[d]] {
+				c.nodeLat[c.rankNode[s]][c.rankNode[d]] = lat
 			}
 		}
 	}
 	if !cross {
 		c.floor = sim.MaxTime
+		c.closeReach()
 		return nil
 	}
 	c.floor = floor
 	if floor <= 1 {
 		return &LookaheadError{Floor: floor, Topology: topologyName(c.cfg.Topology)}
 	}
+	c.closeReach()
 	return nil
+}
+
+// closeReach computes the min-plus path closure of nodeLat
+// (Floyd–Warshall over saturating adds): reach[j][i] is the cheapest
+// nonempty forwarding path j→…→i, the diagonal the cheapest round trip —
+// MaxTime where no rank placement provides a path. Nodes-cubed once per
+// run, before any window. The initial published origin bounds are the
+// atomics' zero values: every engine's first event fires at ≥ 0, so the
+// first EIT reads are min_j reach[j][i] ≥ the floor, and the first
+// windows open.
+func (c *Cluster) closeReach() {
+	n := len(c.Kernels)
+	c.reach = make([][]sim.Time, n)
+	for i := range c.reach {
+		c.reach[i] = append([]sim.Time(nil), c.nodeLat[i]...)
+	}
+	for m := 0; m < n; m++ {
+		for i := 0; i < n; i++ {
+			if c.reach[i][m] == sim.MaxTime {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if via := satAdd(c.reach[i][m], c.reach[m][k]); via < c.reach[i][k] {
+					c.reach[i][k] = via
+				}
+			}
+		}
+	}
 }
 
 // topologyName normalises the default.
@@ -412,6 +578,12 @@ func topologyExtra(topology string, a, b, nodes int, remote sim.Time) sim.Time {
 func (c *Cluster) RouteMessage(srcNode, dstNode int, arrival sim.Time, dst *mpi.Rank, src, tag int, size int64) {
 	q := c.queues[srcNode][dstNode]
 	q.seq++
+	if q.capW == sim.MaxTime {
+		// First push into an observed-empty queue: this fire instant caps
+		// the sender's published bound until the receiver takes custody.
+		// Sender fires are monotone, so the first armed is the oldest.
+		q.capW = c.Engines[srcNode].Now()
+	}
 	m := xmsg{arrival: arrival, srcNode: srcNode, seq: q.seq,
 		dst: dst, src: src, tag: tag, size: size}
 	q.n.Add(1)
@@ -424,11 +596,20 @@ func (c *Cluster) RouteMessage(srcNode, dstNode int, arrival sim.Time, dst *mpi.
 	}
 }
 
-// drainInto appends every message queued for node i to its staging buffer.
-// It must run after the horizon's clock reads: anything pushed later
-// carries an arrival beyond the horizon, so missing it is harmless.
-func (c *Cluster) drainInto(i int) {
+// drainInto appends every message queued for node i to its staging buffer
+// and returns how many it took. It must run after the horizon's clock/EOT
+// reads: anything pushed later carries an arrival beyond the horizon, so
+// missing it is harmless.
+//
+// Draining is also the custody handoff of the EOT/EIT protocol: before the
+// per-pair count is decremented — the signal that lets the sender's next
+// publish raise past its fire cap — node i's own published bound is lowered
+// to the drained arrivals, so the chains those messages carry are covered
+// by i's slot before the sender's slot releases them. The epoch bump makes
+// the hop visible to concurrent eitFor scans.
+func (c *Cluster) drainInto(i int) int {
 	st := c.staging[i]
+	taken := 0
 	for j := range c.queues {
 		if j == i || c.queues[j] == nil {
 			continue
@@ -441,6 +622,7 @@ func (c *Cluster) drainInto(i int) {
 			// next window's drain picks it up.
 			continue
 		}
+		first := len(st)
 		drained := 0
 		for {
 			select {
@@ -460,10 +642,25 @@ func (c *Cluster) drainInto(i int) {
 		}
 		q.mu.Unlock()
 		if drained > 0 {
+			if !c.cfg.FloorPacing {
+				minArr := sim.MaxTime
+				for _, m := range st[first:] {
+					if m.arrival < minArr {
+						minArr = m.arrival
+					}
+				}
+				slot := &c.eot[i]
+				if minArr < sim.Time(slot.Load()) {
+					slot.Store(int64(minArr))
+					c.eotEpoch.Add(1)
+				}
+			}
 			q.n.Add(int64(-drained))
+			taken += drained
 		}
 	}
 	c.staging[i] = st
+	return taken
 }
 
 // horizonFor computes node i's safe simulation horizon from the other
@@ -493,6 +690,116 @@ func (c *Cluster) horizonFor(i int) sim.Time {
 	return minOther + c.floor - 1
 }
 
+// eitFor computes node i's earliest input time: every event chain not yet
+// injected somewhere is covered by its custodian's published bound and
+// pays at least the closure latency to reach i, so no message can arrive
+// at node i before min_j (eot[j] + reach[j][i]). The j = i term covers
+// i's own sends echoing back (cheapest round trip); directions with no
+// rank placement sit at MaxTime and never constrain.
+//
+// The scan is not atomic, and coverage can hop between slots mid-scan:
+// a receiver lowers its slot (custody) and the sender then raises past
+// its fire cap. Reading the receiver early (pre-lower) and the sender
+// late (post-raise) would miss the chain entirely, so the scan retries
+// until it straddles no custody lower (eotEpoch unchanged): then every
+// raise it observed had its paired lower before the scan began, and the
+// lowered slot value was read.
+func (c *Cluster) eitFor(i int) sim.Time {
+	for {
+		e0 := c.eotEpoch.Load()
+		eit := sim.MaxTime
+		for j := range c.eot {
+			if e := satAdd(sim.Time(c.eot[j].Load()), c.reach[j][i]); e < eit {
+				eit = e
+			}
+		}
+		if c.eotEpoch.Load() == e0 {
+			return eit
+		}
+	}
+}
+
+// windowHorizon is the EOT/EIT window bound: one tick short of the node's
+// EIT (the same strictness argument as horizonFor — an arrival at exactly
+// EIT must stay ahead of the window), capped at the run horizon. Unlike
+// the floor cadence this is event-driven: when every peer's next event is
+// milliseconds away, the window spans milliseconds.
+func (c *Cluster) windowHorizon(i int) sim.Time {
+	if eit := c.eitFor(i); eit <= c.horizon {
+		return eit - 1
+	}
+	return c.horizon
+}
+
+// satAdd is a+b saturating at MaxTime (done nodes and traffic-free pairs
+// publish MaxTime, and MaxTime plus any latency must not wrap negative).
+func satAdd(a, b sim.Time) sim.Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return sim.MaxTime
+}
+
+// publishEOT recomputes node i's coverage bound over everything currently
+// in its custody and stores it, reporting whether the bound ROSE (the only
+// change that can open a peer's window). It must run with i's engine
+// quiescent (between windows, on the owner shard).
+//
+// The bound is the min of four terms:
+//
+//   - Engine.NextEventAt — every pending local event. This undercuts a
+//     pure origin bound (message-caused events are counted even though
+//     their chains are also covered at upstream custodians), which is
+//     merely conservative.
+//   - the earliest staged (drained-but-uninjected) arrival.
+//   - the node's clock when the transport reports unflushed deferred
+//     sends — a belt-and-braces cross-check; between windows every rank
+//     body is parked in a blocking call with its deferred-step queue
+//     flushed, so any send the engine probe cannot see is scheduled and
+//     already counted.
+//   - each out-queue's fire cap (pairQueue.capW) while the receiver has
+//     not yet drained it. A cap is cleared — releasing custody — only
+//     when the undrained count reads 0, which the receiver decrements
+//     AFTER lowering its own slot to the staged arrivals (drainInto), or
+//     when the receiver has finished (its chains die undelivered).
+//
+// The store is NOT monotone: new sends pushed this window can legitimately
+// pull the bound below the previous publish. Readers that still see the
+// old value are safe — the old bound was ≤ the first event this window
+// fired, hence ≤ every fire instant of the window's pushes — and lowers
+// within one slot never need the epoch (coverage never hops here).
+func (c *Cluster) publishEOT(i int) bool {
+	bound := c.Engines[i].NextEventAt()
+	for _, m := range c.staging[i] {
+		if m.arrival < bound {
+			bound = m.arrival
+		}
+	}
+	if c.World.NodePendingSends(i) > 0 {
+		if now := c.Engines[i].Now(); now < bound {
+			bound = now
+		}
+	}
+	for k, q := range c.queues[i] {
+		if q == nil || q.capW == sim.MaxTime {
+			continue
+		}
+		if q.n.Load() == 0 || sim.Time(c.clocks[k].Load()) == sim.MaxTime {
+			q.capW = sim.MaxTime
+			continue
+		}
+		if q.capW < bound {
+			bound = q.capW
+		}
+	}
+	slot := &c.eot[i]
+	old := sim.Time(slot.Load())
+	if bound != old {
+		slot.Store(int64(bound))
+	}
+	return bound > old
+}
+
 // afterRun classifies why a node's engine came back from Run: still going
 // (false), finished its ranks, or interrupted — the latter aborts the whole
 // cluster. It returns true when the node must not be stepped further.
@@ -513,14 +820,49 @@ func (c *Cluster) afterRun(i int) bool {
 	return true
 }
 
+// flushEOT recomputes a FINISHED node's coverage bound: only its out-queue
+// fire caps remain (the engine is stopped and staged messages die
+// undelivered), so the bound rises to MaxTime as receivers drain — at
+// which point the node stops constraining every peer's EIT. The owner
+// shard keeps polling it after finish (runShard) until fully flushed.
+// Returns whether the bound rose.
+func (c *Cluster) flushEOT(i int) bool {
+	bound := sim.MaxTime
+	for k, q := range c.queues[i] {
+		if q == nil || q.capW == sim.MaxTime {
+			continue
+		}
+		if q.n.Load() == 0 || sim.Time(c.clocks[k].Load()) == sim.MaxTime {
+			q.capW = sim.MaxTime
+			continue
+		}
+		if q.capW < bound {
+			bound = q.capW
+		}
+	}
+	slot := &c.eot[i]
+	old := sim.Time(slot.Load())
+	if bound != old {
+		slot.Store(int64(bound))
+	}
+	return bound > old
+}
+
 // finish marks node i complete: its end is its engine's current instant
 // (the last rank's exit, or the run horizon when capped), and its
 // published clock becomes MaxTime so it stops constraining the others.
+// Its coverage bound is released too — immediately under floor pacing,
+// and as receivers drain its in-flight sends under EOT/EIT.
 func (c *Cluster) finish(i int, capped bool) {
 	c.done[i] = true
 	c.capped[i] = capped
 	c.ends[i] = c.Engines[i].Now()
 	c.clocks[i].Store(int64(sim.MaxTime))
+	if c.cfg.FloorPacing {
+		c.eot[i].Store(int64(sim.MaxTime))
+	} else {
+		c.flushEOT(i)
+	}
 	c.bump()
 }
 
@@ -551,7 +893,8 @@ func (c *Cluster) bump() {
 }
 
 // stepNode advances node i by one lookahead window. It returns true if the
-// node made progress (fired events or moved its clock).
+// node made progress (fired events, moved its clock, or raised its EOT
+// row).
 //
 // The injection protocol is what makes window boundaries — which depend on
 // shard interleaving — invisible: staged messages are sorted into the total
@@ -559,12 +902,37 @@ func (c *Cluster) bump() {
 // first runs to exactly T−1 (so all local events before T hold their event
 // sequence numbers), then the deliveries at T are scheduled in sorted
 // order; finally the engine runs to the window horizon. Any shard count
-// executes the identical Schedule-call sequence on this engine.
+// executes the identical Schedule-call sequence on this engine — and the
+// horizon rule (floor cadence or EOT/EIT) only moves those boundaries, so
+// both pacings execute it too (TestLookaheadFloorEquivalence).
 func (c *Cluster) stepNode(i int) bool {
 	eng := c.Engines[i]
 	now := eng.Now()
-	h := c.horizonFor(i)
+	var h sim.Time
+	if c.cfg.FloorPacing {
+		h = c.horizonFor(i)
+	} else {
+		h = c.windowHorizon(i)
+	}
 	if h <= now {
+		if c.cfg.FloorPacing {
+			return false
+		}
+		// Blocked on a peer's bound. Still drain: taking custody of any
+		// in-flight message (lowering this slot, decrementing the pair
+		// count) is what lets the SENDER's next publish raise past its
+		// fire cap — a blocked node that never drained would pin its
+		// senders forever. Then republish: a cap of our own may have
+		// lifted since the last window (a receiver drained us), which
+		// raises peers' EITs. Either change bumps so parked shards
+		// re-evaluate; progress is claimed only when something moved, so
+		// an idle blocked node still parks.
+		took := c.drainInto(i) > 0
+		rose := c.publishEOT(i)
+		if took || rose {
+			c.bump()
+			return true
+		}
 		return false
 	}
 	c.drainInto(i)
@@ -599,6 +967,18 @@ func (c *Cluster) stepNode(i int) bool {
 	}
 	c.consumeStaged(i, pos)
 	eng.Run(h)
+	c.windows[i]++
+	if !c.cfg.FloorPacing && c.floor < sim.MaxTime && h < c.horizon {
+		// Estimate how many floor-cadence windows this one replaced: the
+		// floor protocol advances the frontier by ≈ one floor per window,
+		// so a span of k floors cost ≈ k windows. Horizon-capped windows
+		// are excluded — once the peers are done, the floor protocol also
+		// jumps to the horizon in one window, so counting that span would
+		// claim elision the lookahead didn't earn.
+		if est := int64((h - now) / c.floor); est > 1 {
+			c.elided[i] += est - 1
+		}
+	}
 	if c.afterRun(i) {
 		return true
 	}
@@ -606,9 +986,36 @@ func (c *Cluster) stepNode(i int) bool {
 	if eng.Now() >= c.horizon {
 		c.finish(i, c.pending[i] > 0)
 	} else {
+		if !c.cfg.FloorPacing {
+			c.publishEOT(i)
+		}
 		c.bump()
 	}
 	return true
+}
+
+// Windows returns the total number of lookahead windows executed across
+// all nodes (valid after Run). Under floor pacing this tracks the
+// simulated span divided by the latency floor; under EOT/EIT lookahead it
+// tracks the cluster's event structure instead.
+func (c *Cluster) Windows() int64 {
+	var n int64
+	for _, w := range c.windows {
+		n += w
+	}
+	return n
+}
+
+// WindowsElided returns the estimated number of floor-cadence windows the
+// EOT/EIT horizon collapsed (valid after Run; 0 under FloorPacing). The
+// count depends on where shard scheduling happens to cut the windows, so
+// it is a diagnostic — never part of a determinism-pinned artifact.
+func (c *Cluster) WindowsElided() int64 {
+	var n int64
+	for _, e := range c.elided {
+		n += e
+	}
+	return n
 }
 
 // consumeStaged drops the first n staged messages (they were injected).
@@ -642,6 +1049,16 @@ func (c *Cluster) runShard(s int) {
 		progress, left := false, 0
 		for i := s; i < n; i += c.shards {
 			if c.done[i] {
+				// A finished node still holds fire caps for sends its
+				// receivers have not drained; keep flushing until its
+				// bound reaches MaxTime so peers' EITs are released.
+				if !c.cfg.FloorPacing && sim.Time(c.eot[i].Load()) != sim.MaxTime {
+					left++
+					if c.flushEOT(i) {
+						progress = true
+						c.bump()
+					}
+				}
 				continue
 			}
 			left++

@@ -240,3 +240,90 @@ func TestCollectivesCrossNode(t *testing.T) {
 		t.Errorf("collective run diverges across shards: %v vs %v", a, b)
 	}
 }
+
+// TestLookaheadFloorPacingEquivalence is the pacing half of the PDES
+// determinism claim: the EOT/EIT lookahead horizon only moves window
+// boundaries, so a run under it is byte-identical to the same run under
+// the clock+floor cadence, on every topology and at several shard counts.
+func TestLookaheadFloorPacingEquivalence(t *testing.T) {
+	for _, topo := range []string{"flat", "ring", "star"} {
+		t.Run(topo, func(t *testing.T) {
+			run := func(floorPacing bool, shards int) string {
+				c := buildRingJob(t, Config{
+					Nodes: 4, Shards: shards, Topology: topo, Seed: 42,
+					FloorPacing: floorPacing,
+					MPI:         mpi.DefaultOptions(), NewNode: newTestNode,
+				}, 40)
+				defer c.Shutdown()
+				end, err := c.Run(0)
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+				return fingerprint(c, end)
+			}
+			want := run(true, 1)
+			for _, shards := range []int{1, 2, 4} {
+				if got := run(false, shards); got != want {
+					t.Errorf("lookahead shards=%d diverges from floor pacing:\n got:\n%s\nwant:\n%s",
+						shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestIdlePeerDoesNotBlockEIT pins the point of the EOT/EIT horizon: a
+// peer with no pending sends must not hold its neighbours to the floor
+// cadence. Node 1 computes one long stretch and exits without ever
+// sending, while node 0's pair exchanges locally; under floor pacing the
+// run costs ~span/floor windows, under lookahead the idle stretch must
+// collapse to a handful.
+func TestIdlePeerDoesNotBlockEIT(t *testing.T) {
+	run := func(floorPacing bool) (*Cluster, sim.Time) {
+		c, err := New(Config{
+			Nodes: 2, Shards: 1, Seed: 9,
+			FloorPacing: floorPacing,
+			MPI:         mpi.DefaultOptions(), NewNode: newTestNode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.NewWorld(3, mpi.DefaultOptions())
+		for i := 0; i < 2; i++ {
+			i := i
+			c.SpawnRank(i, 0, sched.TaskSpec{}, func(r *mpi.Rank) {
+				for it := 0; it < 25; it++ {
+					r.Compute(2 * sim.Millisecond)
+					r.Send(1-i, it, 512)
+					r.Recv(1-i, it)
+				}
+			})
+		}
+		c.SpawnRank(2, 1, sched.TaskSpec{}, func(r *mpi.Rank) {
+			r.Compute(55 * sim.Millisecond)
+		})
+		end, err := c.Run(0)
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return c, end
+	}
+	floor, floorEnd := run(true)
+	defer floor.Shutdown()
+	eot, eotEnd := run(false)
+	defer eot.Shutdown()
+	if fingerprint(floor, floorEnd) != fingerprint(eot, eotEnd) {
+		t.Fatalf("pacing changed the simulation:\nfloor:\n%s\neot:\n%s",
+			fingerprint(floor, floorEnd), fingerprint(eot, eotEnd))
+	}
+	fw, ew := floor.Windows(), eot.Windows()
+	if ew*10 > fw {
+		t.Errorf("lookahead windows = %d, floor windows = %d; want ≥10x collapse", ew, fw)
+	}
+	if eot.WindowsElided() == 0 {
+		t.Errorf("lookahead run reports WindowsElided = 0; the idle stretch was not collapsed")
+	}
+	if floor.WindowsElided() != 0 {
+		t.Errorf("floor-paced run reports WindowsElided = %d, want 0", floor.WindowsElided())
+	}
+}

@@ -48,6 +48,13 @@ type ClusterInfo struct {
 	Recorders []*trace.Recorder
 	// Kernels are the per-node kernels, shut down; inspect counters only.
 	Kernels []*sched.Kernel
+	// Windows counts the lookahead windows the PDES executed across all
+	// nodes; WindowsElided estimates the floor-cadence windows the EOT/EIT
+	// lookahead collapsed. Both depend on shard scheduling, so they are
+	// diagnostics — deliberately absent from ClusterTimeline, which is
+	// pinned byte-for-byte across shard counts.
+	Windows       int64
+	WindowsElided int64
 }
 
 // runClusterCtx is RunCtx for Config.Nodes > 1: the same machine, scheduler,
@@ -65,11 +72,12 @@ func runClusterCtx(ctx context.Context, cfg Config) (Result, error) {
 	wds := make([]*watchdog, cfg.Nodes)
 
 	cl, err := cluster.New(cluster.Config{
-		Nodes:    cfg.Nodes,
-		Shards:   cfg.Shards,
-		Topology: cfg.Topology,
-		Seed:     cfg.Seed,
-		MPI:      mpi.DefaultOptions(),
+		Nodes:       cfg.Nodes,
+		Shards:      cfg.Shards,
+		Topology:    cfg.Topology,
+		Seed:        cfg.Seed,
+		FloorPacing: cfg.FloorPacing,
+		MPI:         mpi.DefaultOptions(),
 		NewNode: func(node int, eng *sim.Engine) *sched.Kernel {
 			// Each node is a full copy of the paper's machine. The perf
 			// model is built per node unless overridden: node kernels run on
@@ -242,6 +250,9 @@ func runClusterCtx(ctx context.Context, cfg Config) (Result, error) {
 		RankNodes: make([]int, job.World.Size()),
 		Recorders: recs,
 		Kernels:   cl.Kernels,
+
+		Windows:       cl.Windows(),
+		WindowsElided: cl.WindowsElided(),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		info.NodeEnds[i] = cl.NodeEnd(i)

@@ -233,3 +233,34 @@ func TestClusterPlacementSpansNodes(t *testing.T) {
 		}
 	}
 }
+
+// TestLookaheadFloorEquivalence is the pacing counterpart of the shard
+// sweep: the EOT/EIT lookahead only moves sync-window boundaries, so every
+// run — across node counts, topologies and seeds — must be byte-identical
+// to the same run forced onto the clock+floor cadence (Config.FloorPacing),
+// timelines, fault logs and traces included.
+func TestLookaheadFloorEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	seeds := []uint64{1, 1043}
+	topologies := []string{"flat", "ring", "star"}
+	for _, nodes := range []int{2, 4, 16} {
+		for _, seed := range seeds {
+			for _, topo := range topologies {
+				name := fmt.Sprintf("n%d/%s/seed%d", nodes, topo, seed)
+				t.Run(name, func(t *testing.T) {
+					cfg := clusterCfg("btmz", nodes, 1, topo, seed)
+					cfg.TweakBTMZ = func(c *workloads.BTMZConfig) { c.Iterations = 2 }
+					cfg.Faults = faults.MustParse("stall:n=1,dur=100ms,by=1s")
+					cfg.FloorPacing = true
+					floor := clusterRunFingerprint(t, cfg)
+					cfg.FloorPacing = false
+					if got := clusterRunFingerprint(t, cfg); got != floor {
+						t.Errorf("lookahead run diverges from floor pacing:\n%s", firstDiff(floor, got))
+					}
+				})
+			}
+		}
+	}
+}

@@ -88,6 +88,10 @@ type Config struct {
 	// Shards is the parallelism of a cluster run (≤ 0 → GOMAXPROCS). Any
 	// shard count produces the byte-identical simulation.
 	Shards int
+	// FloorPacing forces a cluster run onto the clock+floor window cadence
+	// instead of the default EOT/EIT lookahead. Results are byte-identical
+	// either way; the knob exists for the equivalence suite that proves it.
+	FloorPacing bool
 
 	// Noise overrides the default OS noise (nil → noise.DefaultConfig).
 	Noise *noise.Config

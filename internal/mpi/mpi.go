@@ -127,6 +127,15 @@ type nodeState struct {
 	msgCount       int64
 	msgBytes       int64
 	remoteMsgCount int64
+
+	// pendingRoutes counts cross-node sends this node has issued (drawRoute)
+	// whose deferred fire has not yet run — i.e. route requests sitting in a
+	// rank's deferred-step queue, not yet stamped with an arrival. While it
+	// is zero, every future send from this node must originate from an engine
+	// event at or after Engine.NextEventAt(), which is what lets the cluster
+	// pacing layer publish a next-event-based EOT instead of falling back to
+	// the node's clock. Touched only on the node's own engine context.
+	pendingRoutes int64
 }
 
 // routeReq is one in-flight cross-node send: pooled per node like delivery,
@@ -330,6 +339,16 @@ func (w *World) NodeMsgStats(node int) (count, bytes, remote int64) {
 	return ns.msgCount, ns.msgBytes, ns.remoteMsgCount
 }
 
+// NodePendingSends reports how many cross-node sends node has issued whose
+// deferred route step has not yet fired. When zero, the node's earliest
+// possible cross-node output is bounded below by its engine's
+// NextEventAt() — the refinement the cluster's EOT publication uses. Must
+// be called only while the node's engine is quiescent (between lookahead
+// windows, from the shard that owns the node).
+func (w *World) NodePendingSends(node int) int64 {
+	return w.nodes[node].pendingRoutes
+}
+
 // post schedules the delivery of m to target after delay — the immediate,
 // engine-side path (tests, future eager transports). Send instead defers
 // the equivalent via drawDelivery + Env.DeferAfter so the post rides the
@@ -382,12 +401,14 @@ func (ns *nodeState) drawRoute(w *World, target *Rank, src, tag int, size int64,
 			rr.w, rr.target = nil, nil
 			rr.next = ns.freeRoute
 			ns.freeRoute = rr
+			ns.pendingRoutes--
 			w.router.RouteMessage(ns.id, t.ns.id, arrival, t, src, tag, size)
 		}
 	} else {
 		ns.freeRoute = rr.next
 		rr.next = nil
 	}
+	ns.pendingRoutes++
 	rr.w = w
 	rr.target = target
 	rr.src = src

@@ -31,6 +31,12 @@ var committedPairs = []struct {
 	// (interleaved single-scenario bests come out even), and the Gate's
 	// 15% tolerance above already bounds a real regression.
 	{"BENCH_pre-cluster.json", "BENCH_cluster.json", "btmz-trace", 0.95},
+	// PR 10: EOT/EIT next-event lookahead pacing for the cluster runner.
+	// The flagship is the cluster scenario itself: event-driven windows
+	// collapse the sync cadence ~28x and the measured whole-cluster
+	// throughput gain is 4.09x (floor 3.5 leaves pair-mismatch headroom
+	// only — both reports are committed, so the ratio is fixed).
+	{"BENCH_pre-eot.json", "BENCH_eot-lookahead.json", "cluster-btmz-4node", 3.5},
 }
 
 // TestCommittedReportsPassGate pins the repository's perf trajectory: every

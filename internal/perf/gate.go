@@ -9,6 +9,11 @@ import (
 const (
 	MetricRate   = "events/sec"   // throughput, gated by a relative floor
 	MetricAllocs = "allocs/event" // allocator pressure, gated by an absolute ceiling
+	// MetricElided is the windows_elided counter cluster scenarios attach:
+	// the EOT/EIT lookahead must actually collapse sync windows, so a
+	// fresh report whose cluster scenarios elide nothing fails the gate —
+	// the event-driven horizon has silently degenerated to floor cadence.
+	MetricElided = "windows_elided"
 )
 
 // Tolerance bounds how far a fresh report may fall from the baseline
@@ -44,6 +49,10 @@ func (r Regression) String() string {
 	if r.Metric == MetricAllocs {
 		return fmt.Sprintf("%s: %.4f allocs/event vs baseline %.4f (ceiling %.4f)",
 			r.Scenario, r.Got, r.Base, r.Bound)
+	}
+	if r.Metric == MetricElided {
+		return fmt.Sprintf("%s: windows_elided = %.0f; the EOT/EIT lookahead collapsed no sync windows",
+			r.Scenario, r.Got)
 	}
 	return fmt.Sprintf("%s: %.0f events/sec vs baseline %.0f (%.2fx, gate %.2fx)",
 		r.Scenario, r.Got, r.Base, r.Got/r.Base, r.Bound/r.Base)
@@ -117,6 +126,25 @@ func Gate(base, after Report, tol Tolerance) []Regression {
 			})
 		}
 	}
+	out = append(out, gateCounters(after)...)
+	return out
+}
+
+// gateCounters checks the fresh report's counter invariants: any scenario
+// that reports a windows_elided diagnostic ran the cluster lookahead, and
+// a lookahead that elides zero windows has regressed to floor cadence (the
+// exact counter value is shard-timing noise, so only > 0 is asserted —
+// independent of any baseline).
+func gateCounters(after Report) []Regression {
+	var out []Regression
+	for _, m := range after.Measurements {
+		if v, ok := m.Counters[MetricElided]; ok && v <= 0 {
+			out = append(out, Regression{
+				Scenario: m.Scenario, Metric: MetricElided,
+				Got: float64(v), Bound: 1,
+			})
+		}
+	}
 	return out
 }
 
@@ -142,6 +170,16 @@ func FormatGate(base, after Report, tol Tolerance) string {
 		fmt.Fprintf(&b, "  %-24s %12.0f → %12.0f events/sec  %.2fx  %7.4f → %7.4f allocs/event  %s\n",
 			c.scenario, c.baseRate, c.rate, c.rate/c.baseRate,
 			c.baseAllocs, c.allocs, verdict)
+	}
+	for _, m := range after.Measurements {
+		if v, ok := m.Counters[MetricElided]; ok {
+			verdict := "ok"
+			if v <= 0 {
+				verdict = "REGRESSION (no windows elided)"
+			}
+			fmt.Fprintf(&b, "  %-24s windows=%d windows_elided=%d  %s\n",
+				m.Scenario, m.Counters["windows"], v, verdict)
+		}
 	}
 	return b.String()
 }

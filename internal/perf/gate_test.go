@@ -148,3 +148,38 @@ func TestFormatGateMarksRegressions(t *testing.T) {
 		t.Fatalf("passing scenario missing:\n%s", out)
 	}
 }
+
+func TestGateCountersRequireElidedWindows(t *testing.T) {
+	base := reportOf("base", rates(map[string]float64{"a": 1000}))
+	after := reportOf("after", rates(map[string]float64{"a": 1000}))
+	// A cluster scenario that reports the diagnostic but elided nothing has
+	// regressed to floor cadence even if throughput held.
+	after.Measurements = append(after.Measurements, Measurement{
+		Scenario: "cluster-x", EventsPerSec: 500,
+		Counters: map[string]int64{"windows": 4000, MetricElided: 0},
+	})
+	regs := Gate(base, after, ciTol)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the elided-counter violation", regs)
+	}
+	r := regs[0]
+	if r.Scenario != "cluster-x" || r.Metric != MetricElided {
+		t.Fatalf("regression misreported: %+v", r)
+	}
+	if !strings.Contains(r.String(), "windows_elided") {
+		t.Fatalf("unhelpful message: %q", r.String())
+	}
+	out := FormatGate(base, after, ciTol)
+	if !strings.Contains(out, "REGRESSION (no windows elided)") {
+		t.Fatalf("counter verdict missing from rendering:\n%s", out)
+	}
+
+	// A positive counter passes and renders as ok.
+	after.Measurements[len(after.Measurements)-1].Counters[MetricElided] = 123
+	if regs := Gate(base, after, ciTol); len(regs) != 0 {
+		t.Fatalf("positive elided counter flagged: %v", regs)
+	}
+	if out := FormatGate(base, after, ciTol); !strings.Contains(out, "windows_elided=123  ok") {
+		t.Fatalf("passing counter line missing:\n%s", out)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 )
@@ -26,6 +27,14 @@ type Scenario struct {
 	Desc  string
 	Quick bool // part of the -quick smoke suite
 	Run   func() uint64
+
+	// Counters, when non-nil, is called once after the measurement runs
+	// and its values are attached to the Measurement verbatim (typically
+	// stashed by the Run closure from its last repetition). Counters are
+	// diagnostics — cluster sync-window counts, elision estimates — whose
+	// values may vary with shard scheduling, so they are deliberately
+	// excluded from the deterministic event count the harness asserts on.
+	Counters func() map[string]int64
 }
 
 // Measurement is the result of measuring one scenario.
@@ -39,6 +48,10 @@ type Measurement struct {
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"` // mean over runs
 	BytesPerEvent  float64 `json:"bytes_per_event"`  // mean over runs
+
+	// Counters carries scenario diagnostics (see Scenario.Counters), e.g.
+	// cluster sync windows executed and windows elided by lookahead.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // Report is one emitted BENCH file.
@@ -101,6 +114,9 @@ func Measure(s Scenario, runs int) Measurement {
 		m.NsPerEvent = float64(bestWall.Nanoseconds()) / float64(events)
 		m.AllocsPerEvent = float64(allocsTotal) / float64(runs) / float64(events)
 		m.BytesPerEvent = float64(bytesTotal) / float64(runs) / float64(events)
+	}
+	if s.Counters != nil {
+		m.Counters = s.Counters()
 	}
 	return m
 }
@@ -179,6 +195,18 @@ func (r Report) Format() string {
 		fmt.Fprintf(&b, "%-24s %12d %12.0f %10.1f %12.4f %12.1f\n",
 			m.Scenario, m.Events, m.EventsPerSec, m.NsPerEvent,
 			m.AllocsPerEvent, m.BytesPerEvent)
+		if len(m.Counters) > 0 {
+			keys := make([]string, 0, len(m.Counters))
+			for k := range m.Counters {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&b, "%-24s", "")
+			for _, k := range keys {
+				fmt.Fprintf(&b, "  %s=%d", k, m.Counters[k])
+			}
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

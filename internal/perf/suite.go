@@ -12,6 +12,18 @@ import (
 	"hpcsched/internal/workloads"
 )
 
+// quietNodeNoise models a noise-quieted HPC compute node: one background
+// daemon per CPU waking rarely (same ~0.25% duty as the default, spent in
+// long sparse bursts), as on clusters that strip OS activity off the
+// compute cores. Used by the idle-heavy cluster scenario, where the sync
+// window cadence of an idle node is set by its peers' local event rate.
+var quietNodeNoise = noise.Config{
+	DaemonsPerCPU: 1,
+	Duty:          0.0025,
+	BurstMean:     2 * sim.Millisecond,
+	Jitter:        0.5,
+}
+
 // Suite returns the fixed scenario suite cmd/bench runs. The scenarios
 // cover the hot paths every table and figure of the reproduction exercises:
 // the serial per-mode runs behind Tables III/IV, the trace-recording run
@@ -51,13 +63,82 @@ func Suite() []Scenario {
 			Quick: true,
 			Run:   runIdleImbalance,
 		},
-		{
+		clusterScenario(Scenario{
 			Name:  "cluster-btmz-4node",
 			Desc:  "4-node BT-MZ on the sharded cluster PDES under Uniform (shards = GOMAXPROCS)",
 			Quick: true,
-			Run:   runClusterBTMZ,
-		},
+		}, experiments.Config{
+			Workload: "btmz", Mode: experiments.ModeUniform, Seed: 42,
+			Nodes:     4,
+			TweakBTMZ: func(c *workloads.BTMZConfig) { c.Iterations = 60 },
+		}),
+		clusterScenario(Scenario{
+			Name: "cluster-btmz-16node",
+			Desc: "16-node BT-MZ (64 ranks) on the cluster PDES under Uniform — lookahead at scale",
+		}, experiments.Config{
+			Workload: "btmz", Mode: experiments.ModeUniform, Seed: 42,
+			Nodes:     16,
+			TweakBTMZ: func(c *workloads.BTMZConfig) { c.Iterations = 30 },
+		}),
+		clusterScenario(Scenario{
+			Name:  "cluster-idle-16node",
+			Desc:  "16-node star, imbalanced BT-MZ on noise-quieted nodes — EOT/EIT window-collapse showcase",
+			Quick: true,
+		}, experiments.Config{
+			Workload: "btmz", Mode: experiments.ModeUniform, Seed: 42,
+			Nodes:    16,
+			Topology: "star",
+			// Noise-quieted compute nodes (the NO_HZ_FULL story at cluster
+			// scale): one sparse daemon per CPU instead of desktop-grade
+			// background churn. Every local event a peer fires forces a
+			// fresh sync window on everyone under lookahead pacing, so the
+			// idle-node window count tracks the noise cadence directly.
+			Noise: &quietNodeNoise,
+			TweakBTMZ: func(c *workloads.BTMZConfig) {
+				// One heavy rank per node: the three light ranks park in MPI
+				// wait phases most of each iteration, so nearly all windows
+				// under floor pacing cover no events at all — exactly the
+				// cadence the EOT/EIT horizon is meant to collapse.
+				c.Iterations = 8
+				c.ZoneWork = []sim.Time{
+					14 * sim.Millisecond,
+					22 * sim.Millisecond,
+					30 * sim.Millisecond,
+					900 * sim.Millisecond,
+				}
+			},
+		}),
 	}
+}
+
+// clusterScenario wires a cluster experiment into a Scenario: the run sums
+// fired events over every node kernel (whole-cluster throughput) and the
+// last run's sync-window diagnostics are attached as counters — windows
+// executed and the floor-cadence windows the EOT/EIT lookahead elided.
+func clusterScenario(s Scenario, cfg experiments.Config) Scenario {
+	var last *experiments.ClusterInfo
+	s.Run = func() uint64 {
+		r, err := experiments.RunCtx(context.Background(), cfg)
+		if err != nil {
+			panic(err)
+		}
+		last = r.Cluster
+		var events uint64
+		for _, k := range r.Cluster.Kernels {
+			events += kernelEvents(k)
+		}
+		return events
+	}
+	s.Counters = func() map[string]int64 {
+		if last == nil {
+			return nil
+		}
+		return map[string]int64{
+			"windows":        last.Windows,
+			"windows_elided": last.WindowsElided,
+		}
+	}
+	return s
 }
 
 // QuickSuite returns only the scenarios marked Quick (the CI smoke run).
@@ -152,28 +233,6 @@ func runIdleImbalance() uint64 {
 		panic("perf: idle-imbalance scenario lost its ranks")
 	}
 	return kernelEvents(k)
-}
-
-// runClusterBTMZ measures the multi-node PDES: BT-MZ scaled over four
-// simulated nodes (16 ranks, one global exchange chain crossing the
-// interconnect three times), advanced by GOMAXPROCS shards. The event
-// count sums every node kernel, so events/sec measures whole-cluster
-// throughput; determinism across shard counts is asserted by the cluster
-// test suite, here it keeps the count repetition-stable.
-func runClusterBTMZ() uint64 {
-	r, err := experiments.RunCtx(context.Background(), experiments.Config{
-		Workload: "btmz", Mode: experiments.ModeUniform, Seed: 42,
-		Nodes:     4,
-		TweakBTMZ: func(c *workloads.BTMZConfig) { c.Iterations = 60 },
-	})
-	if err != nil {
-		panic(err)
-	}
-	var events uint64
-	for _, k := range r.Cluster.Kernels {
-		events += kernelEvents(k)
-	}
-	return events
 }
 
 func runBatchMetBench() uint64 {

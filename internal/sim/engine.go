@@ -424,6 +424,17 @@ func (e *Engine) PeekNext() Time {
 	return MaxTime
 }
 
+// NextEventAt reports the earliest instant at which this engine can next
+// act: the minimum pending deadline across all three tiers (periodic-ring
+// head, wheel memoized minimum, heap top), or MaxTime when the engine is
+// drained. It is the conservative-lookahead probe for PDES pacing
+// (internal/cluster): between events every rank body is parked in a
+// blocking call with its deferred-step queue flushed, so any future
+// cross-engine send must originate from an event at or after this
+// instant. Cost is O(1) — the wheel minimum is memoized, the ring head
+// and heap top are direct loads.
+func (e *Engine) NextEventAt() Time { return e.PeekNext() }
+
 // fire removes ev (the global minimum) from its tier, advances the clock
 // and the wheel reference to its deadline, and runs the callback.
 //
